@@ -1,0 +1,635 @@
+package tensorbase_test
+
+// testing.B counterparts of every paper artifact (run with
+// `go test -bench=. -benchmem`):
+//
+//	Table 1  BenchmarkTable1FC/*          forward pass per FC model
+//	Table 2  BenchmarkTable2Conv/*        forward pass per conv model
+//	Fig. 2   BenchmarkFig2/*              serving paths, Fraud-FC-256
+//	Fig. 3   BenchmarkFig3/*              serving paths, DeepBench-CONV1
+//	Table 3  BenchmarkTable3/*            whole-tensor vs relation-centric
+//	7.2.1    BenchmarkPushdown/*          join-then-infer vs decompose+pushdown
+//	7.2.2    BenchmarkCache/*             full inference vs HNSW cache lookup
+//
+// plus the DESIGN.md ablations: block size, buffer pool frames, connector
+// batch size, HNSW efSearch, optimizer threshold.
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"bytes"
+
+	"tensorbase/internal/ann"
+	"tensorbase/internal/blocked"
+	"tensorbase/internal/cache"
+	"tensorbase/internal/connector"
+	"tensorbase/internal/core"
+	"tensorbase/internal/data"
+	"tensorbase/internal/dlruntime"
+	"tensorbase/internal/exec"
+	"tensorbase/internal/experiments"
+	"tensorbase/internal/memlimit"
+	"tensorbase/internal/nn"
+	"tensorbase/internal/storage"
+	"tensorbase/internal/table"
+	"tensorbase/internal/tensor"
+	"tensorbase/internal/udf"
+)
+
+func benchPool(b *testing.B, frames int) *storage.BufferPool {
+	b.Helper()
+	d, err := storage.OpenDisk(filepath.Join(b.TempDir(), "bench.db"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { d.Close() })
+	return storage.NewBufferPool(d, frames)
+}
+
+// ---- Table 1: fully connected model zoo ----
+
+func BenchmarkTable1FC(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		model *nn.Model
+		batch int
+	}{
+		{nn.FraudFC(rng, 256), 256},
+		{nn.FraudFC(rng, 512), 256},
+		{nn.EncoderFC(rng), 16},
+		{nn.Amazon14kFC(rng, 1024), 16}, // 583/1024/14 at benchmark scale
+	}
+	for _, c := range cases {
+		in := c.model.InShape[1]
+		x := data.Dense(2, c.batch, in)
+		b.Run(c.model.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.model.Forward(x.Clone())
+			}
+		})
+	}
+}
+
+// ---- Table 2: convolutional model zoo ----
+
+func BenchmarkTable2Conv(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	b.Run("DeepBench-CONV1", func(b *testing.B) {
+		m := nn.DeepBenchConv1(rng)
+		x := data.Images(3, 1, 112, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Forward(x.Clone())
+		}
+	})
+	b.Run("LandCover", func(b *testing.B) {
+		m := nn.LandCover(rng, 20)
+		hw, _ := nn.LandCoverDims(20)
+		x := data.Images(4, 1, hw, 3)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Forward(x.Clone())
+		}
+	})
+}
+
+// ---- Figure 2: FFNN serving paths ----
+
+// storeFeatures writes an (n, width) tensor as (id, features) rows.
+func storeFeatures(pool *storage.BufferPool, x *tensor.Tensor) (*table.Heap, error) {
+	schema := table.MustSchema(
+		table.Column{Name: "id", Type: table.Int64},
+		table.Column{Name: "features", Type: table.FloatVec},
+	)
+	h, err := table.NewHeap(pool, schema)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < x.Dim(0); i++ {
+		if _, err := h.Insert(table.Tuple{table.IntVal(int64(i)), table.VecVal(x.Row(i))}); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// heapFeatures adapts the features column of a heap scan to the connector.
+type heapFeatures struct{ scan *table.Scanner }
+
+func (s *heapFeatures) NextRow() ([]float32, bool, error) {
+	t, ok, err := s.scan.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return t[1].Vec, true, nil
+}
+
+func BenchmarkFig2(b *testing.B) {
+	const rows = 2000
+	rng := rand.New(rand.NewSource(5))
+	model := nn.FraudFC(rng, 256)
+	pool := benchPool(b, 2048)
+	x := data.Dense(6, rows, 28)
+	heap, err := storeFeatures(pool, x)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("ours-in-db", func(b *testing.B) {
+		u := core.NewAdaptiveUDF(model, core.NewOptimizer(2<<30), pool, memlimit.Unlimited())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op, err := udf.NewInferOp(exec.NewHeapScan(heap), u, "features", 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.Collect(op); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, profile := range []dlruntime.Profile{dlruntime.Graph, dlruntime.Eager} {
+		b.Run("dl-centric-"+profile.String(), func(b *testing.B) {
+			rt := dlruntime.New(profile, 0)
+			sess, err := rt.Load(model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sess.Close()
+			wire := experiments.DefaultWire()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := &heapFeatures{scan: heap.Scan()}
+				var stats connector.Stats
+				xt, err := connector.Transfer(src, 28, 1024, &stats)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows, _, bytes := stats.Snapshot()
+				wire.Delay(rows, rows*28, bytes)
+				out, err := sess.Infer(xt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wire.Delay(int64(out.Dim(0)), int64(out.Len()), out.Bytes())
+			}
+		})
+	}
+}
+
+// ---- Figure 3: CNN serving paths ----
+
+func BenchmarkFig3(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	model := nn.DeepBenchConv1(rng)
+	x := data.Images(8, 1, 112, 64)
+	flat := x.Reshape(1, 112*112*64)
+
+	b.Run("ours-in-db", func(b *testing.B) {
+		pool := benchPool(b, 2048)
+		u := core.NewAdaptiveUDF(model, core.NewOptimizer(2<<30), pool, memlimit.Unlimited())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := u.Apply(flat.Clone()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dl-centric-graph", func(b *testing.B) {
+		rt := dlruntime.New(dlruntime.Graph, 0)
+		sess, err := rt.Load(model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		wire := experiments.DefaultWire()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var stats connector.Stats
+			xt, err := connector.Transfer(connector.NewTensorSource(flat), flat.Dim(1), 1, &stats)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows, _, bytes := stats.Snapshot()
+			wire.Delay(rows, rows*int64(flat.Dim(1)), bytes)
+			out, err := sess.Infer(xt.Reshape(1, 112, 112, 64))
+			if err != nil {
+				b.Fatal(err)
+			}
+			wire.Delay(1, int64(out.Len()), out.Bytes())
+		}
+	})
+}
+
+// ---- Table 3: whole-tensor vs relation-centric under the memory budget ----
+
+func BenchmarkTable3(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	m := nn.Amazon14kFC(rng, 1024) // 583/1024/14
+	in := m.InShape[1]
+	const batch = 512
+	x := data.Dense(10, batch, in)
+
+	b.Run("whole-tensor-udf", func(b *testing.B) {
+		u := udf.NewModelUDF(m, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := u.Apply(x.Clone()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("relation-centric", func(b *testing.B) {
+		pool := benchPool(b, 2048)
+		ex := core.NewExecutor(pool, nil)
+		plan, err := core.NewOptimizer(1).Plan(m, batch) // force relational
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Run(plan, x.Clone()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- Sec. 7.2.1: decomposition + push-down ----
+
+func BenchmarkPushdown(b *testing.B) {
+	const rowsPerSide, features = 400, 96
+	d1, d2 := data.BoschTables(11, rowsPerSide, features, 4)
+	rng := rand.New(rand.NewSource(12))
+	model := nn.BoschFC(rng, 2*features)
+	newQuery := func() *core.FeatureJoinQuery {
+		return &core.FeatureJoinQuery{
+			Left:    exec.NewMemScan(data.BoschSchema("s1", "v1"), d1),
+			Right:   exec.NewMemScan(data.BoschSchema("s2", "v2"), d2),
+			LeftSim: "s1", RightSim: "s2",
+			LeftVec: "v1", RightVec: "v2",
+			Eps: 0.25, Model: model, Batch: 256,
+		}
+	}
+	b.Run("join-then-infer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op, err := newQuery().BuildNaive()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.Collect(op); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decompose-pushdown", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op, err := newQuery().BuildPushdown()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.Collect(op); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- Sec. 7.2.2: full inference vs result cache ----
+
+func BenchmarkCache(b *testing.B) {
+	const side = 12
+	d := data.MNISTLikeNoisy(13, 600, side, 0.25)
+	rng := rand.New(rand.NewSource(14))
+	model := nn.CacheCNN(rng, side)
+	pix := side * side
+	flat := d.X.Reshape(600, pix)
+
+	b.Run("full-inference", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			row := flat.SliceRows(i%600, i%600+1).Clone().Reshape(1, side, side, 1)
+			model.Forward(row)
+		}
+	})
+	b.Run("hnsw-cache", func(b *testing.B) {
+		rc, err := cache.NewHNSW(pix, float64(pix)*0.25*0.25*3.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cm := cache.NewCachedModel(model, rc)
+		for i := 0; i < 500; i++ {
+			if _, err := cm.PredictRow(flat.Row(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cm.PredictRow(flat.Row(500 + i%100)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- Ablations ----
+
+// BenchmarkBlockSize sweeps the tensor-block edge for the relation-centric
+// matmul (DESIGN.md ablation 1).
+func BenchmarkBlockSize(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	a := tensor.New(512, 512)
+	w := tensor.New(512, 512)
+	for i := range a.Data() {
+		a.Data()[i] = float32(rng.NormFloat64())
+		w.Data()[i] = float32(rng.NormFloat64())
+	}
+	for _, bs := range []int{16, 32, 64, 90} {
+		b.Run(fmt.Sprintf("bs=%d", bs), func(b *testing.B) {
+			pool := benchPool(b, 4096)
+			am, err := blocked.Store(pool, a, bs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wm, err := blocked.Store(pool, w, bs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := blocked.MultiplyStreaming(pool, am, wm, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBufferPoolFrames sweeps pool size / spill pressure (ablation 2).
+func BenchmarkBufferPoolFrames(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	a := tensor.New(384, 384)
+	for i := range a.Data() {
+		a.Data()[i] = float32(rng.NormFloat64())
+	}
+	for _, frames := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("frames=%d", frames), func(b *testing.B) {
+			pool := benchPool(b, frames)
+			am, err := blocked.Store(pool, a, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wm, err := blocked.Store(pool, a, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := blocked.MultiplyStreaming(pool, am, wm, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConnectorBatch sweeps the transfer batch size (ablation 3).
+func BenchmarkConnectorBatch(b *testing.B) {
+	rows := make([][]float32, 4096)
+	for i := range rows {
+		rows[i] = make([]float32, 28)
+	}
+	for _, batch := range []int{32, 256, 2048} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := connector.Transfer(connector.NewSliceSource(rows), 28, batch, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHNSWEf sweeps the search beam width (ablation 4).
+func BenchmarkHNSWEf(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	h := ann.NewHNSW(32, ann.HNSWConfig{Seed: 18})
+	vecs := make([][]float32, 4000)
+	for i := range vecs {
+		v := make([]float32, 32)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		vecs[i] = v
+		if err := h.Add(int64(i), v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, ef := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("ef=%d", ef), func(b *testing.B) {
+			h.SetEfSearch(ef)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Search(vecs[i%len(vecs)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkThreshold sweeps the adaptive optimizer's memory threshold for a
+// mid-size model: high thresholds fuse everything into one UDF, low ones
+// force the relation-centric path (ablation 5).
+func BenchmarkThreshold(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	m := nn.MustModel("mid", []int{1, 512},
+		nn.NewLinear(rng, 512, 512), nn.ReLU{}, nn.NewLinear(rng, 512, 16))
+	x := data.Dense(20, 256, 512)
+	for _, thr := range []int64{1 << 10, 1 << 22, 1 << 30} {
+		b.Run(fmt.Sprintf("threshold=%d", thr), func(b *testing.B) {
+			pool := benchPool(b, 2048)
+			u := core.NewAdaptiveUDF(m, core.NewOptimizer(thr), pool, memlimit.Unlimited())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := u.Apply(x.Clone()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Extension benchmarks ----
+
+// BenchmarkPipeline compares sequential whole-batch execution with the
+// Sec. 5(2) streaming operator pipeline.
+func BenchmarkPipeline(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	m := nn.CacheFFNN(rng, 196)
+	x := data.Dense(22, 256, 196)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Forward(x.Clone())
+		}
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		p := udf.NewPipeline(m)
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Run(x, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkModelSerialization compares the full-precision and quantized
+// model formats (Sec. 4 compression).
+func BenchmarkModelSerialization(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	m := nn.FraudFC(rng, 512)
+	b.Run("tbm1-full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := nn.Save(&buf, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tbq1-quantized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := nn.SaveQuantized(&buf, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDedupStore measures block storage with and without sharing.
+func BenchmarkDedupStore(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	w := tensor.New(128, 128)
+	for i := range w.Data() {
+		w.Data()[i] = float32(rng.NormFloat64())
+	}
+	b.Run("plain-store", func(b *testing.B) {
+		pool := benchPool(b, 1024)
+		for i := 0; i < b.N; i++ {
+			if _, err := blocked.Store(pool, w, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dedup-store", func(b *testing.B) {
+		pool := benchPool(b, 1024)
+		ds, err := blocked.NewDedupStore(pool, 32, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := ds.Store(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPlanCache compares AoT-cached plan selection with fresh
+// optimization (Sec. 2).
+func BenchmarkPlanCache(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	m := nn.CacheFFNN(rng, 196)
+	opt := core.NewOptimizer(64 << 20)
+	b.Run("fresh-plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.Plan(m, 256); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("aot-cached", func(b *testing.B) {
+		pc, err := core.NewPlanCache(opt, m, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pc.PlanFor(256); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExactCache measures the hash-indexed zero-error cache (Sec. 5).
+func BenchmarkExactCache(b *testing.B) {
+	c := cache.NewExact()
+	rng := rand.New(rand.NewSource(26))
+	feats := make([][]float32, 1024)
+	for i := range feats {
+		v := make([]float32, 64)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		feats[i] = v
+		c.Insert(v, []float32{1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Lookup(feats[i%len(feats)]); !ok {
+			b.Fatal("miss on inserted key")
+		}
+	}
+}
+
+// BenchmarkReplacementPolicy compares LRU and Clock page replacement under
+// a scanning workload larger than the pool.
+func BenchmarkReplacementPolicy(b *testing.B) {
+	for _, policy := range []storage.Policy{storage.LRU, storage.Clock} {
+		name := "lru"
+		if policy == storage.Clock {
+			name = "clock"
+		}
+		b.Run(name, func(b *testing.B) {
+			d, err := storage.OpenDisk(filepath.Join(b.TempDir(), "pol.db"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			pool := storage.NewBufferPoolWithPolicy(d, 16, policy)
+			const pages = 128
+			ids := make([]storage.PageID, pages)
+			for i := range ids {
+				f, err := pool.NewPage()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids[i] = f.ID()
+				pool.Unpin(f.ID(), true)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := ids[i%pages]
+				f, err := pool.Fetch(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = f.Data()[0]
+				pool.Unpin(id, false)
+			}
+		})
+	}
+}

@@ -1,0 +1,78 @@
+// Command bench regenerates the paper's evaluation artifacts: the model zoo
+// (Tables 1–2), the small-model latency comparisons (Figures 2–3), the
+// large-scale OOM table (Table 3), the model decomposition + push-down
+// speedup (Sec. 7.2.1), and the inference-result cache trade-off
+// (Sec. 7.2.2).
+//
+// Usage:
+//
+//	bench -exp all            # everything, full scale
+//	bench -exp table3 -quick  # one experiment, CI scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tensorbase/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|models|fig2|fig3|table3|pushdown|cache")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
+	seed := flag.Int64("seed", 7, "data generation seed")
+	dir := flag.String("dir", "", "directory for database files (default: temp)")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Dir: *dir}
+	if err := run(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg experiments.Config) error {
+	type driver struct {
+		name string
+		fn   func(experiments.Config) ([]experiments.Row, error)
+	}
+	drivers := []driver{
+		{"fig2", experiments.Fig2},
+		{"fig3", experiments.Fig3},
+		{"table3", experiments.Table3},
+		{"pushdown", experiments.Pushdown},
+		{"cache", experiments.CacheExp},
+	}
+
+	if exp == "all" || exp == "models" {
+		zoo, err := experiments.ModelZoo(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(zoo)
+		if exp == "models" {
+			return nil
+		}
+	}
+	ran := false
+	for _, d := range drivers {
+		if exp != "all" && exp != d.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("== %s ==\n", d.name)
+		start := time.Now()
+		rows, err := d.fn(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", d.name, err)
+		}
+		fmt.Print(experiments.Format(rows))
+		fmt.Printf("(%s in %s)\n\n", d.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran && exp != "models" {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+// Command tensorbase is an interactive SQL shell over the embedded engine.
+// It supports the engine's SQL subset (CREATE TABLE / INSERT / SELECT with
+// PREDICT) plus shell commands:
+//
+//	\load <file.tbm>        load a TBM1 model file
+//	\models                 list loaded models
+//	\tables                 list tables
+//	\explain <model> <n>    show the adaptive plan for batch size n
+//	\quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tensorbase/internal/engine"
+	"tensorbase/internal/exec"
+	"tensorbase/internal/table"
+)
+
+func main() {
+	path := flag.String("db", "tensorbase.db", "database file")
+	memBudget := flag.Int64("mem", 0, "whole-tensor memory budget in bytes (0 = unlimited)")
+	threshold := flag.Int64("threshold", 2<<30, "optimizer memory-limit threshold in bytes")
+	flag.Parse()
+
+	db, err := engine.Open(*path, engine.Options{
+		MemoryBudget:    *memBudget,
+		MemoryThreshold: *threshold,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tensorbase:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	fmt.Println("tensorbase — serving deep learning models from a relational database")
+	fmt.Println(`type SQL, or \help`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("tb> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, `\`) {
+			if shellCommand(db, line) {
+				return
+			}
+			continue
+		}
+		res, err := db.Exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printResult(res)
+	}
+}
+
+// shellCommand handles backslash commands; it returns true to exit.
+func shellCommand(db *engine.DB, line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\quit`, `\q`:
+		return true
+	case `\help`:
+		fmt.Println(`SQL: CREATE TABLE t (a INT, f VECTOR) | INSERT INTO t VALUES (1, [1,2]) |`)
+		fmt.Println(`     SELECT a, PREDICT(model, f) FROM t WHERE a > 0 ORDER BY a LIMIT 10 | DROP TABLE t`)
+		fmt.Println(`shell: \load <file.tbm>  \models  \tables  \explain <model> <batch>`)
+		fmt.Println(`       \lower <model> <batch>  \profile <select...>  \stats  \quit`)
+	case `\stats`:
+		s := db.Stats()
+		fmt.Printf("pool: %d hits, %d misses, %d evictions | disk: %d reads, %d writes | mem peak: %d KiB\n",
+			s.PoolHits, s.PoolMisses, s.PoolEvictions, s.DiskReads, s.DiskWrites, s.MemPeak>>10)
+	case `\lower`:
+		if len(fields) != 3 {
+			fmt.Println(`usage: \lower <model> <batch>`)
+			return false
+		}
+		batch, err := strconv.Atoi(fields[2])
+		if err != nil {
+			fmt.Println("error: bad batch size")
+			return false
+		}
+		dot, err := db.LowerPredict(fields[1], batch)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Print(dot)
+	case `\profile`:
+		if len(fields) < 2 {
+			fmt.Println(`usage: \profile SELECT ...`)
+			return false
+		}
+		res, stats, err := db.ExecProfiled(strings.TrimSpace(strings.TrimPrefix(line, `\profile`)))
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		printResult(res)
+		fmt.Print(exec.FormatProfile(stats))
+	case `\tables`:
+		for _, t := range db.Catalog().Tables() {
+			fmt.Println(t)
+		}
+	case `\models`:
+		for _, m := range db.Catalog().Models() {
+			fmt.Println(m)
+		}
+	case `\load`:
+		if len(fields) != 2 {
+			fmt.Println(`usage: \load <file.tbm>`)
+			return false
+		}
+		m, err := db.LoadModelFile(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("loaded %s (%d layers)\n", m.Name(), len(m.Layers))
+	case `\explain`:
+		if len(fields) != 3 {
+			fmt.Println(`usage: \explain <model> <batch>`)
+			return false
+		}
+		batch, err := strconv.Atoi(fields[2])
+		if err != nil {
+			fmt.Println("error: bad batch size")
+			return false
+		}
+		s, err := db.ExplainPredict(fields[1], batch)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Print(s)
+	default:
+		fmt.Println("unknown command; try \\help")
+	}
+	return false
+}
+
+func printResult(res *engine.Result) {
+	if res.Schema == nil {
+		fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
+		return
+	}
+	var names []string
+	for _, c := range res.Schema.Cols {
+		names = append(names, c.Name)
+	}
+	fmt.Println(strings.Join(names, " | "))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = formatValue(v)
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+func formatValue(v table.Value) string {
+	if v.Type == table.FloatVec && len(v.Vec) > 8 {
+		return fmt.Sprintf("vec[%d]", len(v.Vec))
+	}
+	return v.String()
+}

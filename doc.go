@@ -1,0 +1,14 @@
+// Package tensorbase is a relational database engine that serves deep
+// learning models natively: SQL queries with PREDICT() nested in them, an
+// adaptive optimizer that executes each model operator UDF-centrically
+// (whole-tensor, in-process) or relation-centrically (tensor blocks, matmul
+// as join + aggregation with buffer-pool spilling), a simulated external DL
+// runtime as the DL-centric baseline, and an HNSW-indexed inference-result
+// cache — a from-scratch Go reproduction of "Serving Deep Learning Models
+// from Relational Databases" (EDBT 2024).
+//
+// The public entry points live in internal/engine (the embeddable
+// database), cmd/tensorbase (a SQL shell), and cmd/bench (the experiment
+// driver that regenerates the paper's tables and figures). bench_test.go in
+// this directory carries the testing.B counterparts of every experiment.
+package tensorbase

@@ -1,0 +1,118 @@
+// Fraud detection: the paper's motivating latency-critical workload.
+// Transaction features live in the database; a trained FFNN scores them.
+// The example contrasts the in-database serving path with the DL-centric
+// architecture (connector transfer to an external runtime) on the same
+// stored data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tensorbase/internal/connector"
+	"tensorbase/internal/data"
+	"tensorbase/internal/dlruntime"
+	"tensorbase/internal/engine"
+	"tensorbase/internal/nn"
+	"tensorbase/internal/table"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "tensorbase-fraud-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := engine.Open(filepath.Join(dir, "fraud.db"), engine.Options{InferBatch: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Generate and store the transaction table.
+	const n = 10000
+	d := data.Fraud(42, n)
+	rows, schema, err := d.FeatureRows()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.CreateTable("transactions", schema); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.InsertRows("transactions", rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// Train the Fraud-FC-256 model of Table 1 on the stored data.
+	rng := rand.New(rand.NewSource(7))
+	model := nn.FraudFC(rng, 256)
+	if _, err := nn.Train(model, d.X, d.Labels, nn.TrainConfig{Epochs: 3, BatchSize: 64, LR: 0.05, Seed: 1}); err != nil {
+		log.Fatal(err)
+	}
+	acc, err := nn.Accuracy(model, d.X.Clone(), d.Labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %s, training accuracy %.1f%%\n", model.Name(), 100*acc)
+	if err := db.LoadModel(model, acc); err != nil {
+		log.Fatal(err)
+	}
+
+	// In-database scoring: one SQL statement.
+	start := time.Now()
+	res, err := db.Exec("SELECT id, PREDICT(Fraud-FC-256, features) FROM transactions")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inDB := time.Since(start)
+	flagged := 0
+	for _, r := range res.Rows {
+		pred := r[1].Vec
+		if pred[1] > pred[0] {
+			flagged++
+		}
+	}
+	fmt.Printf("in-database:  scored %d txns in %v (%d flagged)\n", len(res.Rows), inDB.Round(time.Millisecond), flagged)
+
+	// DL-centric baseline: export the same rows through the connector to
+	// an external eager runtime.
+	te, err := db.Catalog().Table("transactions")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := dlruntime.New(dlruntime.Eager, 0)
+	sess, err := rt.Load(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	start = time.Now()
+	src := &featureSource{scan: te.Heap.Scan()}
+	x, err := connector.Transfer(src, 28, 1024, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Infer(x); err != nil {
+		log.Fatal(err)
+	}
+	dlCentric := time.Since(start)
+	fmt.Printf("dl-centric:   scored %d txns in %v (transfer + external inference)\n", x.Dim(0), dlCentric.Round(time.Millisecond))
+	fmt.Printf("in-database serving is %.2fx faster on this workload\n", float64(dlCentric)/float64(inDB))
+}
+
+// featureSource adapts the transactions heap scan to connector.RowSource:
+// it yields the "features" column (index 1) of each tuple.
+type featureSource struct{ scan *table.Scanner }
+
+func (s *featureSource) NextRow() ([]float32, bool, error) {
+	t, ok, err := s.scan.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return t[1].Vec, true, nil
+}

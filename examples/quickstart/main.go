@@ -1,0 +1,69 @@
+// Quickstart: open a database, create a table, load a model, and run an
+// inference query with PREDICT nested in SQL.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"tensorbase/internal/engine"
+	"tensorbase/internal/nn"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "tensorbase-quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Open an embedded database.
+	db, err := engine.Open(filepath.Join(dir, "quickstart.db"), engine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Plain SQL for the relational side.
+	mustExec(db, "CREATE TABLE transactions (id INT, amount DOUBLE, features VECTOR)")
+	mustExec(db, "INSERT INTO transactions VALUES "+
+		"(1, 12.50, [0.1, 0.2, 0.3, 0.4]), "+
+		"(2, 980.00, [2.5, 2.6, 2.7, 2.8]), "+
+		"(3, 47.10, [0.2, 0.1, 0.4, 0.3])")
+
+	// Build and load a small scoring model (4 features → 2 classes).
+	rng := rand.New(rand.NewSource(1))
+	model := nn.MustModel("scorer", []int{1, 4},
+		nn.NewLinear(rng, 4, 8), nn.ReLU{},
+		nn.NewLinear(rng, 8, 2), nn.Softmax{},
+	)
+	if err := db.LoadModel(model, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Nest inference in SQL: every qualifying row gets a prediction.
+	res, err := db.Exec("SELECT id, amount, PREDICT(scorer, features) FROM transactions WHERE amount > 20")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("id | amount | P(class)")
+	for _, row := range res.Rows {
+		fmt.Printf("%2d | %6.2f | %v\n", row[0].Int, row[1].Float, row[2].Vec)
+	}
+
+	// The adaptive optimizer explains how it would execute each batch.
+	plan, err := db.ExplainPredict("scorer", 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n" + plan)
+}
+
+func mustExec(db *engine.DB, sql string) {
+	if _, err := db.Exec(sql); err != nil {
+		log.Fatalf("%s: %v", sql, err)
+	}
+}

@@ -1,0 +1,3 @@
+module tensorbase
+
+go 1.22

@@ -1,0 +1,128 @@
+// Package ann implements the approximate-nearest-neighbour indexes the
+// paper proposes to embed in the RDBMS for inference-result caching
+// (Sec. 5): hierarchical navigable small world graphs (HNSW, the index used
+// in the Sec. 7.2.2 validation), random-hyperplane LSH, IVF-flat with a
+// k-means coarse quantizer, and a brute-force index for ground truth.
+package ann
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Result is one neighbour: the stored id and its squared L2 distance to the
+// query.
+type Result struct {
+	ID   int64
+	Dist float64
+}
+
+// Index is a vector index over float32 vectors of a fixed dimension.
+type Index interface {
+	// Add inserts a vector under id. Ids need not be unique, but lookups
+	// return whichever copies the index finds.
+	Add(id int64, vec []float32) error
+	// Search returns up to k nearest neighbours, closest first.
+	Search(vec []float32, k int) ([]Result, error)
+	// Len returns the number of stored vectors.
+	Len() int
+}
+
+// SquaredL2 returns the squared Euclidean distance between two vectors of
+// equal length.
+func SquaredL2(a, b []float32) float64 {
+	var s float64
+	for i, v := range a {
+		d := float64(v) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+func checkDim(dim int, vec []float32) error {
+	if len(vec) != dim {
+		return fmt.Errorf("ann: vector has dimension %d, index wants %d", len(vec), dim)
+	}
+	return nil
+}
+
+// Brute is an exact index by linear scan: the ground truth for recall
+// measurements and a correct fallback for small caches.
+type Brute struct {
+	dim  int
+	ids  []int64
+	vecs [][]float32
+}
+
+// NewBrute returns an exact linear-scan index of the given dimension.
+func NewBrute(dim int) *Brute { return &Brute{dim: dim} }
+
+// Add implements Index.
+func (b *Brute) Add(id int64, vec []float32) error {
+	if err := checkDim(b.dim, vec); err != nil {
+		return err
+	}
+	b.ids = append(b.ids, id)
+	b.vecs = append(b.vecs, append([]float32(nil), vec...))
+	return nil
+}
+
+// Search implements Index.
+func (b *Brute) Search(vec []float32, k int) ([]Result, error) {
+	if err := checkDim(b.dim, vec); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("ann: k must be >= 1, got %d", k)
+	}
+	res := make([]Result, 0, len(b.ids))
+	for i, v := range b.vecs {
+		res = append(res, Result{ID: b.ids[i], Dist: SquaredL2(vec, v)})
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].Dist < res[j].Dist })
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res, nil
+}
+
+// Len implements Index.
+func (b *Brute) Len() int { return len(b.ids) }
+
+// resultHeap is a max-heap of Results by distance (worst on top), used to
+// keep the best k while scanning candidates.
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// keepBest pushes r into h, keeping at most k entries.
+func keepBest(h *resultHeap, r Result, k int) {
+	if h.Len() < k {
+		heap.Push(h, r)
+		return
+	}
+	if r.Dist < (*h)[0].Dist {
+		(*h)[0] = r
+		heap.Fix(h, 0)
+	}
+}
+
+// drainSorted empties h into a closest-first slice.
+func drainSorted(h *resultHeap) []Result {
+	out := make([]Result, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Result)
+	}
+	return out
+}

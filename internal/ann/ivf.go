@@ -1,0 +1,164 @@
+package ann
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// IVF is an inverted-file index with a k-means coarse quantizer: vectors
+// are assigned to their nearest centroid's posting list, and queries probe
+// the NProbe closest lists with exact re-ranking. The quantizer trains
+// lazily on the first search and retrains when the index has grown
+// substantially since.
+type IVF struct {
+	dim     int
+	nlist   int
+	nprobe  int
+	iters   int
+	seed    int64
+	ids     []int64
+	vecs    [][]float32
+	centers [][]float32
+	lists   [][]int32
+	trained int // number of vectors when the quantizer was last trained
+}
+
+// IVFConfig tunes the index.
+type IVFConfig struct {
+	NList  int   // number of coarse clusters (default 16)
+	NProbe int   // clusters probed per query (default 4)
+	Iters  int   // k-means iterations (default 10)
+	Seed   int64 // k-means init seed
+}
+
+// NewIVF returns an empty IVF-flat index of the given dimension.
+func NewIVF(dim int, cfg IVFConfig) *IVF {
+	if cfg.NList <= 0 {
+		cfg.NList = 16
+	}
+	if cfg.NProbe <= 0 {
+		cfg.NProbe = 4
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 10
+	}
+	return &IVF{dim: dim, nlist: cfg.NList, nprobe: cfg.NProbe, iters: cfg.Iters, seed: cfg.Seed}
+}
+
+// Add implements Index. New vectors join a posting list immediately if the
+// quantizer is trained; retraining happens lazily when the index doubles.
+func (f *IVF) Add(id int64, vec []float32) error {
+	if err := checkDim(f.dim, vec); err != nil {
+		return err
+	}
+	idx := int32(len(f.ids))
+	f.ids = append(f.ids, id)
+	f.vecs = append(f.vecs, append([]float32(nil), vec...))
+	if f.centers != nil {
+		c := f.nearestCenter(vec)
+		f.lists[c] = append(f.lists[c], idx)
+	}
+	return nil
+}
+
+// Len implements Index.
+func (f *IVF) Len() int { return len(f.ids) }
+
+func (f *IVF) nearestCenter(vec []float32) int {
+	best, bestD := 0, SquaredL2(vec, f.centers[0])
+	for c := 1; c < len(f.centers); c++ {
+		if d := SquaredL2(vec, f.centers[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// train runs k-means over the stored vectors and rebuilds the posting
+// lists.
+func (f *IVF) train() {
+	n := len(f.vecs)
+	k := f.nlist
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(f.seed))
+	// Init centers on distinct random vectors.
+	perm := rng.Perm(n)
+	f.centers = make([][]float32, k)
+	for i := 0; i < k; i++ {
+		f.centers[i] = append([]float32(nil), f.vecs[perm[i]]...)
+	}
+	assign := make([]int, n)
+	for it := 0; it < f.iters; it++ {
+		for i, v := range f.vecs {
+			assign[i] = f.nearestCenter(v)
+		}
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = make([]float64, f.dim)
+		}
+		for i, v := range f.vecs {
+			c := assign[i]
+			counts[c]++
+			for j, x := range v {
+				sums[c][j] += float64(x)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster on a random vector.
+				f.centers[c] = append([]float32(nil), f.vecs[rng.Intn(n)]...)
+				continue
+			}
+			for j := range f.centers[c] {
+				f.centers[c][j] = float32(sums[c][j] / float64(counts[c]))
+			}
+		}
+	}
+	f.lists = make([][]int32, k)
+	for i, v := range f.vecs {
+		c := f.nearestCenter(v)
+		f.lists[c] = append(f.lists[c], int32(i))
+	}
+	f.trained = n
+}
+
+// Search implements Index.
+func (f *IVF) Search(vec []float32, k int) ([]Result, error) {
+	if err := checkDim(f.dim, vec); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("ann: k must be >= 1, got %d", k)
+	}
+	if len(f.vecs) == 0 {
+		return nil, nil
+	}
+	if f.centers == nil || len(f.vecs) > 2*f.trained {
+		f.train()
+	}
+	// Rank centers by distance and probe the closest nprobe lists.
+	type cd struct {
+		c int
+		d float64
+	}
+	order := make([]cd, len(f.centers))
+	for c := range f.centers {
+		order[c] = cd{c, SquaredL2(vec, f.centers[c])}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].d < order[j].d })
+	probe := f.nprobe
+	if probe > len(order) {
+		probe = len(order)
+	}
+	var best resultHeap
+	for _, o := range order[:probe] {
+		for _, idx := range f.lists[o.c] {
+			keepBest(&best, Result{ID: f.ids[idx], Dist: SquaredL2(vec, f.vecs[idx])}, k)
+		}
+	}
+	return drainSorted(&best), nil
+}

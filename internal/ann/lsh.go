@@ -1,0 +1,113 @@
+package ann
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LSH is a random-hyperplane locality-sensitive-hashing index: L hash
+// tables, each hashing a vector to a k-bit signature of hyperplane signs.
+// Candidates from all tables are re-ranked exactly. Sec. 5 of the paper
+// lists LSH among the vector-index options for the inference-result cache.
+type LSH struct {
+	dim    int
+	bits   int
+	tables []lshTable
+	ids    []int64
+	vecs   [][]float32
+}
+
+type lshTable struct {
+	planes  [][]float32 // bits × dim
+	buckets map[uint64][]int32
+}
+
+// LSHConfig tunes the index.
+type LSHConfig struct {
+	Tables int   // number of hash tables (default 8)
+	Bits   int   // hyperplanes per table, <= 64 (default 12)
+	Seed   int64 // hyperplane RNG seed
+}
+
+// NewLSH returns an empty LSH index of the given dimension.
+func NewLSH(dim int, cfg LSHConfig) *LSH {
+	if cfg.Tables <= 0 {
+		cfg.Tables = 8
+	}
+	if cfg.Bits <= 0 {
+		cfg.Bits = 12
+	}
+	if cfg.Bits > 64 {
+		cfg.Bits = 64
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	l := &LSH{dim: dim, bits: cfg.Bits, tables: make([]lshTable, cfg.Tables)}
+	for t := range l.tables {
+		planes := make([][]float32, cfg.Bits)
+		for b := range planes {
+			p := make([]float32, dim)
+			for j := range p {
+				p[j] = float32(rng.NormFloat64())
+			}
+			planes[b] = p
+		}
+		l.tables[t] = lshTable{planes: planes, buckets: make(map[uint64][]int32)}
+	}
+	return l
+}
+
+func (t *lshTable) signature(vec []float32) uint64 {
+	var sig uint64
+	for b, plane := range t.planes {
+		var dot float64
+		for j, v := range vec {
+			dot += float64(v) * float64(plane[j])
+		}
+		if dot >= 0 {
+			sig |= 1 << uint(b)
+		}
+	}
+	return sig
+}
+
+// Add implements Index.
+func (l *LSH) Add(id int64, vec []float32) error {
+	if err := checkDim(l.dim, vec); err != nil {
+		return err
+	}
+	idx := int32(len(l.ids))
+	l.ids = append(l.ids, id)
+	l.vecs = append(l.vecs, append([]float32(nil), vec...))
+	for t := range l.tables {
+		sig := l.tables[t].signature(vec)
+		l.tables[t].buckets[sig] = append(l.tables[t].buckets[sig], idx)
+	}
+	return nil
+}
+
+// Search implements Index: it unions the query's buckets across tables and
+// re-ranks the candidates exactly.
+func (l *LSH) Search(vec []float32, k int) ([]Result, error) {
+	if err := checkDim(l.dim, vec); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("ann: k must be >= 1, got %d", k)
+	}
+	seen := make(map[int32]bool)
+	var best resultHeap
+	for t := range l.tables {
+		sig := l.tables[t].signature(vec)
+		for _, idx := range l.tables[t].buckets[sig] {
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			keepBest(&best, Result{ID: l.ids[idx], Dist: SquaredL2(vec, l.vecs[idx])}, k)
+		}
+	}
+	return drainSorted(&best), nil
+}
+
+// Len implements Index.
+func (l *LSH) Len() int { return len(l.ids) }

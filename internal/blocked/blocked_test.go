@@ -1,0 +1,344 @@
+package blocked
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"tensorbase/internal/memlimit"
+	"tensorbase/internal/storage"
+	"tensorbase/internal/tensor"
+)
+
+func newPool(t *testing.T, frames int) *storage.BufferPool {
+	t.Helper()
+	d, err := storage.OpenDisk(filepath.Join(t.TempDir(), "b.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return storage.NewBufferPool(d, frames)
+}
+
+func randMat(r *rand.Rand, rows, cols int) *tensor.Tensor {
+	t := tensor.New(rows, cols)
+	for i := range t.Data() {
+		t.Data()[i] = float32(r.NormFloat64())
+	}
+	return t
+}
+
+func TestStoreAssembleRoundTrip(t *testing.T) {
+	pool := newPool(t, 16)
+	rng := rand.New(rand.NewSource(1))
+	in := randMat(rng, 37, 53) // deliberately not block-aligned
+	m, err := Store(pool, in, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRowBlocks() != 3 || m.NumColBlocks() != 4 {
+		t.Fatalf("blocks = %dx%d", m.NumRowBlocks(), m.NumColBlocks())
+	}
+	out, err := m.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(in) {
+		t.Fatal("assemble != original")
+	}
+}
+
+func TestBlockFetchEdgeClipping(t *testing.T) {
+	pool := newPool(t, 16)
+	in := tensor.New(10, 10)
+	m, err := Store(pool, in, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := m.Block(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.Dim(0) != 2 || blk.Dim(1) != 2 {
+		t.Fatalf("edge block shape %v, want (2,2)", blk.Shape())
+	}
+	if _, err := m.Block(5, 5); err == nil {
+		t.Fatal("missing block must error")
+	}
+}
+
+func TestStoreRejectsBadInputs(t *testing.T) {
+	pool := newPool(t, 8)
+	if _, err := Store(pool, tensor.New(2, 2, 2), 8); err == nil {
+		t.Fatal("3-D tensor must be rejected")
+	}
+	if _, err := Store(pool, tensor.New(4, 4), 0); err == nil {
+		t.Fatal("zero block size must be rejected")
+	}
+	if _, err := Store(pool, tensor.New(4, 4), 10000); err == nil {
+		t.Fatal("block larger than a page must be rejected")
+	}
+}
+
+func TestAppendBlockValidatesShape(t *testing.T) {
+	pool := newPool(t, 8)
+	m, err := NewEmpty(pool, 10, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendBlock(0, 0, tensor.New(4, 4)); err == nil {
+		t.Fatal("wrong block shape must be rejected")
+	}
+	if err := m.AppendBlock(1, 1, tensor.New(2, 2)); err != nil {
+		t.Fatalf("edge block rejected: %v", err)
+	}
+}
+
+func TestMultiplyStreamingMatchesDense(t *testing.T) {
+	pool := newPool(t, 32)
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 30, 45)
+	b := randMat(rng, 45, 25)
+	ab, err := Store(pool, a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := Store(pool, b, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := MultiplyStreaming(pool, ab, bb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.MatMul(a, b)
+	if !got.AlmostEqual(want, 1e-3) {
+		t.Fatal("streaming blocked multiply disagrees with dense matmul")
+	}
+}
+
+func TestMultiplyRelationalMatchesDense(t *testing.T) {
+	pool := newPool(t, 64)
+	rng := rand.New(rand.NewSource(3))
+	a := randMat(rng, 20, 33)
+	b := randMat(rng, 33, 17)
+	ab, err := Store(pool, a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := Store(pool, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := MultiplyRelational(pool, ab, bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.MatMul(a, b)
+	if !got.AlmostEqual(want, 1e-3) {
+		t.Fatal("relational blocked multiply (join + aggregation) disagrees with dense matmul")
+	}
+}
+
+// Property: both relation-centric multiply implementations agree with the
+// dense kernel for random shapes and block sizes.
+func TestMultiplyEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + r.Intn(24)
+		k := 1 + r.Intn(24)
+		n := 1 + r.Intn(24)
+		bs := 1 + r.Intn(12)
+		pool := newPoolQuick()
+		a := randMat(r, m, k)
+		b := randMat(r, k, n)
+		ab, err := Store(pool, a, bs)
+		if err != nil {
+			return false
+		}
+		bb, err := Store(pool, b, bs)
+		if err != nil {
+			return false
+		}
+		want := tensor.MatMul(a, b)
+		cs, err := MultiplyStreaming(pool, ab, bb, nil)
+		if err != nil {
+			return false
+		}
+		gs, err := cs.Assemble()
+		if err != nil || !gs.AlmostEqual(want, 1e-2) {
+			return false
+		}
+		cr, err := MultiplyRelational(pool, ab, bb)
+		if err != nil {
+			return false
+		}
+		gr, err := cr.Assemble()
+		return err == nil && gr.AlmostEqual(want, 1e-2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newPoolQuick builds a pool for property iterations without a *testing.T.
+// Each call gets a distinct backing file in a shared temp dir.
+func newPoolQuick() *storage.BufferPool {
+	f, err := os.CreateTemp(tempDirQuick, "quick-*.db")
+	if err != nil {
+		panic(err)
+	}
+	path := f.Name()
+	f.Close()
+	d, err := storage.OpenDisk(path)
+	if err != nil {
+		panic(err)
+	}
+	return storage.NewBufferPool(d, 64)
+}
+
+var tempDirQuick string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "blocked-test-")
+	if err != nil {
+		panic(err)
+	}
+	tempDirQuick = dir
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func TestMultiplyShapeMismatch(t *testing.T) {
+	pool := newPool(t, 16)
+	a, _ := Store(pool, tensor.New(4, 5), 4)
+	b, _ := Store(pool, tensor.New(6, 4), 4)
+	if _, err := MultiplyStreaming(pool, a, b, nil); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+	if _, err := MultiplyRelational(pool, a, b); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestMultiplyBlockSizeMismatch(t *testing.T) {
+	pool := newPool(t, 16)
+	a, _ := Store(pool, tensor.New(4, 4), 4)
+	b, _ := Store(pool, tensor.New(4, 4), 2)
+	if _, err := MultiplyStreaming(pool, a, b, nil); err == nil {
+		t.Fatal("block size mismatch must error")
+	}
+}
+
+func TestMultiplyStreamingRespectsBudget(t *testing.T) {
+	pool := newPool(t, 32)
+	rng := rand.New(rand.NewSource(4))
+	a, _ := Store(pool, randMat(rng, 64, 64), 16)
+	b, _ := Store(pool, randMat(rng, 64, 64), 16)
+	tiny := memlimit.NewBudget(100) // far below the C working set
+	if _, err := MultiplyStreaming(pool, a, b, tiny); !errors.Is(err, memlimit.ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM", err)
+	}
+	// And it must release its reservation on failure.
+	if tiny.Reserved() != 0 {
+		t.Fatalf("leaked %d bytes", tiny.Reserved())
+	}
+	big := memlimit.NewBudget(1 << 20)
+	if _, err := MultiplyStreaming(pool, a, b, big); err != nil {
+		t.Fatal(err)
+	}
+	if big.Reserved() != 0 {
+		t.Fatalf("budget not released: %d", big.Reserved())
+	}
+}
+
+func TestMultiplyLargerThanBufferPool(t *testing.T) {
+	// Operands spanning many more pages than the pool has frames must
+	// still multiply correctly — the buffer pool spills and reloads.
+	pool := newPool(t, 4)
+	rng := rand.New(rand.NewSource(5))
+	a := randMat(rng, 100, 120)
+	b := randMat(rng, 120, 80)
+	ab, err := Store(pool, a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := Store(pool, b, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := MultiplyStreaming(pool, ab, bb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.AlmostEqual(tensor.MatMul(a, b), 1e-2) {
+		t.Fatal("result wrong under buffer-pool pressure")
+	}
+	st := pool.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions with a 4-frame pool")
+	}
+}
+
+func TestStoreIm2ColMatchesDenseIm2Col(t *testing.T) {
+	pool := newPool(t, 32)
+	rng := rand.New(rand.NewSource(6))
+	in := tensor.New(2, 7, 6, 3)
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.NormFloat64())
+	}
+	f, err := StoreIm2Col(pool, in, 2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.Im2Col(in, 2, 2)
+	if !got.Equal(want) {
+		t.Fatal("blocked im2col disagrees with dense im2col")
+	}
+}
+
+func TestConv2DRelationalMatchesDirectConv(t *testing.T) {
+	pool := newPool(t, 64)
+	rng := rand.New(rand.NewSource(7))
+	in := tensor.New(1, 9, 9, 3)
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.NormFloat64())
+	}
+	kern := tensor.New(5, 1, 1, 3) // LandCover-style 1×1 kernels
+	for i := range kern.Data() {
+		kern.Data()[i] = float32(rng.NormFloat64())
+	}
+	c, err := Conv2DRelational(pool, in, kern, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.Conv2D(in, kern) // (1,9,9,5)
+	wantMat := want.Reshape(81, 5)
+	if !got.AlmostEqual(wantMat, 1e-3) {
+		t.Fatal("relational conv disagrees with direct conv")
+	}
+}

@@ -1,0 +1,58 @@
+package blocked
+
+import (
+	"fmt"
+
+	"tensorbase/internal/storage"
+	"tensorbase/internal/tensor"
+)
+
+// MapBlocks produces a new blocked matrix of the same shape by applying f
+// to each block in turn. Blocks stream through the buffer pool one at a
+// time, so elementwise operators (ReLU, bias add, scaling) run
+// relation-centrically in constant memory. f receives the block coordinates
+// and a private copy of the block it may mutate and return.
+func MapBlocks(pool *storage.BufferPool, m *Matrix, f func(rb, cb int, blk *tensor.Tensor) (*tensor.Tensor, error)) (*Matrix, error) {
+	out, err := NewEmpty(pool, m.Rows, m.Cols, m.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	for rb := 0; rb < m.NumRowBlocks(); rb++ {
+		for cb := 0; cb < m.NumColBlocks(); cb++ {
+			blk, err := m.Block(rb, cb)
+			if err != nil {
+				return nil, err
+			}
+			res, err := f(rb, cb, blk)
+			if err != nil {
+				return nil, fmt.Errorf("blocked: map block (%d,%d): %w", rb, cb, err)
+			}
+			if res.Dim(0) != blk.Dim(0) || res.Dim(1) != blk.Dim(1) {
+				return nil, fmt.Errorf("blocked: map changed block (%d,%d) shape %v → %v", rb, cb, blk.Shape(), res.Shape())
+			}
+			if err := out.AppendBlock(rb, cb, res); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// ReLUBlocks applies max(0,x) to every block, streaming.
+func ReLUBlocks(pool *storage.BufferPool, m *Matrix) (*Matrix, error) {
+	return MapBlocks(pool, m, func(_, _ int, blk *tensor.Tensor) (*tensor.Tensor, error) {
+		return tensor.ReLUInto(blk), nil
+	})
+}
+
+// AddBiasBlocks adds bias (length m.Cols) to every row, streaming. Block
+// (rb, cb) sees the bias slice starting at column cb·BlockSize.
+func AddBiasBlocks(pool *storage.BufferPool, m *Matrix, bias []float32) (*Matrix, error) {
+	if len(bias) != m.Cols {
+		return nil, fmt.Errorf("blocked: bias length %d, want %d", len(bias), m.Cols)
+	}
+	return MapBlocks(pool, m, func(_, cb int, blk *tensor.Tensor) (*tensor.Tensor, error) {
+		seg := bias[cb*m.BlockSize : cb*m.BlockSize+blk.Dim(1)]
+		return tensor.AddBiasRowsInto(blk, tensor.FromSlice(seg, len(seg))), nil
+	})
+}

@@ -1,0 +1,218 @@
+// Package cache implements the RDBMS-integrated inference-result cache of
+// Sec. 5, validated in Sec. 7.2.2: feature vectors of previously answered
+// inference requests are indexed in an approximate-nearest-neighbour
+// structure (HNSW by default), and a new request whose features fall within
+// a distance threshold of a cached entry reuses that entry's prediction
+// instead of running the model. The package also provides the Monte-Carlo
+// agreement estimator and the SLA-aware adaptive policy the paper proposes
+// for deciding whether caching is acceptable for an application.
+package cache
+
+import (
+	"fmt"
+	"sync"
+
+	"tensorbase/internal/ann"
+	"tensorbase/internal/nn"
+	"tensorbase/internal/tensor"
+)
+
+// ResultCache maps feature vectors to cached prediction vectors through an
+// ANN index. It is safe for concurrent use.
+type ResultCache struct {
+	mu      sync.Mutex
+	index   ann.Index
+	dim     int
+	maxDist float64 // squared L2 admission threshold
+	preds   map[int64][]float32
+	nextID  int64
+	hits    int64
+	misses  int64
+}
+
+// New returns a cache over index for dim-wide features. A lookup hits when
+// the nearest cached entry is within maxSquaredDist.
+func New(index ann.Index, dim int, maxSquaredDist float64) (*ResultCache, error) {
+	if index == nil {
+		return nil, fmt.Errorf("cache: nil index")
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("cache: dimension %d < 1", dim)
+	}
+	if maxSquaredDist < 0 {
+		return nil, fmt.Errorf("cache: negative distance threshold %g", maxSquaredDist)
+	}
+	return &ResultCache{index: index, dim: dim, maxDist: maxSquaredDist, preds: make(map[int64][]float32)}, nil
+}
+
+// NewHNSW returns a cache backed by a default-tuned HNSW index.
+func NewHNSW(dim int, maxSquaredDist float64) (*ResultCache, error) {
+	return New(ann.NewHNSW(dim, ann.HNSWConfig{Seed: 1}), dim, maxSquaredDist)
+}
+
+// Len returns the number of cached entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.index.Len()
+}
+
+// Lookup returns the cached prediction for the nearest entry within the
+// distance threshold, or ok=false. The returned slice must not be mutated.
+func (c *ResultCache) Lookup(features []float32) (pred []float32, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(features) != c.dim {
+		return nil, false, fmt.Errorf("cache: feature width %d, want %d", len(features), c.dim)
+	}
+	res, err := c.index.Search(features, 1)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(res) == 0 || res[0].Dist > c.maxDist {
+		c.misses++
+		return nil, false, nil
+	}
+	p, found := c.preds[res[0].ID]
+	if !found {
+		c.misses++
+		return nil, false, nil
+	}
+	c.hits++
+	return p, true, nil
+}
+
+// Insert caches prediction under the given features.
+func (c *ResultCache) Insert(features, prediction []float32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(features) != c.dim {
+		return fmt.Errorf("cache: feature width %d, want %d", len(features), c.dim)
+	}
+	id := c.nextID
+	c.nextID++
+	if err := c.index.Add(id, features); err != nil {
+		return err
+	}
+	c.preds[id] = append([]float32(nil), prediction...)
+	return nil
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *ResultCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// CachedModel serves a model through a result cache: lookups that hit reuse
+// the cached prediction; misses run the model and insert the fresh result.
+type CachedModel struct {
+	Model *nn.Model
+	Cache *ResultCache
+	// InsertOnMiss controls whether misses populate the cache (on by
+	// default through NewCachedModel).
+	InsertOnMiss bool
+}
+
+// NewCachedModel wraps model with cache.
+func NewCachedModel(model *nn.Model, cache *ResultCache) *CachedModel {
+	return &CachedModel{Model: model, Cache: cache, InsertOnMiss: true}
+}
+
+// PredictRow serves one feature row, preferring the cache. The flat row is
+// reshaped to the model's input shape (e.g. a flattened image back to
+// NHWC) before a miss runs the model.
+func (cm *CachedModel) PredictRow(features []float32) ([]float32, error) {
+	if pred, ok, err := cm.Cache.Lookup(features); err != nil {
+		return nil, err
+	} else if ok {
+		return pred, nil
+	}
+	shape := append([]int(nil), cm.Model.InShape...)
+	shape[0] = 1
+	vol := 1
+	for _, d := range shape[1:] {
+		vol *= d
+	}
+	if vol != len(features) {
+		return nil, fmt.Errorf("cache: row width %d does not match model input %v", len(features), cm.Model.InShape[1:])
+	}
+	x := tensor.FromSlice(append([]float32(nil), features...), shape...)
+	out := cm.Model.Forward(x)
+	pred := append([]float32(nil), out.Data()...)
+	if cm.InsertOnMiss {
+		if err := cm.Cache.Insert(features, pred); err != nil {
+			return nil, err
+		}
+	}
+	return pred, nil
+}
+
+// PredictClass serves one row and returns the argmax class.
+func (cm *CachedModel) PredictClass(features []float32) (int, error) {
+	pred, err := cm.PredictRow(features)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for j := 1; j < len(pred); j++ {
+		if pred[j] > pred[best] {
+			best = j
+		}
+	}
+	return best, nil
+}
+
+// EstimateAgreement is the Monte-Carlo error-bound estimator of Sec. 5: it
+// draws the rows of sample, serves each both through the cache path and the
+// full model, and returns the fraction whose argmax classes agree. The
+// estimate is what the adaptive policy compares against the SLA. Cache
+// state (hit counters, inserted entries) is modified by the probe.
+func EstimateAgreement(cm *CachedModel, sample *tensor.Tensor) (float64, error) {
+	if sample.Rank() != 2 {
+		return 0, fmt.Errorf("cache: sample must be 2-D, got %v", sample.Shape())
+	}
+	n := sample.Dim(0)
+	if n == 0 {
+		return 0, fmt.Errorf("cache: empty sample")
+	}
+	shape := append([]int(nil), cm.Model.InShape...)
+	shape[0] = n
+	batch := sample.Clone().Reshape(shape...)
+	out := cm.Model.Forward(batch)
+	out = out.Reshape(n, out.Len()/n)
+	full := make([]int, n)
+	for i := range full {
+		full[i] = out.ArgMaxRow(i)
+	}
+	agree := 0
+	for i := 0; i < n; i++ {
+		got, err := cm.PredictClass(sample.Row(i))
+		if err != nil {
+			return 0, err
+		}
+		if got == full[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(n), nil
+}
+
+// SLA captures an application's tolerance for approximate caching.
+type SLA struct {
+	// MinAgreement is the lowest acceptable cached-vs-full agreement
+	// fraction (e.g. 0.95 allows a 5-point accuracy drop).
+	MinAgreement float64
+}
+
+// Recommend implements the adaptive caching policy: it estimates agreement
+// on the sample via Monte Carlo and recommends the cache only if the
+// estimate meets the SLA.
+func Recommend(cm *CachedModel, sample *tensor.Tensor, sla SLA) (useCache bool, agreement float64, err error) {
+	agreement, err = EstimateAgreement(cm, sample)
+	if err != nil {
+		return false, 0, err
+	}
+	return agreement >= sla.MinAgreement, agreement, nil
+}

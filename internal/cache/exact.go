@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"encoding/binary"
+	"hash/maphash"
+	"math"
+	"sync"
+)
+
+// ExactCache is the zero-error alternative of Sec. 5: instead of
+// approximate nearest-neighbour reuse, predictions are keyed by a hash of
+// the exact feature bytes, so only byte-identical requests hit. It suits
+// accuracy-critical applications where the SLA rejects approximate caching
+// but frequent requests repeat exactly (the paper's "exact inference result
+// caching leveraging the hashing indexing").
+type ExactCache struct {
+	mu     sync.Mutex
+	seed   maphash.Seed
+	preds  map[uint64][]entry
+	hits   int64
+	misses int64
+}
+
+// entry disambiguates hash collisions by keeping the full key.
+type entry struct {
+	features []float32
+	pred     []float32
+}
+
+// NewExact returns an empty exact-match cache.
+func NewExact() *ExactCache {
+	return &ExactCache{seed: maphash.MakeSeed(), preds: make(map[uint64][]entry)}
+}
+
+func (c *ExactCache) hash(features []float32) uint64 {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	var buf [8]byte
+	for _, v := range features {
+		binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(v))
+		h.Write(buf[:4])
+	}
+	return h.Sum64()
+}
+
+func equalFeatures(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup returns the cached prediction for byte-identical features.
+func (c *ExactCache) Lookup(features []float32) (pred []float32, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.preds[c.hash(features)] {
+		if equalFeatures(e.features, features) {
+			c.hits++
+			return e.pred, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Insert caches prediction under the exact features. Re-inserting the same
+// features overwrites the previous prediction.
+func (c *ExactCache) Insert(features, prediction []float32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.hash(features)
+	bucket := c.preds[h]
+	for i, e := range bucket {
+		if equalFeatures(e.features, features) {
+			bucket[i].pred = append([]float32(nil), prediction...)
+			return
+		}
+	}
+	c.preds[h] = append(bucket, entry{
+		features: append([]float32(nil), features...),
+		pred:     append([]float32(nil), prediction...),
+	})
+}
+
+// Len returns the number of cached entries.
+func (c *ExactCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, b := range c.preds {
+		n += len(b)
+	}
+	return n
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *ExactCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

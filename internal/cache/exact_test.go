@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactCacheHitRequiresIdenticalFeatures(t *testing.T) {
+	c := NewExact()
+	c.Insert([]float32{1, 2, 3}, []float32{0.9})
+	if pred, ok := c.Lookup([]float32{1, 2, 3}); !ok || pred[0] != 0.9 {
+		t.Fatalf("identical lookup: ok=%v pred=%v", ok, pred)
+	}
+	if _, ok := c.Lookup([]float32{1, 2, 3.001}); ok {
+		t.Fatal("near-identical features must miss (exact semantics)")
+	}
+	if _, ok := c.Lookup([]float32{1, 2}); ok {
+		t.Fatal("shorter features must miss")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestExactCacheOverwrite(t *testing.T) {
+	c := NewExact()
+	c.Insert([]float32{5}, []float32{0.1})
+	c.Insert([]float32{5}, []float32{0.2})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after overwrite", c.Len())
+	}
+	pred, ok := c.Lookup([]float32{5})
+	if !ok || pred[0] != 0.2 {
+		t.Fatalf("pred = %v", pred)
+	}
+}
+
+func TestExactCacheReturnedSliceIsStable(t *testing.T) {
+	c := NewExact()
+	feat := []float32{1, 2}
+	pred := []float32{0.5}
+	c.Insert(feat, pred)
+	feat[0] = 9 // caller mutates its slices afterwards
+	pred[0] = 9
+	got, ok := c.Lookup([]float32{1, 2})
+	if !ok || got[0] != 0.5 {
+		t.Fatalf("cache aliased caller slices: ok=%v got=%v", ok, got)
+	}
+}
+
+// Property: everything inserted is found exactly; nothing not inserted is
+// found.
+func TestExactCacheProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewExact()
+		n := 1 + rng.Intn(100)
+		feats := make([][]float32, n)
+		for i := range feats {
+			v := make([]float32, 4)
+			for j := range v {
+				v[j] = float32(rng.Intn(50)) // duplicates likely
+			}
+			feats[i] = v
+			c.Insert(v, []float32{float32(i)})
+		}
+		// Every inserted key must hit (possibly with a later overwrite's
+		// value — find the last insert of an equal key).
+		for i, f := range feats {
+			pred, ok := c.Lookup(f)
+			if !ok {
+				return false
+			}
+			lastIdx := i
+			for j := i + 1; j < n; j++ {
+				if equalFeatures(feats[j], f) {
+					lastIdx = j
+				}
+			}
+			if pred[0] != float32(lastIdx) {
+				return false
+			}
+		}
+		// A key guaranteed absent must miss.
+		if _, ok := c.Lookup([]float32{-1, -1, -1, -1}); ok {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

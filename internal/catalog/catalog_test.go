@@ -1,0 +1,136 @@
+package catalog
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"tensorbase/internal/nn"
+	"tensorbase/internal/storage"
+	"tensorbase/internal/table"
+)
+
+func newHeap(t *testing.T) *table.Heap {
+	t.Helper()
+	d, err := storage.OpenDisk(filepath.Join(t.TempDir(), "c.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	pool := storage.NewBufferPool(d, 8)
+	h, err := table.NewHeap(pool, table.MustSchema(table.Column{Name: "id", Type: table.Int64}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestTableLifecycle(t *testing.T) {
+	c := New()
+	h := newHeap(t)
+	if err := c.CreateTable("t1", h); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("t1", h); err == nil {
+		t.Fatal("duplicate table must error")
+	}
+	if err := c.CreateTable("", h); err == nil {
+		t.Fatal("empty name must error")
+	}
+	e, err := c.Table("t1")
+	if err != nil || e.Heap != h {
+		t.Fatalf("Table: %v", err)
+	}
+	if _, err := c.Table("ghost"); err == nil {
+		t.Fatal("missing table must error")
+	}
+	if got := c.Tables(); len(got) != 1 || got[0] != "t1" {
+		t.Fatalf("Tables = %v", got)
+	}
+	if err := c.DropTable("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("t1"); err == nil {
+		t.Fatal("double drop must error")
+	}
+}
+
+func TestModelRegistration(t *testing.T) {
+	c := New()
+	rng := rand.New(rand.NewSource(1))
+	m := nn.FraudFC(rng, 32)
+	if err := c.RegisterModel(m, 0.97, "txns"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterModel(m, 0.97, ""); err == nil {
+		t.Fatal("duplicate model must error")
+	}
+	got, err := c.Model(m.Name())
+	if err != nil || got != m {
+		t.Fatalf("Model: %v", err)
+	}
+	e, err := c.ModelEntryFor(m.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TrainedOn != "txns" || len(e.Versions) != 1 || e.Versions[0].Tag != "original" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if got := c.Models(); len(got) != 1 {
+		t.Fatalf("Models = %v", got)
+	}
+}
+
+func TestVersionSelectionByAccuracySLA(t *testing.T) {
+	c := New()
+	rng := rand.New(rand.NewSource(2))
+	orig := nn.FraudFC(rng, 256)
+	small := nn.FraudFC(rng, 64)
+	small.ModelName = "Fraud-FC-256" // same logical model, compressed
+	tiny := nn.FraudFC(rng, 16)
+
+	if err := c.RegisterModel(orig, 0.98, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddVersion(orig.Name(), small, "pruned-64", 0.96); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddVersion(orig.Name(), tiny, "pruned-16", 0.90); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddVersion(orig.Name(), tiny, "pruned-16", 0.90); err == nil {
+		t.Fatal("duplicate version tag must error")
+	}
+
+	// SLA 0.95: the pruned-64 variant is the smallest that qualifies.
+	v, err := c.SelectVersion(orig.Name(), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Tag != "pruned-64" {
+		t.Fatalf("selected %q, want pruned-64", v.Tag)
+	}
+	// SLA 0.85: the tiniest qualifies.
+	v, err = c.SelectVersion(orig.Name(), 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Tag != "pruned-16" {
+		t.Fatalf("selected %q, want pruned-16", v.Tag)
+	}
+	// SLA 0.99: nothing qualifies.
+	if _, err := c.SelectVersion(orig.Name(), 0.99); err == nil {
+		t.Fatal("impossible SLA must error")
+	}
+	if _, err := c.SelectVersion("ghost", 0); err == nil {
+		t.Fatal("missing model must error")
+	}
+}
+
+func TestAddVersionToMissingModel(t *testing.T) {
+	c := New()
+	rng := rand.New(rand.NewSource(3))
+	if err := c.AddVersion("ghost", nn.FraudFC(rng, 16), "v", 0.5); err == nil {
+		t.Fatal("version on missing model must error")
+	}
+}

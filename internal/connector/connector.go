@@ -1,0 +1,209 @@
+// Package connector implements the cross-system data path of the DL-centric
+// architecture: feature rows produced by the database are serialised into
+// length-prefixed binary frames, moved through a bounded channel, and
+// deserialised into the external runtime's tensor layout. It stands in for
+// the PostgreSQL → ConnectorX → TensorFlow/PyTorch path of the paper's
+// baseline, and its measurable per-row encode/copy/decode cost is what makes
+// cross-system transfer the bottleneck for small-model inference (Fig. 2/3).
+package connector
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"tensorbase/internal/tensor"
+)
+
+// Stats counts transferred data. All fields are updated atomically.
+type Stats struct {
+	Rows    atomic.Int64
+	Batches atomic.Int64
+	Bytes   atomic.Int64
+}
+
+// Snapshot returns a plain copy of the counters.
+func (s *Stats) Snapshot() (rows, batches, bytes int64) {
+	return s.Rows.Load(), s.Batches.Load(), s.Bytes.Load()
+}
+
+// EncodeBatch serialises a batch of equal-width float32 rows into a frame:
+// uvarint row count, uvarint width, then row-major little-endian payload.
+func EncodeBatch(rows [][]float32) ([]byte, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("connector: empty batch")
+	}
+	width := len(rows[0])
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(rows)))
+	n += binary.PutUvarint(hdr[n:], uint64(width))
+	frame := make([]byte, n+4*len(rows)*width)
+	copy(frame, hdr[:n])
+	off := n
+	for i, row := range rows {
+		if len(row) != width {
+			return nil, fmt.Errorf("connector: ragged batch: row %d has %d values, want %d", i, len(row), width)
+		}
+		for _, v := range row {
+			binary.LittleEndian.PutUint32(frame[off:], math.Float32bits(v))
+			off += 4
+		}
+	}
+	return frame, nil
+}
+
+// DecodeBatch parses a frame produced by EncodeBatch into a fresh
+// (rows, width) tensor — the copy into the receiving system's layout.
+func DecodeBatch(frame []byte) (*tensor.Tensor, error) {
+	rows, n1 := binary.Uvarint(frame)
+	if n1 <= 0 {
+		return nil, fmt.Errorf("connector: bad frame header")
+	}
+	width, n2 := binary.Uvarint(frame[n1:])
+	if n2 <= 0 {
+		return nil, fmt.Errorf("connector: bad frame width")
+	}
+	off := n1 + n2
+	want := off + 4*int(rows)*int(width)
+	if len(frame) != want {
+		return nil, fmt.Errorf("connector: frame is %d bytes, want %d for %d×%d", len(frame), want, rows, width)
+	}
+	t := tensor.New(int(rows), int(width))
+	data := t.Data()
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(frame[off:]))
+		off += 4
+	}
+	return t, nil
+}
+
+// RowSource yields feature rows; it returns ok=false at end of stream.
+type RowSource interface {
+	NextRow() (row []float32, ok bool, err error)
+}
+
+// SliceSource adapts an in-memory row set to RowSource.
+type SliceSource struct {
+	rows [][]float32
+	pos  int
+}
+
+// NewSliceSource returns a RowSource over rows.
+func NewSliceSource(rows [][]float32) *SliceSource { return &SliceSource{rows: rows} }
+
+// NextRow implements RowSource.
+func (s *SliceSource) NextRow() ([]float32, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// TensorSource adapts a 2-D tensor to RowSource, one row at a time.
+type TensorSource struct {
+	t   *tensor.Tensor
+	pos int
+}
+
+// NewTensorSource returns a RowSource over the rows of a 2-D tensor.
+func NewTensorSource(t *tensor.Tensor) *TensorSource {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("connector: TensorSource requires a 2-D tensor, got %v", t.Shape()))
+	}
+	return &TensorSource{t: t}
+}
+
+// NextRow implements RowSource.
+func (s *TensorSource) NextRow() ([]float32, bool, error) {
+	if s.pos >= s.t.Dim(0) {
+		return nil, false, nil
+	}
+	r := s.t.Row(s.pos)
+	s.pos++
+	return r, true, nil
+}
+
+// Transfer moves all rows from src through encode → frame channel → decode,
+// in batches of batchRows, and returns the assembled tensor on the receiver
+// side. It runs sender and receiver concurrently over a bounded channel,
+// like a connector cursor feeding a training/inference process, and records
+// traffic in stats (which may be nil).
+func Transfer(src RowSource, width, batchRows int, stats *Stats) (*tensor.Tensor, error) {
+	if batchRows < 1 {
+		return nil, fmt.Errorf("connector: batch size %d < 1", batchRows)
+	}
+	frames := make(chan []byte, 4)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(frames)
+		batch := make([][]float32, 0, batchRows)
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			frame, err := EncodeBatch(batch)
+			if err != nil {
+				return err
+			}
+			if stats != nil {
+				stats.Rows.Add(int64(len(batch)))
+				stats.Batches.Add(1)
+				stats.Bytes.Add(int64(len(frame)))
+			}
+			frames <- frame
+			batch = batch[:0]
+			return nil
+		}
+		for {
+			row, ok, err := src.NextRow()
+			if err != nil {
+				errc <- err
+				return
+			}
+			if !ok {
+				break
+			}
+			if len(row) != width {
+				errc <- fmt.Errorf("connector: row width %d, want %d", len(row), width)
+				return
+			}
+			// Copy: the source may reuse row storage.
+			batch = append(batch, append([]float32(nil), row...))
+			if len(batch) == batchRows {
+				if err := flush(); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			errc <- err
+		}
+	}()
+
+	var parts []*tensor.Tensor
+	total := 0
+	for frame := range frames {
+		t, err := DecodeBatch(frame)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, t)
+		total += t.Dim(0)
+	}
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	out := tensor.New(max(total, 0), width)
+	row := 0
+	for _, p := range parts {
+		copy(out.Data()[row*width:], p.Data())
+		row += p.Dim(0)
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package connector
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tensorbase/internal/tensor"
+)
+
+func TestEncodeDecodeBatchRoundTrip(t *testing.T) {
+	rows := [][]float32{{1, 2, 3}, {4, 5, 6}}
+	frame, err := EncodeBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if !got.Equal(want) {
+		t.Fatalf("decode = %v", got.Data())
+	}
+}
+
+func TestEncodeBatchRejectsRagged(t *testing.T) {
+	if _, err := EncodeBatch([][]float32{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged batch must error")
+	}
+	if _, err := EncodeBatch(nil); err == nil {
+		t.Fatal("empty batch must error")
+	}
+}
+
+func TestDecodeBatchRejectsCorruptFrames(t *testing.T) {
+	frame, err := EncodeBatch([][]float32{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBatch(frame[:len(frame)-1]); err == nil {
+		t.Fatal("truncated frame must error")
+	}
+	if _, err := DecodeBatch(append(frame, 0)); err == nil {
+		t.Fatal("oversized frame must error")
+	}
+	if _, err := DecodeBatch(nil); err == nil {
+		t.Fatal("nil frame must error")
+	}
+}
+
+func TestTransferAssemblesAllRows(t *testing.T) {
+	const n, width, batch = 107, 5, 10 // non-divisible row count
+	rows := make([][]float32, n)
+	for i := range rows {
+		rows[i] = make([]float32, width)
+		for j := range rows[i] {
+			rows[i][j] = float32(i*width + j)
+		}
+	}
+	var stats Stats
+	got, err := Transfer(NewSliceSource(rows), width, batch, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim(0) != n || got.Dim(1) != width {
+		t.Fatalf("shape %v", got.Shape())
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < width; j++ {
+			if got.At(i, j) != float32(i*width+j) {
+				t.Fatalf("element (%d,%d) = %v", i, j, got.At(i, j))
+			}
+		}
+	}
+	r, b, by := stats.Snapshot()
+	if r != n {
+		t.Fatalf("stats rows = %d", r)
+	}
+	if b != 11 { // ceil(107/10)
+		t.Fatalf("stats batches = %d", b)
+	}
+	if by < int64(n*width*4) {
+		t.Fatalf("stats bytes = %d, below payload size", by)
+	}
+}
+
+func TestTransferWidthMismatch(t *testing.T) {
+	rows := [][]float32{{1, 2}, {3, 4, 5}}
+	if _, err := Transfer(NewSliceSource(rows), 2, 8, nil); err == nil {
+		t.Fatal("row width mismatch must error")
+	}
+}
+
+func TestTransferEmptySource(t *testing.T) {
+	got, err := Transfer(NewSliceSource(nil), 3, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim(0) != 0 {
+		t.Fatalf("got %d rows from empty source", got.Dim(0))
+	}
+}
+
+func TestTransferRejectsBadBatchSize(t *testing.T) {
+	if _, err := Transfer(NewSliceSource(nil), 3, 0, nil); err == nil {
+		t.Fatal("batch size 0 must error")
+	}
+}
+
+func TestTensorSource(t *testing.T) {
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	got, err := Transfer(NewTensorSource(x), 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(x) {
+		t.Fatal("tensor source transfer mismatch")
+	}
+}
+
+// Property: Transfer is the identity on row content for random sizes.
+func TestTransferIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(64)
+		width := 1 + r.Intn(16)
+		batch := 1 + r.Intn(20)
+		rows := make([][]float32, n)
+		for i := range rows {
+			rows[i] = make([]float32, width)
+			for j := range rows[i] {
+				rows[i][j] = r.Float32()
+			}
+		}
+		got, err := Transfer(NewSliceSource(rows), width, batch, nil)
+		if err != nil || got.Dim(0) != n {
+			return false
+		}
+		for i := range rows {
+			for j := range rows[i] {
+				if got.At(i, j) != rows[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"tensorbase/internal/memlimit"
+	"tensorbase/internal/nn"
+	"tensorbase/internal/storage"
+	"tensorbase/internal/tensor"
+	"tensorbase/internal/udf"
+)
+
+// AdaptiveUDF is the engine's single entry point for in-database inference:
+// a UDF whose Apply compiles an InferencePlan for the incoming batch with
+// the adaptive optimizer and executes it — fused whole-model UDF when every
+// operator fits the threshold, tensor-block relations otherwise. It
+// implements udf.UDF, so `PREDICT(model, features)` in a query plan is
+// adaptive without the relational layer knowing.
+type AdaptiveUDF struct {
+	model *nn.Model
+	opt   *Optimizer
+	plans *PlanCache // ahead-of-time compiled plans (Sec. 2); nil until first use
+	ex    *Executor
+}
+
+// NewAdaptiveUDF returns an adaptive inference UDF for model. Plans for the
+// default batch ladder are compiled ahead of time, so steady-state queries
+// skip the optimizer entirely.
+func NewAdaptiveUDF(model *nn.Model, opt *Optimizer, pool *storage.BufferPool, budget *memlimit.Budget) *AdaptiveUDF {
+	u := &AdaptiveUDF{model: model, opt: opt, ex: NewExecutor(pool, budget)}
+	// AoT compilation can only fail on invalid models, which NewModel
+	// already rejects; fall back to per-call planning if it does.
+	if plans, err := NewPlanCache(opt, model, nil); err == nil {
+		u.plans = plans
+	}
+	return u
+}
+
+// Name implements udf.UDF.
+func (u *AdaptiveUDF) Name() string { return "adaptive:" + u.model.Name() }
+
+// Model returns the wrapped model.
+func (u *AdaptiveUDF) Model() *nn.Model { return u.model }
+
+// Plan exposes the optimizer's decision for a batch size, for EXPLAIN.
+func (u *AdaptiveUDF) Plan(batch int) (*InferencePlan, error) {
+	return u.opt.Plan(u.model, batch)
+}
+
+// Apply implements udf.UDF. Flat 2-D batches are reshaped to the model's
+// input shape when it expects higher-rank input (images stored as flat
+// feature vectors in a table).
+func (u *AdaptiveUDF) Apply(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if want := len(u.model.InShape); want > 2 && x.Rank() == 2 {
+		shape := append([]int(nil), u.model.InShape...)
+		shape[0] = x.Dim(0)
+		vol := 1
+		for _, d := range shape[1:] {
+			vol *= d
+		}
+		if vol != x.Dim(1) {
+			return nil, fmt.Errorf("core: row width %d does not match model input %v", x.Dim(1), u.model.InShape[1:])
+		}
+		x = x.Reshape(shape...)
+	}
+	var plan *InferencePlan
+	var err error
+	if u.plans != nil {
+		plan, err = u.plans.PlanFor(x.Dim(0))
+	} else {
+		plan, err = u.opt.Plan(u.model, x.Dim(0))
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := u.ex.Run(plan, x)
+	if err != nil {
+		return nil, fmt.Errorf("core: adaptive inference of %s: %w", u.model.Name(), err)
+	}
+	return res.AsDense()
+}
+
+// Interface conformance.
+var _ udf.UDF = (*AdaptiveUDF)(nil)

@@ -1,0 +1,118 @@
+// Package core implements the paper's primary contribution: the unified
+// intermediate representation for inference queries and the adaptive
+// optimizer that assigns each operator one of the three execution
+// representations — DL-centric (offload to an external runtime),
+// UDF-centric (whole-tensor UDF inside the database), or relation-centric
+// (tensor-block relations, matmul as join + aggregation) — plus the
+// co-optimization rules that rewrite across the relational/tensor boundary
+// (model decomposition and push-down, Sec. 2 / Sec. 7.2.1).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"tensorbase/internal/nn"
+)
+
+// Representation is the execution strategy chosen for one operator.
+type Representation int
+
+// Operator representations.
+const (
+	// ReprUDF executes the operator as a whole-tensor UDF inside the
+	// database.
+	ReprUDF Representation = iota
+	// ReprRelation executes the operator over tensor-block relations
+	// (matrix multiply as join + aggregation) with buffer-pool spilling.
+	ReprRelation
+	// ReprDLRuntime offloads the operator to the external DL runtime
+	// across the connector.
+	ReprDLRuntime
+)
+
+// String implements fmt.Stringer.
+func (r Representation) String() string {
+	switch r {
+	case ReprUDF:
+		return "udf-centric"
+	case ReprRelation:
+		return "relation-centric"
+	case ReprDLRuntime:
+		return "dl-centric"
+	default:
+		return fmt.Sprintf("Representation(%d)", int(r))
+	}
+}
+
+// OpDecision is the optimizer's choice for one model operator: the IR node
+// after representation selection.
+type OpDecision struct {
+	Layer         int    // index into the model's layer list
+	Op            string // operator kind ("linear", "conv2d", ...)
+	EstimateBytes int64  // the m·k + k·n + m·n footprint estimate
+	Repr          Representation
+}
+
+// InferencePlan is the compiled plan for running one model at one batch
+// size: the unified IR of the inference part of a query after the adaptive
+// optimizer has assigned representations.
+type InferencePlan struct {
+	Model          *nn.Model
+	Batch          int
+	ThresholdBytes int64
+	Decisions      []OpDecision
+	// Offload carries the DL-centric policy the plan was compiled with,
+	// so the executor can reach the target runtime.
+	Offload *OffloadPolicy
+}
+
+// AllUDF reports whether every operator chose the UDF-centric
+// representation; such plans fuse into a single coarse-grained model UDF.
+func (p *InferencePlan) AllUDF() bool {
+	for _, d := range p.Decisions {
+		if d.Repr != ReprUDF {
+			return false
+		}
+	}
+	return true
+}
+
+// NumRelational returns how many operators chose the relation-centric
+// representation.
+func (p *InferencePlan) NumRelational() int {
+	n := 0
+	for _, d := range p.Decisions {
+		if d.Repr == ReprRelation {
+			n++
+		}
+	}
+	return n
+}
+
+// Explain renders the plan like an EXPLAIN output.
+func (p *InferencePlan) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "InferencePlan model=%s batch=%d threshold=%s\n",
+		p.Model.Name(), p.Batch, fmtBytes(p.ThresholdBytes))
+	if p.AllUDF() {
+		fmt.Fprintf(&sb, "  fused: single model UDF (%d ops)\n", len(p.Decisions))
+	}
+	for _, d := range p.Decisions {
+		fmt.Fprintf(&sb, "  [%d] %-8s est=%-10s → %s\n", d.Layer, d.Op, fmtBytes(d.EstimateBytes), d.Repr)
+	}
+	return sb.String()
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

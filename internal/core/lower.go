@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"tensorbase/internal/nn"
+)
+
+// Lowering (Sec. 2): a model UDF operator in the relational IR lowers to a
+// graph IR whose nodes are linear-algebra operators — matrix multiply, bias
+// add, relu, softmax, conv2d / im2col — each carrying the representation
+// the adaptive optimizer chose. The lowered graph is what transformation
+// rules (fusion, relational conversion, offloading) operate over; this
+// package uses it for EXPLAIN-style introspection and DOT rendering.
+
+// LAOp is one linear-algebra operator node.
+type LAOp struct {
+	ID       int
+	Kind     string // input | matmul | add_bias | relu | sigmoid | softmax | conv2d | im2col | reshape | flatten
+	Inputs   []int  // ids of producer nodes
+	OutShape []int
+	Repr     Representation
+	// Layer is the model layer this op lowers from (-1 for the input).
+	Layer int
+}
+
+// LAGraph is the lowered linear-algebra graph of one inference plan.
+type LAGraph struct {
+	Model string
+	Batch int
+	Ops   []LAOp
+}
+
+// Lower expands an inference plan into its linear-algebra graph: each
+// model layer becomes one or more LA operators inheriting the layer's
+// chosen representation. Linear lowers to matmul (+ add_bias); a Conv2D
+// executing relation-centrically lowers through the spatial rewriting
+// (im2col → matmul → reshape), matching what the executor actually runs.
+func Lower(plan *InferencePlan) (*LAGraph, error) {
+	g := &LAGraph{Model: plan.Model.Name(), Batch: plan.Batch}
+	shape := append([]int(nil), plan.Model.InShape...)
+	shape[0] = plan.Batch
+
+	add := func(kind string, inputs []int, outShape []int, repr Representation, layer int) int {
+		id := len(g.Ops)
+		g.Ops = append(g.Ops, LAOp{
+			ID: id, Kind: kind, Inputs: inputs,
+			OutShape: append([]int(nil), outShape...),
+			Repr:     repr, Layer: layer,
+		})
+		return id
+	}
+	cur := add("input", nil, shape, ReprUDF, -1)
+
+	for _, d := range plan.Decisions {
+		layer := plan.Model.Layers[d.Layer]
+		out, err := layer.OutShape(shape)
+		if err != nil {
+			return nil, fmt.Errorf("core: lowering layer %d: %w", d.Layer, err)
+		}
+		switch l := layer.(type) {
+		case *nn.Linear:
+			cur = add("matmul", []int{cur}, out, d.Repr, d.Layer)
+			if l.B != nil {
+				cur = add("add_bias", []int{cur}, out, d.Repr, d.Layer)
+			}
+		case *nn.Conv2D:
+			if d.Repr == ReprRelation {
+				// Spatial rewriting: F = im2col(x); F × Kᵀ; reshape.
+				kh, kw := l.K.Dim(1), l.K.Dim(2)
+				rows := shape[0] * out[1] * out[2]
+				cols := kh * kw * shape[3]
+				f := add("im2col", []int{cur}, []int{rows, cols}, d.Repr, d.Layer)
+				mm := add("matmul", []int{f}, []int{rows, out[3]}, d.Repr, d.Layer)
+				cur = add("reshape", []int{mm}, out, d.Repr, d.Layer)
+			} else {
+				cur = add("conv2d", []int{cur}, out, d.Repr, d.Layer)
+			}
+		case nn.ReLU:
+			cur = add("relu", []int{cur}, out, d.Repr, d.Layer)
+		case nn.Sigmoid:
+			cur = add("sigmoid", []int{cur}, out, d.Repr, d.Layer)
+		case nn.Softmax:
+			cur = add("softmax", []int{cur}, out, d.Repr, d.Layer)
+		case nn.Flatten:
+			cur = add("flatten", []int{cur}, out, d.Repr, d.Layer)
+		default:
+			return nil, fmt.Errorf("core: no lowering for layer %s", layer.Name())
+		}
+		shape = out
+	}
+	return g, nil
+}
+
+// Output returns the graph's sink op.
+func (g *LAGraph) Output() LAOp { return g.Ops[len(g.Ops)-1] }
+
+// Dot renders the graph in Graphviz format, colouring nodes by
+// representation (UDF-centric solid, relation-centric dashed boxes).
+func (g *LAGraph) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n", g.Model)
+	for _, op := range g.Ops {
+		style := "solid"
+		if op.Repr == ReprRelation {
+			style = "dashed"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\\n%v\\n%s\" shape=box style=%s];\n",
+			op.ID, op.Kind, op.OutShape, op.Repr, style)
+		for _, in := range op.Inputs {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", in, op.ID)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Counts returns the number of ops per kind, for tests and summaries.
+func (g *LAGraph) Counts() map[string]int {
+	out := make(map[string]int)
+	for _, op := range g.Ops {
+		out[op.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"tensorbase/internal/connector"
+	"tensorbase/internal/dlruntime"
+	"tensorbase/internal/nn"
+	"tensorbase/internal/tensor"
+)
+
+// DL-centric offloading as a first-class plan decision (Sec. 1/2): the
+// envisioned optimizer may schedule any subgraph of the inference IR onto
+// the external DL runtime — not just choose between the two in-database
+// representations. OffloadPolicy teaches the optimizer when offloading
+// pays: the operator must be compute-intensive enough that the runtime's
+// faster kernels beat the connector's transfer cost, and its working set
+// must fit the runtime's memory.
+
+// OffloadPolicy configures DL-centric offloading in the optimizer.
+type OffloadPolicy struct {
+	// Runtime is the target external runtime.
+	Runtime *dlruntime.Runtime
+	// MinFlopsPerByte is the arithmetic-intensity threshold: operators
+	// whose multiply-adds per transferred byte exceed it offload.
+	// The break-even point is wireCost(bytes) < computeSaving(flops), so
+	// the threshold encodes the runtime-speedup-vs-wire-bandwidth ratio.
+	MinFlopsPerByte float64
+}
+
+// opIntensity estimates an operator's multiply-adds per byte of
+// input + output traffic.
+func opIntensity(l nn.Layer, inShape, outShape []int) float64 {
+	var flops float64
+	switch l := l.(type) {
+	case *nn.Linear:
+		flops = float64(inShape[0]) * float64(l.In()) * float64(l.Out())
+	case *nn.Conv2D:
+		flops = float64(outShape[0]*outShape[1]*outShape[2]) * float64(l.K.Len())
+	default:
+		return 0 // elementwise ops never justify a round trip
+	}
+	bytes := float64(volumeOf(inShape)+volumeOf(outShape)) * 4
+	if bytes == 0 {
+		return 0
+	}
+	return flops / bytes
+}
+
+func volumeOf(shape []int) int64 {
+	n := int64(1)
+	for _, d := range shape {
+		n *= int64(d)
+	}
+	return n
+}
+
+// planOffload upgrades UDF-centric decisions to DL-centric where the policy
+// says offloading pays. Relation-centric decisions are never offloaded: by
+// construction those operators exceed whole-tensor memory, so the external
+// runtime would OOM on them (the Table 3 lesson).
+func planOffload(plan *InferencePlan, policy *OffloadPolicy) error {
+	if policy == nil || policy.Runtime == nil {
+		return nil
+	}
+	m := plan.Model
+	ests, err := m.MemEstimates(plan.Batch)
+	if err != nil {
+		return err
+	}
+	budget := policy.Runtime.Budget().Limit()
+	for i := range plan.Decisions {
+		d := &plan.Decisions[i]
+		if d.Repr != ReprUDF {
+			continue
+		}
+		e := ests[d.Layer]
+		if budget > 0 && e.Bytes > budget {
+			continue
+		}
+		if opIntensity(m.Layers[d.Layer], e.InShape, e.OutShape) >= policy.MinFlopsPerByte {
+			d.Repr = ReprDLRuntime
+		}
+	}
+	return nil
+}
+
+// offloadExecutor runs maximal consecutive ReprDLRuntime spans by shipping
+// the batch across the connector to a session over the span's sub-model.
+// Sessions are cached per span, as a serving system keeps models resident.
+type offloadExecutor struct {
+	runtime *dlruntime.Runtime
+	mu      sync.Mutex
+	// sessions caches loaded sub-model sessions keyed by layer span.
+	sessions map[[2]int]*dlruntime.Session
+	// Stats.
+	transfers connector.Stats
+}
+
+func newOffloadExecutor(rt *dlruntime.Runtime) *offloadExecutor {
+	return &offloadExecutor{runtime: rt, sessions: make(map[[2]int]*dlruntime.Session)}
+}
+
+// session returns (loading on first use) the session for layers [from, to)
+// of model.
+func (o *offloadExecutor) session(model *nn.Model, from, to int) (*dlruntime.Session, error) {
+	key := [2]int{from, to}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if s, ok := o.sessions[key]; ok {
+		return s, nil
+	}
+	inShape := append([]int(nil), model.InShape...)
+	if from > 0 {
+		// The sub-model's input is the previous layer's output shape.
+		shape := append([]int(nil), model.InShape...)
+		for _, l := range model.Layers[:from] {
+			next, err := l.OutShape(shape)
+			if err != nil {
+				return nil, err
+			}
+			shape = next
+		}
+		inShape = shape
+	}
+	sub, err := nn.NewModel(fmt.Sprintf("%s[%d:%d]", model.Name(), from, to), inShape, model.Layers[from:to]...)
+	if err != nil {
+		return nil, err
+	}
+	s, err := o.runtime.Load(sub)
+	if err != nil {
+		return nil, err
+	}
+	o.sessions[key] = s
+	return s, nil
+}
+
+// run ships x across the connector, infers layers [from, to) remotely, and
+// returns the result (which also crosses back).
+func (o *offloadExecutor) run(model *nn.Model, from, to int, x *tensor.Tensor) (*tensor.Tensor, error) {
+	sess, err := o.session(model, from, to)
+	if err != nil {
+		return nil, err
+	}
+	// Out: flatten to rows, transfer, restore shape on the runtime side.
+	n := x.Dim(0)
+	width := x.Len() / n
+	flat := x.Reshape(n, width)
+	sent, err := connector.Transfer(connector.NewTensorSource(flat), width, 1024, &o.transfers)
+	if err != nil {
+		return nil, err
+	}
+	shape := append([]int(nil), x.Shape()...)
+	out, err := sess.Infer(sent.Reshape(shape...))
+	if err != nil {
+		return nil, err
+	}
+	// Back: the result crosses the connector into the engine.
+	outN := out.Dim(0)
+	outWidth := out.Len() / outN
+	back, err := connector.Transfer(connector.NewTensorSource(out.Reshape(outN, outWidth)), outWidth, 1024, &o.transfers)
+	if err != nil {
+		return nil, err
+	}
+	outShape := append([]int(nil), out.Shape()...)
+	return back.Reshape(outShape...), nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"tensorbase/internal/nn"
+)
+
+// Optimizer is the rule-based adaptive optimizer of Sec. 7.1: it traverses
+// the model's operators, estimates each operator's memory requirement as
+// input + parameters + output (for a matrix multiplication with shapes
+// (m,k) and (k,n): m·k + k·n + m·n elements), and chooses the
+// relation-centric representation when the estimate exceeds the memory
+// limit threshold, the UDF-centric representation otherwise.
+type Optimizer struct {
+	// ThresholdBytes is the memory-limit threshold (the paper uses 2 GiB
+	// on its 61 GiB testbed). Operators estimated above it run
+	// relation-centrically.
+	ThresholdBytes int64
+	// Offload, when set, lets the optimizer schedule compute-intensive
+	// operators onto the external DL runtime (the third representation of
+	// the paper's vision). See OffloadPolicy.
+	Offload *OffloadPolicy
+}
+
+// NewOptimizer returns an optimizer with the given threshold in bytes.
+func NewOptimizer(thresholdBytes int64) *Optimizer {
+	return &Optimizer{ThresholdBytes: thresholdBytes}
+}
+
+// Plan compiles the inference of m at the given batch size into an
+// InferencePlan with a representation chosen per operator.
+func (o *Optimizer) Plan(m *nn.Model, batch int) (*InferencePlan, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("core: batch size %d < 1", batch)
+	}
+	ests, err := m.MemEstimates(batch)
+	if err != nil {
+		return nil, fmt.Errorf("core: planning %s: %w", m.Name(), err)
+	}
+	plan := &InferencePlan{
+		Model:          m,
+		Batch:          batch,
+		ThresholdBytes: o.ThresholdBytes,
+		Decisions:      make([]OpDecision, 0, len(ests)),
+	}
+	for _, e := range ests {
+		repr := ReprUDF
+		if o.ThresholdBytes > 0 && e.Bytes > o.ThresholdBytes {
+			repr = ReprRelation
+		}
+		plan.Decisions = append(plan.Decisions, OpDecision{
+			Layer:         e.Index,
+			Op:            e.Op,
+			EstimateBytes: e.Bytes,
+			Repr:          repr,
+		})
+	}
+	if err := planOffload(plan, o.Offload); err != nil {
+		return nil, err
+	}
+	plan.Offload = o.Offload
+	return plan, nil
+}

@@ -1,0 +1,194 @@
+// Package device implements the device-allocation component of Sec. 3(2):
+// modelling the execution of a model UDF as a producer → transfer →
+// consumer process and choosing between the CPU and an accelerator per
+// query. The paper's observation (from the decision-forest study it cites)
+// is that for simple models and small batches the host→device transfer
+// outweighs the accelerator's compute advantage, so the allocator must be
+// cost-based, not static.
+//
+// There is no real accelerator in this repository; the accelerator is a
+// calibrated cost model (compute speedup factor + transfer bandwidth +
+// launch overhead), which is all the *allocation decision* needs.
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"tensorbase/internal/nn"
+	"tensorbase/internal/tensor"
+)
+
+// Kind identifies an execution device.
+type Kind int
+
+// Devices.
+const (
+	CPU Kind = iota
+	Accelerator
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == CPU {
+		return "cpu"
+	}
+	return "accelerator"
+}
+
+// Profile calibrates the cost model.
+type Profile struct {
+	// CPUFlops is the measured CPU throughput in multiply-adds/second.
+	CPUFlops float64
+	// Speedup is the accelerator's compute advantage over the CPU.
+	Speedup float64
+	// TransferBytesPerSec is the host↔device bandwidth (PCIe-like).
+	TransferBytesPerSec float64
+	// LaunchOverhead is the fixed cost per offloaded operator.
+	LaunchOverhead time.Duration
+}
+
+// DefaultProfile models a PCIe-attached accelerator: 20× compute, 12 GB/s,
+// 10 µs launches.
+func DefaultProfile(cpuFlops float64) Profile {
+	if cpuFlops <= 0 {
+		cpuFlops = 1e9
+	}
+	return Profile{
+		CPUFlops:            cpuFlops,
+		Speedup:             20,
+		TransferBytesPerSec: 12e9,
+		LaunchOverhead:      10 * time.Microsecond,
+	}
+}
+
+// Calibrate measures the host's multiply-add throughput with a short
+// matmul probe, for use as Profile.CPUFlops.
+func Calibrate() float64 {
+	const n = 192
+	a := tensor.New(n, n)
+	b := tensor.New(n, n)
+	for i := range a.Data() {
+		a.Data()[i] = 1.0000001
+		b.Data()[i] = 0.9999999
+	}
+	start := time.Now()
+	tensor.MatMul(a, b)
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		return 1e9
+	}
+	return float64(n) * float64(n) * float64(n) / elapsed.Seconds()
+}
+
+// flopsOf estimates the multiply-adds of one operator on a batch.
+func flopsOf(l nn.Layer, inShape []int) float64 {
+	switch l := l.(type) {
+	case *nn.Linear:
+		return float64(inShape[0]) * float64(l.In()) * float64(l.Out())
+	case *nn.Conv2D:
+		out, err := l.OutShape(inShape)
+		if err != nil {
+			return 0
+		}
+		kernel := float64(l.K.Len())
+		return float64(out[0]*out[1]*out[2]) * kernel
+	default:
+		// Elementwise ops: one op per element.
+		n := 1.0
+		for _, d := range inShape {
+			n *= float64(d)
+		}
+		return n
+	}
+}
+
+// Estimate is the modelled latency of running model inference on a device.
+type Estimate struct {
+	Device   Kind
+	Compute  time.Duration
+	Transfer time.Duration
+	Overhead time.Duration
+}
+
+// Total returns the end-to-end estimate.
+func (e Estimate) Total() time.Duration { return e.Compute + e.Transfer + e.Overhead }
+
+// EstimateModel prices the whole forward pass of m at the given batch on a
+// device: compute at the device's throughput, plus (for the accelerator)
+// the input/output transfer and per-operator launches — the
+// producer-transfer-consumer decomposition.
+func EstimateModel(p Profile, m *nn.Model, batch int, device Kind) (Estimate, error) {
+	if batch < 1 {
+		return Estimate{}, fmt.Errorf("device: batch %d < 1", batch)
+	}
+	shape := append([]int(nil), m.InShape...)
+	shape[0] = batch
+	inBytes := int64(4)
+	for _, d := range shape {
+		inBytes *= int64(d)
+	}
+	var flops float64
+	cur := shape
+	for _, l := range m.Layers {
+		flops += flopsOf(l, cur)
+		next, err := l.OutShape(cur)
+		if err != nil {
+			return Estimate{}, err
+		}
+		cur = next
+	}
+	outBytes := int64(4)
+	for _, d := range cur {
+		outBytes *= int64(d)
+	}
+
+	est := Estimate{Device: device}
+	throughput := p.CPUFlops
+	if device == Accelerator {
+		throughput *= p.Speedup
+		est.Transfer = time.Duration(float64(inBytes+outBytes) / p.TransferBytesPerSec * float64(time.Second))
+		est.Overhead = time.Duration(len(m.Layers)) * p.LaunchOverhead
+	}
+	est.Compute = time.Duration(flops / throughput * float64(time.Second))
+	return est, nil
+}
+
+// Choose returns the device with the lower modelled latency for the query,
+// with both estimates for EXPLAIN output.
+func Choose(p Profile, m *nn.Model, batch int) (Kind, Estimate, Estimate, error) {
+	cpu, err := EstimateModel(p, m, batch, CPU)
+	if err != nil {
+		return CPU, Estimate{}, Estimate{}, err
+	}
+	acc, err := EstimateModel(p, m, batch, Accelerator)
+	if err != nil {
+		return CPU, Estimate{}, Estimate{}, err
+	}
+	if acc.Total() < cpu.Total() {
+		return Accelerator, cpu, acc, nil
+	}
+	return CPU, cpu, acc, nil
+}
+
+// Crossover returns the smallest batch size in [1, maxBatch] at which the
+// accelerator wins, or 0 if it never does. It binary-searches on the
+// monotone advantage.
+func Crossover(p Profile, m *nn.Model, maxBatch int) (int, error) {
+	lo, hi := 1, maxBatch
+	found := 0
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		dev, _, _, err := Choose(p, m, mid)
+		if err != nil {
+			return 0, err
+		}
+		if dev == Accelerator {
+			found = mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return found, nil
+}

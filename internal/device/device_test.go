@@ -1,0 +1,146 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tensorbase/internal/nn"
+)
+
+func profile() Profile {
+	return Profile{
+		CPUFlops:            1e9,
+		Speedup:             20,
+		TransferBytesPerSec: 12e9,
+		LaunchOverhead:      10 * time.Microsecond,
+	}
+}
+
+func TestEstimateCPUHasNoTransfer(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := nn.FraudFC(rng, 256)
+	est, err := EstimateModel(profile(), m, 100, CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Transfer != 0 || est.Overhead != 0 {
+		t.Fatalf("CPU estimate has device costs: %+v", est)
+	}
+	if est.Compute <= 0 {
+		t.Fatalf("compute estimate %v", est.Compute)
+	}
+}
+
+func TestEstimateAcceleratorComputeFaster(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := nn.EncoderFC(rng)
+	cpu, err := EstimateModel(profile(), m, 1000, CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := EstimateModel(profile(), m, 1000, Accelerator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Compute >= cpu.Compute {
+		t.Fatalf("accelerator compute %v not faster than CPU %v", acc.Compute, cpu.Compute)
+	}
+	if acc.Transfer == 0 || acc.Overhead == 0 {
+		t.Fatalf("accelerator estimate missing device costs: %+v", acc)
+	}
+}
+
+func TestChooseSmallQueryStaysOnCPU(t *testing.T) {
+	// The paper's observation: simple model + small batch → transfer
+	// outweighs the accelerator's advantage.
+	rng := rand.New(rand.NewSource(3))
+	m := nn.FraudFC(rng, 256)
+	dev, cpu, acc, err := Choose(profile(), m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev != CPU {
+		t.Fatalf("batch-1 fraud scoring chose %v (cpu %v vs acc %v)", dev, cpu.Total(), acc.Total())
+	}
+}
+
+func TestChooseHeavyQueryOffloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := nn.EncoderFC(rng) // 76→3072→768: compute-heavy per byte
+	dev, cpu, acc, err := Choose(profile(), m, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev != Accelerator {
+		t.Fatalf("large encoder batch chose %v (cpu %v vs acc %v)", dev, cpu.Total(), acc.Total())
+	}
+}
+
+func TestCrossoverMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := nn.EncoderFC(rng)
+	cross, err := Crossover(profile(), m, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross == 0 {
+		t.Fatal("encoder workload should eventually favour the accelerator")
+	}
+	// Below the crossover: CPU; at and above: accelerator.
+	if cross > 1 {
+		dev, _, _, err := Choose(profile(), m, cross-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev != CPU {
+			t.Fatalf("batch %d (below crossover %d) chose %v", cross-1, cross, dev)
+		}
+	}
+	dev, _, _, err := Choose(profile(), m, cross)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev != Accelerator {
+		t.Fatalf("batch %d (crossover) chose %v", cross, dev)
+	}
+}
+
+func TestCrossoverNeverForTransferBound(t *testing.T) {
+	// A 1-layer identity-ish model moves many bytes per flop: the
+	// accelerator never pays off.
+	rng := rand.New(rand.NewSource(6))
+	m := nn.MustModel("thin", []int{1, 1024}, nn.NewLinear(rng, 1024, 1024))
+	p := profile()
+	p.Speedup = 1.01            // nearly no compute advantage...
+	p.TransferBytesPerSec = 1e6 // ...behind a very slow interconnect
+	cross, err := Crossover(p, m, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross != 0 {
+		t.Fatalf("transfer-bound workload offloaded at batch %d", cross)
+	}
+}
+
+func TestCalibrateReturnsPlausibleThroughput(t *testing.T) {
+	f := Calibrate()
+	if f < 1e6 || f > 1e13 {
+		t.Fatalf("calibrated throughput %g implausible", f)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := nn.FraudFC(rng, 16)
+	if _, err := EstimateModel(profile(), m, 0, CPU); err == nil {
+		t.Fatal("batch 0 must error")
+	}
+}
+
+func TestDefaultProfile(t *testing.T) {
+	p := DefaultProfile(0)
+	if p.CPUFlops <= 0 || p.Speedup <= 1 {
+		t.Fatalf("%+v", p)
+	}
+}

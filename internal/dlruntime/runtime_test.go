@@ -1,0 +1,158 @@
+package dlruntime
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tensorbase/internal/memlimit"
+	"tensorbase/internal/nn"
+	"tensorbase/internal/tensor"
+)
+
+func noOverheads(r *Runtime) *Runtime {
+	r.SetOverheads(Overheads{})
+	return r
+}
+
+func TestLoadReservesParamsAndCloseReleases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := nn.FraudFC(rng, 64)
+	rt := noOverheads(New(Eager, 10<<20))
+	s, err := rt.Load(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Budget().Reserved(); got != m.ParamBytes() {
+		t.Fatalf("reserved %d, want %d", got, m.ParamBytes())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Budget().Reserved(); got != 0 {
+		t.Fatalf("reserved %d after close", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+}
+
+func TestLoadOOMWhenParamsExceedBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := nn.FraudFC(rng, 512)
+	rt := noOverheads(New(Graph, 1024)) // 1 KiB budget
+	if _, err := rt.Load(m); !errors.Is(err, memlimit.ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM", err)
+	}
+}
+
+func TestInferMatchesDirectForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := nn.FraudFC(rng, 128)
+	rt := noOverheads(New(Eager, 0))
+	s, err := rt.Load(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	x := tensor.New(5, 28)
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float32()
+	}
+	got, err := s.Infer(x.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Forward(x.Clone())
+	if !got.AlmostEqual(want, 1e-6) {
+		t.Fatal("runtime inference differs from direct forward")
+	}
+}
+
+func TestInferOOMOnLargeBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := nn.FraudFC(rng, 256)
+	// Budget fits the parameters plus a tiny batch, not a big one.
+	budget := m.ParamBytes() + 64*1024
+	rt := noOverheads(New(Graph, budget))
+	s, err := rt.Load(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Infer(tensor.New(4, 28)); err != nil {
+		t.Fatalf("small batch should fit: %v", err)
+	}
+	if _, err := s.Infer(tensor.New(100000, 28)); !errors.Is(err, memlimit.ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM", err)
+	}
+	// The failed call must not leak its reservation.
+	if got := rt.Budget().Reserved(); got != m.ParamBytes() {
+		t.Fatalf("reserved %d after OOM, want %d", got, m.ParamBytes())
+	}
+}
+
+func TestInferAfterCloseFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := nn.FraudFC(rng, 16)
+	rt := noOverheads(New(Eager, 0))
+	s, err := rt.Load(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Infer(tensor.New(1, 28)); err == nil {
+		t.Fatal("infer on closed session must error")
+	}
+}
+
+func TestGraphProfilePaysSessionBuildOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := nn.FraudFC(rng, 16) // 4 layers
+	rt := New(Graph, 0)
+	rt.SetOverheads(Overheads{SessionBuildPerOp: 5 * time.Millisecond})
+	start := time.Now()
+	s, err := rt.Load(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	buildTime := time.Since(start)
+	if buildTime < 20*time.Millisecond {
+		t.Fatalf("session build took %v, want >= 20ms (4 ops × 5ms)", buildTime)
+	}
+	// Inference itself has no per-op dispatch in Graph mode.
+	start = time.Now()
+	if _, err := s.Infer(tensor.New(1, 28)); err != nil {
+		t.Fatal(err)
+	}
+	if inferTime := time.Since(start); inferTime > buildTime {
+		t.Fatalf("steady-state infer (%v) slower than session build (%v)", inferTime, buildTime)
+	}
+}
+
+func TestEagerProfilePaysPerOpDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := nn.FraudFC(rng, 16) // 4 layers
+	rt := New(Eager, 0)
+	rt.SetOverheads(Overheads{DispatchPerOp: 3 * time.Millisecond})
+	s, err := rt.Load(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	start := time.Now()
+	if _, err := s.Infer(tensor.New(1, 28)); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < 12*time.Millisecond {
+		t.Fatalf("eager infer took %v, want >= 12ms (4 ops × 3ms)", got)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	if Graph.String() != "graph" || Eager.String() != "eager" {
+		t.Fatal("profile names wrong")
+	}
+}

@@ -1,0 +1,317 @@
+// Package engine is the embedded database: it wires the paged storage
+// layer, the catalog, the SQL front end, and the adaptive inference stack
+// (optimizer + executor + UDF registry) into a single embeddable object.
+// This is the public face of the system — open a database, create tables,
+// load models, and run SQL with PREDICT() nested in it.
+package engine
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"tensorbase/internal/catalog"
+	"tensorbase/internal/core"
+	"tensorbase/internal/dlruntime"
+	"tensorbase/internal/memlimit"
+	"tensorbase/internal/nn"
+	"tensorbase/internal/sql"
+	"tensorbase/internal/storage"
+	"tensorbase/internal/table"
+	"tensorbase/internal/udf"
+)
+
+// Options configures an engine instance.
+type Options struct {
+	// BufferFrames is the buffer pool size in pages (default 1024,
+	// i.e. 32 MiB at the 32 KiB page size).
+	BufferFrames int
+	// MemoryBudget caps whole-tensor (UDF-centric) working sets in
+	// bytes; 0 means unlimited. Exceeding it yields memlimit.ErrOOM.
+	MemoryBudget int64
+	// MemoryThreshold is the adaptive optimizer's per-operator limit:
+	// operators estimated above it run relation-centrically. 0 disables
+	// the relation-centric switch.
+	MemoryThreshold int64
+	// InferBatch is the micro-batch size for PREDICT (default 256).
+	InferBatch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BufferFrames <= 0 {
+		o.BufferFrames = 1024
+	}
+	if o.InferBatch <= 0 {
+		o.InferBatch = 256
+	}
+	return o
+}
+
+// DB is an open database instance. It is not safe for concurrent DDL;
+// queries over distinct tables may run concurrently.
+type DB struct {
+	path   string
+	disk   *storage.DiskManager
+	pool   *storage.BufferPool
+	cat    *catalog.Catalog
+	budget *memlimit.Budget
+	opt    *core.Optimizer
+	udfs   *udf.Registry
+	opts   Options
+
+	// Vector indexes (Sec. 5), keyed by (table, column).
+	vmu      sync.Mutex
+	vindexes map[vindexKey]*vectorIndex
+}
+
+// Open creates or opens the database file at path, restoring the catalog
+// (tables and models) written by the last clean Close.
+func Open(path string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	disk, err := storage.OpenDisk(path)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		path:   path,
+		disk:   disk,
+		pool:   storage.NewBufferPool(disk, opts.BufferFrames),
+		cat:    catalog.New(),
+		budget: memlimit.NewBudget(opts.MemoryBudget),
+		opt:    core.NewOptimizer(opts.MemoryThreshold),
+		udfs:   udf.NewRegistry(),
+		opts:   opts,
+	}
+	if err := db.loadCatalog(); err != nil {
+		disk.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Close persists the catalog, flushes dirty pages, and closes the database.
+func (db *DB) Close() error {
+	err := db.saveCatalog()
+	if ferr := db.pool.FlushAll(); err == nil {
+		err = ferr
+	}
+	if cerr := db.disk.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Pool exposes the buffer pool (for the benchmark harness and tools).
+func (db *DB) Pool() *storage.BufferPool { return db.pool }
+
+// Catalog exposes the metadata catalog.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Budget exposes the whole-tensor memory budget.
+func (db *DB) Budget() *memlimit.Budget { return db.budget }
+
+// Optimizer exposes the adaptive optimizer.
+func (db *DB) Optimizer() *core.Optimizer { return db.opt }
+
+// EnableOffload lets the optimizer schedule compute-intensive operators
+// onto the external runtime (DL-centric offloading, the third
+// representation). Configure before loading models: plans compiled ahead of
+// time by earlier LoadModel calls are not recompiled.
+func (db *DB) EnableOffload(rt *dlruntime.Runtime, minFlopsPerByte float64) {
+	db.opt.Offload = &core.OffloadPolicy{Runtime: rt, MinFlopsPerByte: minFlopsPerByte}
+}
+
+// LoadModel registers a model in the catalog and installs its adaptive
+// inference UDF, making it available to PREDICT.
+func (db *DB) LoadModel(m *nn.Model, accuracy float64) error {
+	if err := db.cat.RegisterModel(m, accuracy, ""); err != nil {
+		return err
+	}
+	return db.udfs.Register(core.NewAdaptiveUDF(m, db.opt, db.pool, db.budget))
+}
+
+// LoadModelFile loads a TBM1 model file and registers it.
+func (db *DB) LoadModelFile(path string) (*nn.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	defer f.Close()
+	m, err := nn.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.LoadModel(m, 0); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ExplainPredict returns the adaptive optimizer's plan for running the
+// named model at the given batch size.
+func (db *DB) ExplainPredict(model string, batch int) (string, error) {
+	m, err := db.cat.Model(model)
+	if err != nil {
+		return "", err
+	}
+	plan, err := db.opt.Plan(m, batch)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(), nil
+}
+
+// LowerPredict returns the Graphviz rendering of the named model's lowered
+// linear-algebra graph at the given batch size (Sec. 2's graph IR).
+func (db *DB) LowerPredict(model string, batch int) (string, error) {
+	m, err := db.cat.Model(model)
+	if err != nil {
+		return "", err
+	}
+	plan, err := db.opt.Plan(m, batch)
+	if err != nil {
+		return "", err
+	}
+	g, err := core.Lower(plan)
+	if err != nil {
+		return "", err
+	}
+	return g.Dot(), nil
+}
+
+// Stats reports engine-level counters.
+type Stats struct {
+	PoolHits      uint64
+	PoolMisses    uint64
+	PoolEvictions uint64
+	DiskReads     uint64
+	DiskWrites    uint64
+	MemReserved   int64
+	MemPeak       int64
+}
+
+// Stats returns a snapshot of buffer pool, disk, and memory counters.
+func (db *DB) Stats() Stats {
+	ps := db.pool.Stats()
+	r, w := db.disk.IOStats()
+	return Stats{
+		PoolHits:      ps.Hits,
+		PoolMisses:    ps.Misses,
+		PoolEvictions: ps.Evictions,
+		DiskReads:     r,
+		DiskWrites:    w,
+		MemReserved:   db.budget.Reserved(),
+		MemPeak:       db.budget.Peak(),
+	}
+}
+
+// Result is the outcome of Exec: result rows for SELECT, affected count
+// for DML/DDL.
+type Result struct {
+	Schema       *table.Schema
+	Rows         []table.Tuple
+	RowsAffected int64
+}
+
+// Exec parses and runs one SQL statement.
+func (db *DB) Exec(sqlText string) (*Result, error) {
+	st, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	switch st := st.(type) {
+	case *sql.CreateTable:
+		return db.execCreate(st)
+	case *sql.Insert:
+		return db.execInsert(st)
+	case *sql.Select:
+		return db.execSelect(st)
+	case *sql.DropTable:
+		if err := db.cat.DropTable(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", st)
+	}
+}
+
+func (db *DB) execCreate(st *sql.CreateTable) (*Result, error) {
+	schema, err := table.NewSchema(st.Cols...)
+	if err != nil {
+		return nil, err
+	}
+	heap, err := table.NewHeap(db.pool, schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.cat.CreateTable(st.Name, heap); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+// CreateTable registers a table programmatically (the API twin of
+// CREATE TABLE).
+func (db *DB) CreateTable(name string, schema *table.Schema) (*table.Heap, error) {
+	heap, err := table.NewHeap(db.pool, schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.cat.CreateTable(name, heap); err != nil {
+		return nil, err
+	}
+	return heap, nil
+}
+
+// InsertRows bulk-inserts tuples into a named table.
+func (db *DB) InsertRows(name string, rows []table.Tuple) (int64, error) {
+	te, err := db.cat.Table(name)
+	if err != nil {
+		return 0, err
+	}
+	for i, r := range rows {
+		if _, err := te.Heap.Insert(r); err != nil {
+			return int64(i), fmt.Errorf("engine: inserting row %d: %w", i, err)
+		}
+	}
+	return int64(len(rows)), nil
+}
+
+func (db *DB) execInsert(st *sql.Insert) (*Result, error) {
+	te, err := db.cat.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := te.Heap.Schema()
+	var inserted int64
+	for ri, row := range st.Rows {
+		if len(row) != schema.Len() {
+			return nil, fmt.Errorf("engine: row %d has %d values, table %q has %d columns", ri, len(row), st.Table, schema.Len())
+		}
+		tup := make(table.Tuple, len(row))
+		for ci, lit := range row {
+			v, err := coerce(lit.Value, schema.Cols[ci].Type)
+			if err != nil {
+				return nil, fmt.Errorf("engine: row %d column %q: %w", ri, schema.Cols[ci].Name, err)
+			}
+			tup[ci] = v
+		}
+		if _, err := te.Heap.Insert(tup); err != nil {
+			return nil, err
+		}
+		inserted++
+	}
+	return &Result{RowsAffected: inserted}, nil
+}
+
+// coerce converts a literal to the column type, allowing INT → DOUBLE.
+func coerce(v table.Value, want table.ColType) (table.Value, error) {
+	if v.Type == want {
+		return v, nil
+	}
+	if v.Type == table.Int64 && want == table.Float64 {
+		return table.FloatVal(float64(v.Int)), nil
+	}
+	return table.Value{}, fmt.Errorf("value of type %v does not fit column type %v", v.Type, want)
+}

@@ -1,0 +1,641 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"tensorbase/internal/data"
+	"tensorbase/internal/dlruntime"
+	"tensorbase/internal/exec"
+	"tensorbase/internal/memlimit"
+	"tensorbase/internal/nn"
+	"tensorbase/internal/table"
+)
+
+func openDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db, err := Open(filepath.Join(t.TempDir(), "e.db"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func mustExec(t *testing.T, db *DB, sql string) *Result {
+	t.Helper()
+	res, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func TestCreateInsertSelectRoundTrip(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE txns (id INT, amount DOUBLE, who TEXT)")
+	res := mustExec(t, db, "INSERT INTO txns VALUES (1, 10.5, 'alice'), (2, 200, 'bob'), (3, 3.25, 'carol')")
+	if res.RowsAffected != 3 {
+		t.Fatalf("inserted %d", res.RowsAffected)
+	}
+	res = mustExec(t, db, "SELECT who, amount FROM txns WHERE amount > 5 LIMIT 10")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Str != "alice" || res.Rows[1][0].Str != "bob" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Schema.Cols[0].Name != "who" {
+		t.Fatalf("schema = %+v", res.Schema.Cols)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE t (a INT, b TEXT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 'x')")
+	res := mustExec(t, db, "SELECT * FROM t")
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if _, err := db.Exec("SELECT *, a FROM t"); err == nil {
+		t.Fatal("star combined with columns must error")
+	}
+}
+
+func TestWhereOperatorsAndCoercion(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2), (3)")
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT a FROM t WHERE a = 2", 1},
+		{"SELECT a FROM t WHERE a != 2", 2},
+		{"SELECT a FROM t WHERE a < 2", 1},
+		{"SELECT a FROM t WHERE a <= 2", 2},
+		{"SELECT a FROM t WHERE a > 2", 1},
+		{"SELECT a FROM t WHERE a >= 2", 2},
+		{"SELECT a FROM t WHERE a > 1.5", 2}, // float literal on INT column
+	}
+	for _, c := range cases {
+		res := mustExec(t, db, c.sql)
+		if len(res.Rows) != c.want {
+			t.Fatalf("%s → %d rows, want %d", c.sql, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE t (a INT, b DOUBLE)")
+	if _, err := db.Exec("INSERT INTO t VALUES (1)"); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES ('x', 1)"); err == nil {
+		t.Fatal("type mismatch must error")
+	}
+	// INT → DOUBLE coercion is allowed.
+	mustExec(t, db, "INSERT INTO t VALUES (1, 2)")
+	if _, err := db.Exec("INSERT INTO ghost VALUES (1)"); err == nil {
+		t.Fatal("missing table must error")
+	}
+}
+
+func TestDDLErrors(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	if _, err := db.Exec("CREATE TABLE t (a INT)"); err == nil {
+		t.Fatal("duplicate table must error")
+	}
+	if _, err := db.Exec("SELECT a FROM ghost"); err == nil {
+		t.Fatal("select from missing table must error")
+	}
+	if _, err := db.Exec("SELECT ghost FROM t"); err == nil {
+		t.Fatal("unknown projection column must error")
+	}
+	if _, err := db.Exec("SELECT a FROM t WHERE ghost = 1"); err == nil {
+		t.Fatal("unknown where column must error")
+	}
+}
+
+// loadFraud populates a fraud feature table and a trained model.
+func loadFraud(t *testing.T, db *DB, n int) (*nn.Model, *data.Classified) {
+	t.Helper()
+	d := data.Fraud(1, n)
+	rows, schema, err := d.FeatureRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("txns", schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.InsertRows("txns", rows); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	m := nn.FraudFC(rng, 32)
+	if _, err := nn.Train(m, d.X, d.Labels, nn.TrainConfig{Epochs: 5, BatchSize: 32, LR: 0.05, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadModel(m, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+func TestPredictInQuery(t *testing.T) {
+	db := openDB(t, Options{InferBatch: 16})
+	m, d := loadFraud(t, db, 100)
+	res := mustExec(t, db, "SELECT id, PREDICT(Fraud-FC-32, features) FROM txns")
+	if len(res.Rows) != 100 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Predictions must match direct model inference.
+	direct, err := m.Predict(d.X.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i, r := range res.Rows {
+		pred := r[1].Vec
+		if len(pred) != 2 {
+			t.Fatalf("prediction width %d", len(pred))
+		}
+		cls := 0
+		if pred[1] > pred[0] {
+			cls = 1
+		}
+		if cls == direct[i] {
+			agree++
+		}
+	}
+	if agree != 100 {
+		t.Fatalf("only %d/100 predictions agree with direct inference", agree)
+	}
+}
+
+func TestPredictWithWhereAndLimit(t *testing.T) {
+	db := openDB(t, Options{InferBatch: 8})
+	loadFraud(t, db, 60)
+	res := mustExec(t, db, "SELECT id, PREDICT(Fraud-FC-32, features) FROM txns WHERE id < 10 LIMIT 5")
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r[0].Int >= 10 {
+			t.Fatalf("filter leaked row %v", r)
+		}
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	db := openDB(t, Options{})
+	loadFraud(t, db, 10)
+	if _, err := db.Exec("SELECT PREDICT(ghost, features) FROM txns"); err == nil {
+		t.Fatal("unloaded model must error")
+	}
+	if _, err := db.Exec("SELECT PREDICT(Fraud-FC-32, id) FROM txns"); err == nil {
+		t.Fatal("non-vector feature column must error")
+	}
+	if _, err := db.Exec("SELECT PREDICT(Fraud-FC-32, features), PREDICT(Fraud-FC-32, features) FROM txns"); err == nil {
+		t.Fatal("two PREDICTs must error")
+	}
+}
+
+func TestLoadModelDuplicate(t *testing.T) {
+	db := openDB(t, Options{})
+	rng := rand.New(rand.NewSource(4))
+	m := nn.FraudFC(rng, 16)
+	if err := db.LoadModel(m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadModel(m, 0); err == nil {
+		t.Fatal("duplicate model load must error")
+	}
+}
+
+func TestExplainPredict(t *testing.T) {
+	db := openDB(t, Options{MemoryThreshold: 1})
+	rng := rand.New(rand.NewSource(5))
+	if err := db.LoadModel(nn.FraudFC(rng, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.ExplainPredict("Fraud-FC-64", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "relation-centric") {
+		t.Fatalf("explain:\n%s", s)
+	}
+	if _, err := db.ExplainPredict("ghost", 1); err == nil {
+		t.Fatal("missing model must error")
+	}
+}
+
+func TestPredictAdaptiveRelationCentricInSQL(t *testing.T) {
+	// With a tiny threshold every operator runs relation-centrically;
+	// PREDICT must still return correct results through the blocked path.
+	db := openDB(t, Options{MemoryThreshold: 1 << 10, InferBatch: 32})
+	m, d := loadFraud(t, db, 64)
+	res := mustExec(t, db, "SELECT PREDICT(Fraud-FC-32, features) FROM txns")
+	direct := m.Forward(d.X.Clone())
+	for i, r := range res.Rows {
+		for j, v := range r[0].Vec {
+			if diff := v - direct.At(i, j); diff > 1e-3 || diff < -1e-3 {
+				t.Fatalf("row %d: %v vs %v", i, r[0].Vec, direct.Row(i))
+			}
+		}
+	}
+}
+
+func TestPredictOOMSurfacesInQuery(t *testing.T) {
+	db := openDB(t, Options{MemoryBudget: 4 << 10, InferBatch: 64})
+	loadFraud(t, db, 64)
+	_, err := db.Exec("SELECT PREDICT(Fraud-FC-32, features) FROM txns")
+	if !errors.Is(err, memlimit.ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM", err)
+	}
+}
+
+func TestLoadModelFile(t *testing.T) {
+	db := openDB(t, Options{})
+	rng := rand.New(rand.NewSource(6))
+	m := nn.FraudFC(rng, 16)
+	path := filepath.Join(t.TempDir(), "m.tbm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.Save(f, m); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := db.LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != m.Name() {
+		t.Fatalf("loaded %q", got.Name())
+	}
+	if _, err := db.LoadModelFile("/nonexistent/m.tbm"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (7)")
+	te, err := db.Catalog().Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last, count := te.Heap.FirstPage(), te.Heap.LastPage(), te.Heap.Count()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen the file and re-attach the heap (catalog persistence is the
+	// caller's concern; page data must survive).
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	schema := table.MustSchema(table.Column{Name: "a", Type: table.Int64})
+	h := table.OpenHeap(db2.Pool(), schema, first, last, count)
+	sc := h.Scan()
+	tup, ok, err := sc.Next()
+	if err != nil || !ok {
+		t.Fatalf("scan after reopen: ok=%v err=%v", ok, err)
+	}
+	if tup[0].Int != 7 {
+		t.Fatalf("value = %d", tup[0].Int)
+	}
+}
+
+func TestOrderByInQuery(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (2), (3), (1)")
+	res := mustExec(t, db, "SELECT a FROM t ORDER BY a DESC LIMIT 2")
+	if len(res.Rows) != 2 || res.Rows[0][0].Int != 3 || res.Rows[1][0].Int != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if _, err := db.Exec("SELECT a FROM t ORDER BY ghost"); err == nil {
+		t.Fatal("unknown order column must error")
+	}
+}
+
+func TestDropTableSQL(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "DROP TABLE t")
+	if _, err := db.Exec("SELECT a FROM t"); err == nil {
+		t.Fatal("dropped table must be gone")
+	}
+	if _, err := db.Exec("DROP TABLE t"); err == nil {
+		t.Fatal("double drop must error")
+	}
+	// Name can be reused after drop.
+	mustExec(t, db, "CREATE TABLE t (b TEXT)")
+}
+
+func TestCatalogPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cat.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE t (a INT, who TEXT)")
+	mustExec(t, db, "INSERT INTO t VALUES (7, 'x'), (8, 'y')")
+	rng := rand.New(rand.NewSource(61))
+	m := nn.FraudFC(rng, 16)
+	if err := db.LoadModel(m, 0.91); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res := mustExec(t, db2, "SELECT a, who FROM t ORDER BY a")
+	if len(res.Rows) != 2 || res.Rows[0][0].Int != 7 || res.Rows[1][1].Str != "y" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Inserts must continue the restored chain.
+	mustExec(t, db2, "INSERT INTO t VALUES (9, 'z')")
+	res = mustExec(t, db2, "SELECT a FROM t")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows after insert = %d", len(res.Rows))
+	}
+	// The model must be restored and servable.
+	entry, err := db2.Catalog().ModelEntryFor("Fraud-FC-16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Versions[0].Accuracy != 0.91 {
+		t.Fatalf("accuracy = %v", entry.Versions[0].Accuracy)
+	}
+	mustExec(t, db2, "CREATE TABLE f (id INT, features VECTOR)")
+	mustExec(t, db2, "INSERT INTO f VALUES (1, "+vec28+")")
+	res = mustExec(t, db2, "SELECT PREDICT(Fraud-FC-16, features) FROM f")
+	if len(res.Rows) != 1 || len(res.Rows[0][0].Vec) != 2 {
+		t.Fatalf("predict after reopen = %v", res.Rows)
+	}
+}
+
+// vec28 is a 28-wide SQL vector literal.
+var vec28 = func() string {
+	s := "[1"
+	for i := 1; i < 28; i++ {
+		s += ",0"
+	}
+	return s + "]"
+}()
+
+func TestOpenRejectsCorruptCatalog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".meta", []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("corrupt catalog must be rejected")
+	}
+}
+
+func TestOpenFreshDatabaseHasNoCatalog(t *testing.T) {
+	db := openDB(t, Options{})
+	if len(db.Catalog().Tables()) != 0 || len(db.Catalog().Models()) != 0 {
+		t.Fatal("fresh database must start empty")
+	}
+}
+
+func TestExecProfiled(t *testing.T) {
+	db := openDB(t, Options{InferBatch: 8})
+	loadFraud(t, db, 40)
+	res, stats, err := db.ExecProfiled("SELECT id, PREDICT(Fraud-FC-32, features) FROM txns WHERE id < 20 LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	names := make([]string, len(stats))
+	for i, s := range stats {
+		names[i] = s.Name
+	}
+	want := []string{"limit", "project", "predict", "filter", "scan"}
+	if len(names) != len(want) {
+		t.Fatalf("stages = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("stages = %v, want %v", names, want)
+		}
+	}
+	// Row counts: limit caps at 10; the scan stops early once the limit
+	// is satisfied (pipelined early termination), so it reads at least
+	// the 10 surviving rows but need not read all 40.
+	if stats[0].Rows != 10 {
+		t.Fatalf("limit rows = %d", stats[0].Rows)
+	}
+	if stats[4].Rows < 10 || stats[4].Rows > 40 {
+		t.Fatalf("scan rows = %d", stats[4].Rows)
+	}
+	// Outer stages include inner time.
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Elapsed > stats[i-1].Elapsed {
+			t.Fatalf("stage %s (%v) slower than its parent %s (%v)",
+				stats[i].Name, stats[i].Elapsed, stats[i-1].Name, stats[i-1].Elapsed)
+		}
+	}
+	rendered := exec.FormatProfile(stats)
+	if !strings.Contains(rendered, "predict") || !strings.Contains(rendered, "self") {
+		t.Fatalf("profile rendering:\n%s", rendered)
+	}
+	if _, _, err := db.ExecProfiled("DROP TABLE txns"); err == nil {
+		t.Fatal("non-SELECT must be rejected by ExecProfiled")
+	}
+}
+
+func TestConcurrentQueriesOverDistinctTables(t *testing.T) {
+	db := openDB(t, Options{BufferFrames: 64})
+	mustExec(t, db, "CREATE TABLE a (x INT)")
+	mustExec(t, db, "CREATE TABLE b (x INT)")
+	for i := 0; i < 500; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO a VALUES (%d)", i))
+		mustExec(t, db, fmt.Sprintf("INSERT INTO b VALUES (%d)", i*2))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		table := "a"
+		if g%2 == 1 {
+			table = "b"
+		}
+		go func(table string) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				res, err := db.Exec("SELECT x FROM " + table + " WHERE x >= 100")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if table == "a" && len(res.Rows) != 400 {
+					errs <- fmt.Errorf("table a: %d rows", len(res.Rows))
+					return
+				}
+			}
+		}(table)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorIndexNearest(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE docs (id INT, emb VECTOR)")
+	mustExec(t, db, "INSERT INTO docs VALUES (1, [0, 0]), (2, [10, 0]), (3, [0, 10]), (4, [10, 10])")
+	n, err := db.CreateVectorIndex("docs", "emb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("indexed %d rows", n)
+	}
+	rows, dists, err := db.Nearest("docs", "emb", []float32{9, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0].Int != 2 {
+		t.Fatalf("nearest = %v", rows)
+	}
+	if dists[0] > dists[1] {
+		t.Fatal("distances not sorted")
+	}
+	if _, _, err := db.Nearest("docs", "emb", []float32{1}, 1); err == nil {
+		t.Fatal("wrong dimension must error")
+	}
+	if _, _, err := db.Nearest("docs", "ghost", []float32{1, 2}, 1); err == nil {
+		t.Fatal("unindexed column must error")
+	}
+}
+
+func TestVectorIndexValidation(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE v (id INT, emb VECTOR)")
+	if _, err := db.CreateVectorIndex("v", "emb"); err == nil {
+		t.Fatal("empty table must error")
+	}
+	if _, err := db.CreateVectorIndex("v", "id"); err == nil {
+		t.Fatal("non-vector column must error")
+	}
+	if _, err := db.CreateVectorIndex("ghost", "emb"); err == nil {
+		t.Fatal("missing table must error")
+	}
+	mustExec(t, db, "INSERT INTO v VALUES (1, [1, 2]), (2, [1, 2, 3])")
+	if _, err := db.CreateVectorIndex("v", "emb"); err == nil {
+		t.Fatal("ragged vectors must error")
+	}
+}
+
+func TestLowerPredictAndStats(t *testing.T) {
+	db := openDB(t, Options{MemoryThreshold: 1})
+	rng := rand.New(rand.NewSource(91))
+	if err := db.LoadModel(nn.FraudFC(rng, 32), 0); err != nil {
+		t.Fatal(err)
+	}
+	dot, err := db.LowerPredict("Fraud-FC-32", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "matmul") {
+		t.Fatalf("dot:\n%s", dot)
+	}
+	if _, err := db.LowerPredict("ghost", 1); err == nil {
+		t.Fatal("missing model must error")
+	}
+	mustExec(t, db, "CREATE TABLE s (a INT)")
+	mustExec(t, db, "INSERT INTO s VALUES (1)")
+	mustExec(t, db, "SELECT a FROM s")
+	st := db.Stats()
+	if st.PoolHits == 0 && st.PoolMisses == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+}
+
+func TestEnableOffloadServesCorrectly(t *testing.T) {
+	db := openDB(t, Options{})
+	rt := dlruntime.New(dlruntime.Graph, 0)
+	rt.SetOverheads(dlruntime.Overheads{})
+	db.EnableOffload(rt, 50)
+	rng := rand.New(rand.NewSource(111))
+	m := nn.EncoderFC(rng)
+	if err := db.LoadModel(m, 0); err != nil {
+		t.Fatal(err)
+	}
+	d := data.Dense(112, 20, 76)
+	rows := make([]table.Tuple, 20)
+	for i := range rows {
+		rows[i] = table.Tuple{table.IntVal(int64(i)), table.VecVal(d.Row(i))}
+	}
+	schema := table.MustSchema(
+		table.Column{Name: "id", Type: table.Int64},
+		table.Column{Name: "features", Type: table.FloatVec},
+	)
+	if _, err := db.CreateTable("enc", schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.InsertRows("enc", rows); err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.ExplainPredict("Encoder-FC", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "dl-centric") {
+		t.Fatalf("plan should offload:\n%s", s)
+	}
+	res := mustExec(t, db, "SELECT PREDICT(Encoder-FC, features) FROM enc")
+	direct := m.Forward(d.Clone())
+	for i, r := range res.Rows {
+		for j, v := range r[0].Vec {
+			diff := v - direct.At(i, j)
+			if diff > 1e-3 || diff < -1e-3 {
+				t.Fatalf("row %d col %d differs", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tensorbase/internal/nn"
+	"tensorbase/internal/storage"
+	"tensorbase/internal/table"
+)
+
+// Catalog persistence. Table metadata (schemas, heap page chains, row
+// counts) is written as JSON to <db>.meta on Close and restored on Open;
+// models are written as TBM1 files into a <db>.models/ directory. Page data
+// itself lives in the database file, so a reopened engine sees every table
+// and model that was present at the last clean Close.
+
+// metaFile is the serialised catalog.
+type metaFile struct {
+	Version int         `json:"version"`
+	Tables  []metaTable `json:"tables"`
+	Models  []metaModel `json:"models"`
+}
+
+type metaTable struct {
+	Name  string       `json:"name"`
+	Cols  []metaColumn `json:"cols"`
+	First uint32       `json:"first_page"`
+	Last  uint32       `json:"last_page"`
+	Count int64        `json:"count"`
+}
+
+type metaColumn struct {
+	Name string `json:"name"`
+	Type uint8  `json:"type"`
+}
+
+type metaModel struct {
+	Name     string  `json:"name"`
+	File     string  `json:"file"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+func (db *DB) metaPath() string { return db.path + ".meta" }
+
+func (db *DB) modelsDir() string { return db.path + ".models" }
+
+// saveCatalog serialises the catalog next to the database file.
+func (db *DB) saveCatalog() error {
+	meta := metaFile{Version: 1}
+	for _, name := range db.cat.Tables() {
+		te, err := db.cat.Table(name)
+		if err != nil {
+			return err
+		}
+		mt := metaTable{
+			Name:  name,
+			First: uint32(te.Heap.FirstPage()),
+			Last:  uint32(te.Heap.LastPage()),
+			Count: te.Heap.Count(),
+		}
+		for _, c := range te.Heap.Schema().Cols {
+			mt.Cols = append(mt.Cols, metaColumn{Name: c.Name, Type: uint8(c.Type)})
+		}
+		meta.Tables = append(meta.Tables, mt)
+	}
+	if names := db.cat.Models(); len(names) > 0 {
+		if err := os.MkdirAll(db.modelsDir(), 0o755); err != nil {
+			return fmt.Errorf("engine: creating models dir: %w", err)
+		}
+		for i, name := range names {
+			entry, err := db.cat.ModelEntryFor(name)
+			if err != nil {
+				return err
+			}
+			file := filepath.Join(db.modelsDir(), fmt.Sprintf("m%04d.tbm", i))
+			f, err := os.Create(file)
+			if err != nil {
+				return fmt.Errorf("engine: saving model %s: %w", name, err)
+			}
+			err = nn.Save(f, entry.Versions[0].Model)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("engine: saving model %s: %w", name, err)
+			}
+			meta.Models = append(meta.Models, metaModel{
+				Name:     name,
+				File:     file,
+				Accuracy: entry.Versions[0].Accuracy,
+			})
+		}
+	}
+	raw, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := db.metaPath() + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("engine: writing catalog: %w", err)
+	}
+	return os.Rename(tmp, db.metaPath())
+}
+
+// loadCatalog restores tables and models from a previous Close. A missing
+// meta file is a fresh database, not an error.
+func (db *DB) loadCatalog() error {
+	raw, err := os.ReadFile(db.metaPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("engine: reading catalog: %w", err)
+	}
+	var meta metaFile
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return fmt.Errorf("engine: corrupt catalog %s: %w", db.metaPath(), err)
+	}
+	if meta.Version != 1 {
+		return fmt.Errorf("engine: unsupported catalog version %d", meta.Version)
+	}
+	for _, mt := range meta.Tables {
+		cols := make([]table.Column, len(mt.Cols))
+		for i, c := range mt.Cols {
+			cols[i] = table.Column{Name: c.Name, Type: table.ColType(c.Type)}
+		}
+		schema, err := table.NewSchema(cols...)
+		if err != nil {
+			return fmt.Errorf("engine: restoring table %s: %w", mt.Name, err)
+		}
+		if uint32(db.disk.NumPages()) <= mt.First || uint32(db.disk.NumPages()) <= mt.Last {
+			return fmt.Errorf("engine: catalog references pages beyond the database file (table %s)", mt.Name)
+		}
+		heap := table.OpenHeap(db.pool, schema, storage.PageID(mt.First), storage.PageID(mt.Last), mt.Count)
+		if err := db.cat.CreateTable(mt.Name, heap); err != nil {
+			return err
+		}
+	}
+	for _, mm := range meta.Models {
+		f, err := os.Open(mm.File)
+		if err != nil {
+			return fmt.Errorf("engine: restoring model %s: %w", mm.Name, err)
+		}
+		m, err := nn.Load(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("engine: restoring model %s: %w", mm.Name, err)
+		}
+		if err := db.LoadModel(m, mm.Accuracy); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"fmt"
+
+	"tensorbase/internal/exec"
+	"tensorbase/internal/sql"
+	"tensorbase/internal/table"
+	"tensorbase/internal/udf"
+)
+
+// execSelect compiles and runs a SELECT: heap scan → filter → optional
+// PREDICT inference operator → projection → order → limit.
+func (db *DB) execSelect(st *sql.Select) (*Result, error) {
+	res, _, err := db.runSelect(st, false)
+	return res, err
+}
+
+// ExecProfiled parses and runs a SELECT with per-stage instrumentation
+// (rows and wall time per operator, outermost first) — EXPLAIN ANALYZE.
+func (db *DB) ExecProfiled(sqlText string) (*Result, []exec.StageStat, error) {
+	st, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := st.(*sql.Select)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: ExecProfiled supports SELECT only, got %T", st)
+	}
+	return db.runSelect(sel, true)
+}
+
+func (db *DB) runSelect(st *sql.Select, profile bool) (*Result, []exec.StageStat, error) {
+	var stages []*exec.Instrumented
+	wrap := func(name string, op exec.Operator) exec.Operator {
+		if !profile {
+			return op
+		}
+		ins := exec.Instrument(name, op)
+		stages = append(stages, ins)
+		return ins
+	}
+	te, err := db.cat.Table(st.From)
+	if err != nil {
+		return nil, nil, err
+	}
+	op := wrap("scan", exec.NewHeapScan(te.Heap))
+
+	if st.Where != nil {
+		pred, err := compileWhere(te.Heap.Schema(), st.Where)
+		if err != nil {
+			return nil, nil, err
+		}
+		op = wrap("filter", exec.NewFilter(op, pred))
+	}
+
+	// At most one PREDICT per query; it appends a "prediction" column.
+	var predict *sql.PredictExpr
+	for _, item := range st.Items {
+		if item.Predict != nil {
+			if predict != nil {
+				return nil, nil, fmt.Errorf("engine: at most one PREDICT per query")
+			}
+			predict = item.Predict
+		}
+	}
+	if predict != nil {
+		u, ok := db.udfs.Lookup("adaptive:" + predict.Model)
+		if !ok {
+			return nil, nil, fmt.Errorf("engine: model %q is not loaded", predict.Model)
+		}
+		infer, err := udf.NewInferOp(op, u, predict.FeatureCol, db.opts.InferBatch)
+		if err != nil {
+			return nil, nil, err
+		}
+		op = wrap("predict", infer)
+	}
+
+	// Projection.
+	var cols []string
+	star := false
+	for _, item := range st.Items {
+		switch {
+		case item.Star:
+			star = true
+		case item.Predict != nil:
+			cols = append(cols, "prediction")
+		default:
+			cols = append(cols, item.Col)
+		}
+	}
+	if star {
+		if len(st.Items) != 1 {
+			return nil, nil, fmt.Errorf("engine: '*' cannot be combined with other select items")
+		}
+	} else {
+		proj, err := exec.NewProject(op, cols...)
+		if err != nil {
+			return nil, nil, err
+		}
+		op = wrap("project", proj)
+	}
+
+	if st.OrderBy != "" {
+		// External merge sort: ORDER BY spills runs through the buffer
+		// pool instead of materialising arbitrarily large inputs.
+		srt, err := exec.NewExternalSort(op, st.OrderBy, st.OrderDesc, db.pool)
+		if err != nil {
+			return nil, nil, err
+		}
+		op = wrap("sort", srt)
+	}
+	if st.Limit >= 0 {
+		op = wrap("limit", exec.NewLimit(op, st.Limit))
+	}
+
+	rows, err := exec.Collect(op)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Stages were appended innermost-first; report outermost-first.
+	for i, j := 0, len(stages)-1; i < j; i, j = i+1, j-1 {
+		stages[i], stages[j] = stages[j], stages[i]
+	}
+	return &Result{Schema: op.Schema(), Rows: rows}, exec.Profile(stages), nil
+}
+
+// compileWhere builds a predicate for `col op literal`.
+func compileWhere(schema *table.Schema, c *sql.Condition) (exec.Predicate, error) {
+	idx := schema.ColIndex(c.Col)
+	if idx < 0 {
+		return nil, fmt.Errorf("engine: unknown column %q", c.Col)
+	}
+	colType := schema.Cols[idx].Type
+	lit, err := coerce(c.Lit.Value, colType)
+	if err != nil {
+		// Allow comparing INT columns with float literals and vice versa.
+		if colType == table.Int64 && c.Lit.Value.Type == table.Float64 {
+			lit = c.Lit.Value
+		} else {
+			return nil, fmt.Errorf("engine: WHERE %s: %w", c.Col, err)
+		}
+	}
+	cmp, err := comparator(colType, lit)
+	if err != nil {
+		return nil, err
+	}
+	switch c.Op {
+	case "=":
+		return func(t table.Tuple) (bool, error) { return cmp(t[idx]) == 0, nil }, nil
+	case "!=":
+		return func(t table.Tuple) (bool, error) { return cmp(t[idx]) != 0, nil }, nil
+	case "<":
+		return func(t table.Tuple) (bool, error) { return cmp(t[idx]) < 0, nil }, nil
+	case "<=":
+		return func(t table.Tuple) (bool, error) { return cmp(t[idx]) <= 0, nil }, nil
+	case ">":
+		return func(t table.Tuple) (bool, error) { return cmp(t[idx]) > 0, nil }, nil
+	case ">=":
+		return func(t table.Tuple) (bool, error) { return cmp(t[idx]) >= 0, nil }, nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported operator %q", c.Op)
+	}
+}
+
+// comparator returns a function comparing a column value against the
+// literal: -1, 0, +1.
+func comparator(colType table.ColType, lit table.Value) (func(table.Value) int, error) {
+	switch colType {
+	case table.Int64:
+		switch lit.Type {
+		case table.Int64:
+			want := lit.Int
+			return func(v table.Value) int { return cmpInt(v.Int, want) }, nil
+		case table.Float64:
+			want := lit.Float
+			return func(v table.Value) int { return cmpFloat(float64(v.Int), want) }, nil
+		}
+	case table.Float64:
+		want := lit.Float
+		return func(v table.Value) int { return cmpFloat(v.Float, want) }, nil
+	case table.Text:
+		want := lit.Str
+		return func(v table.Value) int {
+			switch {
+			case v.Str < want:
+				return -1
+			case v.Str > want:
+				return 1
+			default:
+				return 0
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("engine: cannot compare column type %v", colType)
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

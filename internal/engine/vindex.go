@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"fmt"
+
+	"tensorbase/internal/ann"
+	"tensorbase/internal/table"
+)
+
+// Vector indexing (Sec. 5): the engine builds ANN indexes over FloatVec
+// columns, turning the database into the "high-performance retrieving
+// engine" role the paper assigns it — nearest-neighbour lookup over stored
+// feature/embedding vectors, the substrate for retrieval-augmented
+// inference and the result cache.
+
+// vectorIndex pairs an ANN index with the row ids it indexes.
+type vectorIndex struct {
+	index ann.Index
+	dim   int
+	// rids maps the ANN-internal id to the indexed row's RID.
+	rids []table.RID
+}
+
+// vindexKey identifies an index by table and column.
+type vindexKey struct {
+	table, column string
+}
+
+// vindexes is lazily initialised on first CreateVectorIndex.
+func (db *DB) vindexMap() map[vindexKey]*vectorIndex {
+	db.vmu.Lock()
+	defer db.vmu.Unlock()
+	if db.vindexes == nil {
+		db.vindexes = make(map[vindexKey]*vectorIndex)
+	}
+	return db.vindexes
+}
+
+// CreateVectorIndex builds an HNSW index over the FloatVec column of a
+// table's current rows. Rows inserted later are not indexed automatically;
+// rebuild to refresh.
+func (db *DB) CreateVectorIndex(tableName, column string) (int, error) {
+	te, err := db.cat.Table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	schema := te.Heap.Schema()
+	idx := schema.ColIndex(column)
+	if idx < 0 {
+		return 0, fmt.Errorf("engine: unknown column %q", column)
+	}
+	if schema.Cols[idx].Type != table.FloatVec {
+		return 0, fmt.Errorf("engine: column %q is %v, want VECTOR", column, schema.Cols[idx].Type)
+	}
+
+	vi := &vectorIndex{}
+	sc := te.Heap.Scan()
+	// The scanner yields tuples in (page, slot) order; Heap.RIDs walks
+	// the same order, so position n of both corresponds to the same row.
+	rids, err := te.Heap.RIDs()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		t, ok, err := sc.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		vec := t[idx].Vec
+		if vi.index == nil {
+			vi.dim = len(vec)
+			vi.index = ann.NewHNSW(vi.dim, ann.HNSWConfig{Seed: 1})
+		}
+		if len(vec) != vi.dim {
+			return 0, fmt.Errorf("engine: ragged vectors in %s.%s (%d vs %d)", tableName, column, len(vec), vi.dim)
+		}
+		if n >= len(rids) {
+			return 0, fmt.Errorf("engine: heap changed during index build")
+		}
+		if err := vi.index.Add(int64(n), vec); err != nil {
+			return 0, err
+		}
+		vi.rids = append(vi.rids, rids[n])
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("engine: cannot index empty table %q", tableName)
+	}
+	db.vindexMap()[vindexKey{tableName, column}] = vi
+	return n, nil
+}
+
+// Nearest returns the k rows of tableName whose indexed column is closest
+// to query, nearest first, with squared distances.
+func (db *DB) Nearest(tableName, column string, query []float32, k int) ([]table.Tuple, []float64, error) {
+	db.vmu.Lock()
+	vi, ok := db.vindexes[vindexKey{tableName, column}]
+	db.vmu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: no vector index on %s.%s", tableName, column)
+	}
+	if len(query) != vi.dim {
+		return nil, nil, fmt.Errorf("engine: query dimension %d, index dimension %d", len(query), vi.dim)
+	}
+	te, err := db.cat.Table(tableName)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := vi.index.Search(query, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([]table.Tuple, 0, len(res))
+	dists := make([]float64, 0, len(res))
+	for _, r := range res {
+		if r.ID < 0 || int(r.ID) >= len(vi.rids) {
+			return nil, nil, fmt.Errorf("engine: stale vector index entry %d", r.ID)
+		}
+		t, err := te.Heap.Get(vi.rids[r.ID])
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, t)
+		dists = append(dists, r.Dist)
+	}
+	return rows, dists, nil
+}

@@ -1,0 +1,411 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tensorbase/internal/table"
+)
+
+func intsSchema() *table.Schema {
+	return table.MustSchema(table.Column{Name: "id", Type: table.Int64}, table.Column{Name: "v", Type: table.Float64})
+}
+
+func rows(pairs ...[2]float64) []table.Tuple {
+	out := make([]table.Tuple, len(pairs))
+	for i, p := range pairs {
+		out[i] = table.Tuple{table.IntVal(int64(p[0])), table.FloatVal(p[1])}
+	}
+	return out
+}
+
+func TestMemScan(t *testing.T) {
+	sc := NewMemScan(intsSchema(), rows([2]float64{1, 0.5}, [2]float64{2, 1.5}))
+	got, err := Collect(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1][0].Int != 2 {
+		t.Fatalf("Collect = %v", got)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	sc := NewMemScan(intsSchema(), rows([2]float64{1, 0.5}, [2]float64{2, 1.5}, [2]float64{3, 2.5}))
+	f := NewFilter(sc, func(tp table.Tuple) (bool, error) { return tp[1].Float > 1, nil })
+	got, err := Collect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0][0].Int != 2 {
+		t.Fatalf("filter = %v", got)
+	}
+}
+
+func TestProject(t *testing.T) {
+	sc := NewMemScan(intsSchema(), rows([2]float64{1, 0.5}))
+	p, err := NewProject(sc, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0]) != 1 || got[0][0].Float != 0.5 {
+		t.Fatalf("project = %v", got)
+	}
+	if _, err := NewProject(NewMemScan(intsSchema(), nil), "ghost"); err == nil {
+		t.Fatal("unknown column must error")
+	}
+}
+
+func TestMap(t *testing.T) {
+	sc := NewMemScan(intsSchema(), rows([2]float64{1, 2}))
+	out := table.MustSchema(table.Column{Name: "double", Type: table.Float64})
+	m := NewMap(sc, out, func(tp table.Tuple) (table.Tuple, error) {
+		return table.Tuple{table.FloatVal(tp[1].Float * 2)}, nil
+	})
+	got, err := Collect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0].Float != 4 {
+		t.Fatalf("map = %v", got)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	sc := NewMemScan(intsSchema(), rows([2]float64{1, 1}, [2]float64{2, 2}, [2]float64{3, 3}))
+	got, err := Collect(NewLimit(sc, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("limit = %d rows", len(got))
+	}
+}
+
+func joinSchema(key, val string) *table.Schema {
+	return table.MustSchema(table.Column{Name: key, Type: table.Int64}, table.Column{Name: val, Type: table.Float64})
+}
+
+func TestHashJoinMatchesAndMultiplicity(t *testing.T) {
+	left := NewMemScan(joinSchema("k", "lv"), rows([2]float64{1, 10}, [2]float64{2, 20}, [2]float64{2, 21}))
+	right := NewMemScan(joinSchema("k", "rv"), rows([2]float64{2, 200}, [2]float64{2, 201}, [2]float64{3, 300}))
+	j, err := NewHashJoin(left, right, "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// keys 2×2 matches on both sides with multiplicity 2 → 4 rows.
+	if len(got) != 4 {
+		t.Fatalf("join produced %d rows, want 4", len(got))
+	}
+	for _, r := range got {
+		if r[0].Int != 2 || r[2].Int != 2 {
+			t.Fatalf("join row with wrong keys: %v", r)
+		}
+	}
+	// Output schema: k, lv, k_2, rv.
+	if j.Schema().ColIndex("k_2") < 0 {
+		t.Fatalf("schema = %+v", j.Schema().Cols)
+	}
+}
+
+func TestHashJoinEmptySides(t *testing.T) {
+	left := NewMemScan(joinSchema("k", "lv"), nil)
+	right := NewMemScan(joinSchema("k", "rv"), rows([2]float64{1, 1}))
+	j, err := NewHashJoin(left, right, "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty probe side must yield 0 rows, got %d", len(got))
+	}
+}
+
+func TestHashJoinRejectsNonIntKeys(t *testing.T) {
+	s := table.MustSchema(table.Column{Name: "f", Type: table.Float64})
+	if _, err := NewHashJoin(NewMemScan(s, nil), NewMemScan(s, nil), "f", "f"); err == nil {
+		t.Fatal("non-INT keys must be rejected")
+	}
+}
+
+func floatSchema(key, val string) *table.Schema {
+	return table.MustSchema(table.Column{Name: key, Type: table.Float64}, table.Column{Name: val, Type: table.Float64})
+}
+
+func frows(pairs ...[2]float64) []table.Tuple {
+	out := make([]table.Tuple, len(pairs))
+	for i, p := range pairs {
+		out[i] = table.Tuple{table.FloatVal(p[0]), table.FloatVal(p[1])}
+	}
+	return out
+}
+
+func TestBandJoinMatchesWithinEps(t *testing.T) {
+	left := NewMemScan(floatSchema("a", "lv"), frows([2]float64{1.0, 1}, [2]float64{5.0, 2}))
+	right := NewMemScan(floatSchema("b", "rv"), frows([2]float64{1.05, 10}, [2]float64{1.2, 11}, [2]float64{4.0, 12}))
+	j, err := NewBandJoin(left, right, "a", "b", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("band join = %d rows, want 1", len(got))
+	}
+	if got[0][0].Float != 1.0 || got[0][2].Float != 1.05 {
+		t.Fatalf("band join row = %v", got[0])
+	}
+}
+
+// Property: BandJoin equals the nested-loop reference join on random data.
+func TestBandJoinMatchesNestedLoopReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		nl, nr := rng.Intn(40), rng.Intn(40)
+		eps := rng.Float64() * 0.5
+		lrows := make([]table.Tuple, nl)
+		for i := range lrows {
+			lrows[i] = table.Tuple{table.FloatVal(rng.Float64() * 4), table.FloatVal(float64(i))}
+		}
+		rrows := make([]table.Tuple, nr)
+		for i := range rrows {
+			rrows[i] = table.Tuple{table.FloatVal(rng.Float64() * 4), table.FloatVal(float64(i))}
+		}
+		want := 0
+		for _, l := range lrows {
+			for _, r := range rrows {
+				if math.Abs(l[0].Float-r[0].Float) <= eps {
+					want++
+				}
+			}
+		}
+		j, err := NewBandJoin(
+			NewMemScan(floatSchema("a", "lv"), lrows),
+			NewMemScan(floatSchema("b", "rv"), rrows),
+			"a", "b", eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Collect(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: band join = %d rows, nested loop = %d", trial, len(got), want)
+		}
+	}
+}
+
+func TestBandJoinRejectsNegativeEps(t *testing.T) {
+	s := floatSchema("a", "v")
+	if _, err := NewBandJoin(NewMemScan(s, nil), NewMemScan(s, nil), "a", "a", -1); err == nil {
+		t.Fatal("negative eps must be rejected")
+	}
+}
+
+func TestHashAggregateCountSumAvgMinMax(t *testing.T) {
+	s := table.MustSchema(table.Column{Name: "g", Type: table.Int64}, table.Column{Name: "v", Type: table.Float64})
+	in := NewMemScan(s, []table.Tuple{
+		{table.IntVal(1), table.FloatVal(1)},
+		{table.IntVal(1), table.FloatVal(3)},
+		{table.IntVal(2), table.FloatVal(10)},
+	})
+	agg, err := NewHashAggregate(in, []string{"g"}, []AggSpec{
+		{Kind: Count, As: "n"},
+		{Kind: Sum, Col: "v", As: "sum"},
+		{Kind: Avg, Col: "v", As: "avg"},
+		{Kind: Min, Col: "v", As: "min"},
+		{Kind: Max, Col: "v", As: "max"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d groups", len(got))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i][0].Int < got[j][0].Int })
+	g1 := got[0]
+	if g1[1].Int != 2 || g1[2].Float != 4 || g1[3].Float != 2 || g1[4].Float != 1 || g1[5].Float != 3 {
+		t.Fatalf("group 1 = %v", g1)
+	}
+	g2 := got[1]
+	if g2[1].Int != 1 || g2[2].Float != 10 {
+		t.Fatalf("group 2 = %v", g2)
+	}
+}
+
+func TestHashAggregateVecSum(t *testing.T) {
+	s := table.MustSchema(table.Column{Name: "g", Type: table.Int64}, table.Column{Name: "blk", Type: table.FloatVec})
+	in := NewMemScan(s, []table.Tuple{
+		{table.IntVal(1), table.VecVal([]float32{1, 2})},
+		{table.IntVal(1), table.VecVal([]float32{10, 20})},
+		{table.IntVal(2), table.VecVal([]float32{5, 5})},
+	})
+	agg, err := NewHashAggregate(in, []string{"g"}, []AggSpec{{Kind: VecSum, Col: "blk", As: "sum"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d groups", len(got))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i][0].Int < got[j][0].Int })
+	if v := got[0][1].Vec; v[0] != 11 || v[1] != 22 {
+		t.Fatalf("VecSum = %v", v)
+	}
+}
+
+func TestHashAggregateVecSumRaggedErrors(t *testing.T) {
+	s := table.MustSchema(table.Column{Name: "g", Type: table.Int64}, table.Column{Name: "blk", Type: table.FloatVec})
+	in := NewMemScan(s, []table.Tuple{
+		{table.IntVal(1), table.VecVal([]float32{1})},
+		{table.IntVal(1), table.VecVal([]float32{1, 2})},
+	})
+	agg, err := NewHashAggregate(in, []string{"g"}, []AggSpec{{Kind: VecSum, Col: "blk", As: "s"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Open(); err == nil {
+		t.Fatal("ragged VecSum must error")
+	}
+}
+
+func TestHashAggregateValidation(t *testing.T) {
+	s := intsSchema()
+	if _, err := NewHashAggregate(NewMemScan(s, nil), []string{"ghost"}, nil); err == nil {
+		t.Fatal("unknown group column must error")
+	}
+	if _, err := NewHashAggregate(NewMemScan(s, nil), nil, []AggSpec{{Kind: Sum, Col: "ghost", As: "s"}}); err == nil {
+		t.Fatal("unknown agg column must error")
+	}
+	if _, err := NewHashAggregate(NewMemScan(s, nil), nil, []AggSpec{{Kind: Sum, Col: "v"}}); err == nil {
+		t.Fatal("missing output name must error")
+	}
+}
+
+func TestSortAscDesc(t *testing.T) {
+	s := intsSchema()
+	in := rows([2]float64{3, 3}, [2]float64{1, 1}, [2]float64{2, 2})
+	asc, err := NewSort(NewMemScan(s, in), "id", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(asc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0].Int != 1 || got[2][0].Int != 3 {
+		t.Fatalf("asc sort = %v", got)
+	}
+	desc, err := NewSort(NewMemScan(s, in), "id", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Collect(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0].Int != 3 {
+		t.Fatalf("desc sort = %v", got)
+	}
+}
+
+func TestPipelineComposition(t *testing.T) {
+	// scan → filter → project → sort → limit end to end.
+	s := intsSchema()
+	var in []table.Tuple
+	for i := 0; i < 100; i++ {
+		in = append(in, table.Tuple{table.IntVal(int64(i)), table.FloatVal(float64(i % 10))})
+	}
+	f := NewFilter(NewMemScan(s, in), func(tp table.Tuple) (bool, error) { return tp[1].Float >= 5, nil })
+	p, err := NewProject(f, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srt, err := NewSort(p, "id", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(NewLimit(srt, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0][0].Int != 99 {
+		t.Fatalf("pipeline = %v", got)
+	}
+}
+
+func TestNestedLoopJoinMatchesHashJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	mk := func() ([]table.Tuple, []table.Tuple) {
+		l := make([]table.Tuple, 30)
+		r := make([]table.Tuple, 25)
+		for i := range l {
+			l[i] = table.Tuple{table.IntVal(int64(rng.Intn(8))), table.FloatVal(float64(i))}
+		}
+		for i := range r {
+			r[i] = table.Tuple{table.IntVal(int64(rng.Intn(8))), table.FloatVal(float64(-i))}
+		}
+		return l, r
+	}
+	lrows, rrows := mk()
+	hj, err := NewHashJoin(
+		NewMemScan(joinSchema("k", "lv"), lrows),
+		NewMemScan(joinSchema("k", "rv"), rrows), "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hjRows, err := Collect(hj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := NewNestedLoopJoin(
+		NewMemScan(joinSchema("k", "lv"), lrows),
+		NewMemScan(joinSchema("k", "rv"), rrows),
+		func(l, r table.Tuple) (bool, error) { return l[0].Int == r[0].Int, nil })
+	nlRows, err := Collect(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hjRows) != len(nlRows) {
+		t.Fatalf("hash join %d rows, nested loop %d", len(hjRows), len(nlRows))
+	}
+}
+
+func TestNestedLoopJoinArbitraryPredicate(t *testing.T) {
+	l := []table.Tuple{{table.IntVal(1), table.FloatVal(5)}}
+	r := []table.Tuple{{table.IntVal(9), table.FloatVal(3)}, {table.IntVal(9), table.FloatVal(7)}}
+	nl := NewNestedLoopJoin(
+		NewMemScan(joinSchema("k", "lv"), l),
+		NewMemScan(joinSchema("k", "rv"), r),
+		func(a, b table.Tuple) (bool, error) { return a[1].Float > b[1].Float, nil })
+	rows, err := Collect(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][3].Float != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+}

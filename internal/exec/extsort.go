@@ -1,0 +1,180 @@
+package exec
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"tensorbase/internal/storage"
+	"tensorbase/internal/table"
+)
+
+// ExternalSort sorts arbitrarily large inputs in bounded memory: the input
+// is consumed in runs of at most RunRows tuples, each run is sorted and
+// written to a heap file (spilling through the buffer pool like any other
+// relation), and the runs are k-way merged on demand. It is the
+// out-of-core counterpart of Sort, in the same spirit as the
+// relation-centric tensor path: bounded memory, disk-backed state.
+type ExternalSort struct {
+	in      Operator
+	col     string
+	desc    bool
+	pool    *storage.BufferPool
+	RunRows int // max tuples held in memory at once (default 1024)
+
+	colIdx int
+	less   func(a, b table.Tuple) bool
+	runs   []*table.Scanner
+	merge  mergeHeap
+	opened bool
+}
+
+// NewExternalSort returns an external sort of in by col, spilling runs
+// through pool.
+func NewExternalSort(in Operator, col string, desc bool, pool *storage.BufferPool) (*ExternalSort, error) {
+	idx := in.Schema().ColIndex(col)
+	if idx < 0 {
+		return nil, fmt.Errorf("exec: external sort: unknown column %q", col)
+	}
+	typ := in.Schema().Cols[idx].Type
+	if typ == table.FloatVec {
+		return nil, fmt.Errorf("exec: cannot sort by vector column %q", col)
+	}
+	s := &ExternalSort{in: in, col: col, desc: desc, pool: pool, RunRows: 1024, colIdx: idx}
+	base := func(a, b table.Tuple) bool {
+		switch typ {
+		case table.Int64:
+			return a[idx].Int < b[idx].Int
+		case table.Float64:
+			return a[idx].Float < b[idx].Float
+		default:
+			return a[idx].Str < b[idx].Str
+		}
+	}
+	if desc {
+		s.less = func(a, b table.Tuple) bool { return base(b, a) }
+	} else {
+		s.less = base
+	}
+	return s, nil
+}
+
+// Schema implements Operator.
+func (s *ExternalSort) Schema() *table.Schema { return s.in.Schema() }
+
+// Open implements Operator: it drains the input into sorted spill runs and
+// prepares the merge.
+func (s *ExternalSort) Open() error {
+	if s.RunRows < 1 {
+		return fmt.Errorf("exec: external sort run size %d < 1", s.RunRows)
+	}
+	if err := s.in.Open(); err != nil {
+		return err
+	}
+	s.runs = nil
+	buf := make([]table.Tuple, 0, s.RunRows)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		sort.SliceStable(buf, func(i, j int) bool { return s.less(buf[i], buf[j]) })
+		run, err := table.NewHeap(s.pool, s.in.Schema())
+		if err != nil {
+			return err
+		}
+		for _, t := range buf {
+			if _, err := run.Insert(t); err != nil {
+				return err
+			}
+		}
+		s.runs = append(s.runs, run.Scan())
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		t, ok, err := s.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, t)
+		if len(buf) == s.RunRows {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	// Prime the merge heap with each run's head.
+	s.merge = mergeHeap{less: s.less}
+	for i, run := range s.runs {
+		t, ok, err := run.Next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			s.merge.items = append(s.merge.items, mergeItem{t: t, run: i})
+		}
+	}
+	heap.Init(&s.merge)
+	s.opened = true
+	return nil
+}
+
+// Next implements Operator.
+func (s *ExternalSort) Next() (table.Tuple, bool, error) {
+	if !s.opened {
+		return nil, false, fmt.Errorf("exec: ExternalSort.Next before Open")
+	}
+	if s.merge.Len() == 0 {
+		return nil, false, nil
+	}
+	top := s.merge.items[0]
+	next, ok, err := s.runs[top.run].Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		s.merge.items[0] = mergeItem{t: next, run: top.run}
+		heap.Fix(&s.merge, 0)
+	} else {
+		heap.Pop(&s.merge)
+	}
+	return top.t, true, nil
+}
+
+// Close implements Operator. Spill runs remain in the pool's file; they are
+// transient pages reclaimed when the database file is discarded.
+func (s *ExternalSort) Close() error {
+	s.runs = nil
+	s.merge.items = nil
+	s.opened = false
+	return s.in.Close()
+}
+
+type mergeItem struct {
+	t   table.Tuple
+	run int
+}
+
+type mergeHeap struct {
+	items []mergeItem
+	less  func(a, b table.Tuple) bool
+}
+
+func (h *mergeHeap) Len() int           { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool { return h.less(h.items[i].t, h.items[j].t) }
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

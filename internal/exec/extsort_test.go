@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"tensorbase/internal/storage"
+	"tensorbase/internal/table"
+)
+
+func sortPool(t *testing.T, frames int) *storage.BufferPool {
+	t.Helper()
+	d, err := storage.OpenDisk(filepath.Join(t.TempDir(), "sort.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return storage.NewBufferPool(d, frames)
+}
+
+func TestExternalSortMatchesInMemorySort(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	s := intsSchema()
+	var in []table.Tuple
+	for i := 0; i < 5000; i++ {
+		in = append(in, table.Tuple{table.IntVal(int64(rng.Intn(1000))), table.FloatVal(float64(i))})
+	}
+	mem, err := NewSort(NewMemScan(s, in), "id", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Collect(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := NewExternalSort(NewMemScan(s, in), "id", false, sortPool(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext.RunRows = 128 // force ~40 spill runs
+	got, err := Collect(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i][0].Int != want[i][0].Int {
+			t.Fatalf("row %d: key %d, want %d", i, got[i][0].Int, want[i][0].Int)
+		}
+	}
+}
+
+func TestExternalSortDescAndTypes(t *testing.T) {
+	pool := sortPool(t, 8)
+	s := table.MustSchema(table.Column{Name: "name", Type: table.Text})
+	in := []table.Tuple{{table.TextVal("b")}, {table.TextVal("a")}, {table.TextVal("c")}}
+	ext, err := NewExternalSort(NewMemScan(s, in), "name", true, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext.RunRows = 1
+	got, err := Collect(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0].Str != "c" || got[2][0].Str != "a" {
+		t.Fatalf("desc text sort = %v", got)
+	}
+}
+
+func TestExternalSortValidation(t *testing.T) {
+	pool := sortPool(t, 4)
+	s := table.MustSchema(table.Column{Name: "v", Type: table.FloatVec})
+	if _, err := NewExternalSort(NewMemScan(s, nil), "v", false, pool); err == nil {
+		t.Fatal("vector sort key must be rejected")
+	}
+	if _, err := NewExternalSort(NewMemScan(intsSchema(), nil), "ghost", false, pool); err == nil {
+		t.Fatal("unknown column must be rejected")
+	}
+	ext, err := NewExternalSort(NewMemScan(intsSchema(), nil), "id", false, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ext.Next(); err == nil {
+		t.Fatal("Next before Open must error")
+	}
+	ext.RunRows = 0
+	if err := ext.Open(); err == nil {
+		t.Fatal("run size 0 must error")
+	}
+}
+
+func TestExternalSortEmptyInput(t *testing.T) {
+	ext, err := NewExternalSort(NewMemScan(intsSchema(), nil), "id", false, sortPool(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("rows = %d", len(got))
+	}
+}
+
+// Property: external sort is stable-equivalent to the in-memory sort for
+// random inputs, run sizes, and directions.
+func TestExternalSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := intsSchema()
+		n := rng.Intn(400)
+		in := make([]table.Tuple, n)
+		for i := range in {
+			in[i] = table.Tuple{table.IntVal(int64(rng.Intn(20))), table.FloatVal(float64(i))}
+		}
+		desc := rng.Intn(2) == 0
+		mem, err := NewSort(NewMemScan(s, in), "id", desc)
+		if err != nil {
+			return false
+		}
+		want, err := Collect(mem)
+		if err != nil {
+			return false
+		}
+		pool := quickSortPool()
+		ext, err := NewExternalSort(NewMemScan(s, in), "id", desc, pool)
+		if err != nil {
+			return false
+		}
+		ext.RunRows = 1 + rng.Intn(50)
+		got, err := Collect(ext)
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i][0].Int != want[i][0].Int {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickSortPool builds a pool for property iterations without a *testing.T.
+func quickSortPool() *storage.BufferPool {
+	f, err := os.CreateTemp("", "extsort-*.db")
+	if err != nil {
+		panic(err)
+	}
+	path := f.Name()
+	f.Close()
+	os.Remove(path) // recreate as a fresh page file
+	d, err := storage.OpenDisk(path)
+	if err != nil {
+		panic(err)
+	}
+	return storage.NewBufferPool(d, 64)
+}

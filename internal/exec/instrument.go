@@ -1,0 +1,95 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tensorbase/internal/table"
+)
+
+// Instrumented wraps an operator and records rows produced and time spent
+// inside it (cumulative across Open and Next) — the per-operator view an
+// EXPLAIN ANALYZE renders.
+type Instrumented struct {
+	in      Operator
+	name    string
+	rows    int64
+	elapsed time.Duration
+}
+
+// Instrument wraps op under a display name.
+func Instrument(name string, op Operator) *Instrumented {
+	return &Instrumented{in: op, name: name}
+}
+
+// Name returns the display name.
+func (i *Instrumented) Name() string { return i.name }
+
+// Rows returns the number of rows produced so far.
+func (i *Instrumented) Rows() int64 { return i.rows }
+
+// Elapsed returns the cumulative time inside Open and Next. Time spent in
+// the operator's own inputs is included (wall-clock semantics, like
+// EXPLAIN ANALYZE's actual time).
+func (i *Instrumented) Elapsed() time.Duration { return i.elapsed }
+
+// Schema implements Operator.
+func (i *Instrumented) Schema() *table.Schema { return i.in.Schema() }
+
+// Open implements Operator.
+func (i *Instrumented) Open() error {
+	start := time.Now()
+	err := i.in.Open()
+	i.elapsed += time.Since(start)
+	return err
+}
+
+// Next implements Operator.
+func (i *Instrumented) Next() (table.Tuple, bool, error) {
+	start := time.Now()
+	t, ok, err := i.in.Next()
+	i.elapsed += time.Since(start)
+	if ok {
+		i.rows++
+	}
+	return t, ok, err
+}
+
+// Close implements Operator.
+func (i *Instrumented) Close() error { return i.in.Close() }
+
+// StageStat is one row of a query profile.
+type StageStat struct {
+	Name    string
+	Rows    int64
+	Elapsed time.Duration
+}
+
+// Profile drains stats from instrumented stages, outermost first.
+func Profile(stages []*Instrumented) []StageStat {
+	out := make([]StageStat, len(stages))
+	for i, s := range stages {
+		out[i] = StageStat{Name: s.Name(), Rows: s.Rows(), Elapsed: s.Elapsed()}
+	}
+	return out
+}
+
+// FormatProfile renders stage stats with self-time (outer minus inner),
+// assuming stages are ordered outermost → innermost.
+func FormatProfile(stats []StageStat) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %10s %14s %14s\n", "stage", "rows", "total", "self")
+	for i, s := range stats {
+		self := s.Elapsed
+		if i+1 < len(stats) {
+			self -= stats[i+1].Elapsed
+			if self < 0 {
+				self = 0
+			}
+		}
+		fmt.Fprintf(&sb, "%-12s %10d %14s %14s\n",
+			s.Name, s.Rows, s.Elapsed.Round(time.Microsecond), self.Round(time.Microsecond))
+	}
+	return sb.String()
+}

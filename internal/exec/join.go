@@ -1,0 +1,211 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"tensorbase/internal/table"
+)
+
+// HashJoin is an equi-join: it builds a hash table over the right input's
+// key column and probes with the left input. Output tuples are left columns
+// followed by right columns (disambiguated via Schema.Concat).
+type HashJoin struct {
+	left, right       Operator
+	leftCol, rightCol string
+	schema            *table.Schema
+	leftIdx, rightIdx int
+	built             map[int64][]table.Tuple
+	cur               table.Tuple // current probe tuple
+	matches           []table.Tuple
+	matchPos          int
+}
+
+// NewHashJoin joins left and right on equality of Int64 columns
+// leftCol = rightCol.
+func NewHashJoin(left, right Operator, leftCol, rightCol string) (*HashJoin, error) {
+	li := left.Schema().ColIndex(leftCol)
+	if li < 0 {
+		return nil, fmt.Errorf("exec: join: unknown left column %q", leftCol)
+	}
+	ri := right.Schema().ColIndex(rightCol)
+	if ri < 0 {
+		return nil, fmt.Errorf("exec: join: unknown right column %q", rightCol)
+	}
+	if left.Schema().Cols[li].Type != table.Int64 || right.Schema().Cols[ri].Type != table.Int64 {
+		return nil, fmt.Errorf("exec: hash join requires INT key columns")
+	}
+	return &HashJoin{
+		left: left, right: right,
+		leftCol: leftCol, rightCol: rightCol,
+		schema:  left.Schema().Concat(right.Schema()),
+		leftIdx: li, rightIdx: ri,
+	}, nil
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() *table.Schema { return j.schema }
+
+// Open implements Operator: it consumes the right (build) side eagerly.
+func (j *HashJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	j.built = make(map[int64][]table.Tuple)
+	for {
+		t, ok, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := t[j.rightIdx].Int
+		j.built[k] = append(j.built[k], t)
+	}
+	j.cur = nil
+	j.matches = nil
+	j.matchPos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (table.Tuple, bool, error) {
+	for {
+		if j.matchPos < len(j.matches) {
+			r := j.matches[j.matchPos]
+			j.matchPos++
+			return concatTuple(j.cur, r), true, nil
+		}
+		t, ok, err := j.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.cur = t
+		j.matches = j.built[t[j.leftIdx].Int]
+		j.matchPos = 0
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.built = nil
+	err := j.left.Close()
+	if err2 := j.right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+func concatTuple(a, b table.Tuple) table.Tuple {
+	out := make(table.Tuple, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// BandJoin is the similarity join of Sec. 7.2.1: it matches left and right
+// tuples whose Float64 join columns differ by at most eps, using sorted
+// inputs and a sliding band — O((n+m)·log + output) instead of the
+// nested-loop O(n·m).
+type BandJoin struct {
+	left, right       Operator
+	leftCol, rightCol string
+	eps               float64
+	schema            *table.Schema
+	leftIdx, rightIdx int
+
+	leftRows  []table.Tuple // sorted by join key
+	rightRows []table.Tuple // sorted by join key
+	li        int           // current left row
+	lo        int           // left edge of the right-side band
+	bandPos   int           // cursor within the band for the current left row
+}
+
+// NewBandJoin joins left and right where |leftCol - rightCol| <= eps.
+func NewBandJoin(left, right Operator, leftCol, rightCol string, eps float64) (*BandJoin, error) {
+	li := left.Schema().ColIndex(leftCol)
+	if li < 0 {
+		return nil, fmt.Errorf("exec: band join: unknown left column %q", leftCol)
+	}
+	ri := right.Schema().ColIndex(rightCol)
+	if ri < 0 {
+		return nil, fmt.Errorf("exec: band join: unknown right column %q", rightCol)
+	}
+	if left.Schema().Cols[li].Type != table.Float64 || right.Schema().Cols[ri].Type != table.Float64 {
+		return nil, fmt.Errorf("exec: band join requires DOUBLE key columns")
+	}
+	if eps < 0 {
+		return nil, fmt.Errorf("exec: band join epsilon must be non-negative, got %g", eps)
+	}
+	return &BandJoin{
+		left: left, right: right,
+		leftCol: leftCol, rightCol: rightCol, eps: eps,
+		schema:  left.Schema().Concat(right.Schema()),
+		leftIdx: li, rightIdx: ri,
+	}, nil
+}
+
+// Schema implements Operator.
+func (j *BandJoin) Schema() *table.Schema { return j.schema }
+
+// Open implements Operator: it materialises and sorts both inputs.
+func (j *BandJoin) Open() error {
+	var err error
+	j.leftRows, err = Collect(j.left)
+	if err != nil {
+		return err
+	}
+	j.rightRows, err = Collect(j.right)
+	if err != nil {
+		return err
+	}
+	li, ri := j.leftIdx, j.rightIdx
+	sort.SliceStable(j.leftRows, func(a, b int) bool {
+		return j.leftRows[a][li].Float < j.leftRows[b][li].Float
+	})
+	sort.SliceStable(j.rightRows, func(a, b int) bool {
+		return j.rightRows[a][ri].Float < j.rightRows[b][ri].Float
+	})
+	j.li, j.lo, j.bandPos = 0, 0, 0
+	if len(j.leftRows) > 0 {
+		j.advanceBand()
+	}
+	return nil
+}
+
+// advanceBand moves lo to the first right row within eps of the current
+// left row and positions bandPos there.
+func (j *BandJoin) advanceBand() {
+	v := j.leftRows[j.li][j.leftIdx].Float
+	for j.lo < len(j.rightRows) && j.rightRows[j.lo][j.rightIdx].Float < v-j.eps {
+		j.lo++
+	}
+	j.bandPos = j.lo
+}
+
+// Next implements Operator.
+func (j *BandJoin) Next() (table.Tuple, bool, error) {
+	for j.li < len(j.leftRows) {
+		v := j.leftRows[j.li][j.leftIdx].Float
+		if j.bandPos < len(j.rightRows) && j.rightRows[j.bandPos][j.rightIdx].Float <= v+j.eps {
+			r := j.rightRows[j.bandPos]
+			j.bandPos++
+			return concatTuple(j.leftRows[j.li], r), true, nil
+		}
+		j.li++
+		if j.li < len(j.leftRows) {
+			j.advanceBand()
+		}
+	}
+	return nil, false, nil
+}
+
+// Close implements Operator.
+func (j *BandJoin) Close() error {
+	j.leftRows, j.rightRows = nil, nil
+	return nil
+}

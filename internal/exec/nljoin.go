@@ -1,0 +1,78 @@
+package exec
+
+import "tensorbase/internal/table"
+
+// JoinPredicate decides whether a left/right tuple pair joins.
+type JoinPredicate func(left, right table.Tuple) (bool, error)
+
+// NestedLoopJoin joins on an arbitrary predicate — the fallback for join
+// conditions the specialised joins (hash equi-join, band join) cannot
+// handle, and the reference implementation they are tested against. The
+// right input is materialised; the left streams.
+type NestedLoopJoin struct {
+	left, right Operator
+	pred        JoinPredicate
+	schema      *table.Schema
+
+	rightRows []table.Tuple
+	cur       table.Tuple
+	pos       int
+}
+
+// NewNestedLoopJoin joins left and right on pred.
+func NewNestedLoopJoin(left, right Operator, pred JoinPredicate) *NestedLoopJoin {
+	return &NestedLoopJoin{
+		left: left, right: right, pred: pred,
+		schema: left.Schema().Concat(right.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *NestedLoopJoin) Schema() *table.Schema { return j.schema }
+
+// Open implements Operator.
+func (j *NestedLoopJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	rows, err := Collect(j.right)
+	if err != nil {
+		return err
+	}
+	j.rightRows = rows
+	j.cur = nil
+	j.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (j *NestedLoopJoin) Next() (table.Tuple, bool, error) {
+	for {
+		if j.cur == nil {
+			t, ok, err := j.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.cur = t
+			j.pos = 0
+		}
+		for j.pos < len(j.rightRows) {
+			r := j.rightRows[j.pos]
+			j.pos++
+			ok, err := j.pred(j.cur, r)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return concatTuple(j.cur, r), true, nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+// Close implements Operator.
+func (j *NestedLoopJoin) Close() error {
+	j.rightRows = nil
+	return j.left.Close()
+}

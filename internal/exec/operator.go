@@ -1,0 +1,253 @@
+// Package exec implements the Volcano-style relational executor: scans,
+// filters, projections, hash and similarity joins, hash aggregation, sort,
+// and limit. These are the operators the relation-centric representation
+// lowers tensor computations onto (matrix multiply → join + aggregation) and
+// the substrate for ordinary SQL processing around model inference.
+package exec
+
+import (
+	"fmt"
+
+	"tensorbase/internal/table"
+)
+
+// Operator is a pull-based relational operator. The contract is
+// Open → Next* → Close; Next returns ok=false at end of stream.
+type Operator interface {
+	// Schema describes the tuples produced by Next.
+	Schema() *table.Schema
+	// Open prepares the operator (and its inputs) for iteration.
+	Open() error
+	// Next produces the next tuple, or ok=false at the end.
+	Next() (table.Tuple, bool, error)
+	// Close releases resources. It must be safe to call after an error.
+	Close() error
+}
+
+// Collect drains op into a slice, handling Open/Close.
+func Collect(op Operator) ([]table.Tuple, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []table.Tuple
+	for {
+		t, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// MemScan produces tuples from an in-memory slice.
+type MemScan struct {
+	schema *table.Schema
+	rows   []table.Tuple
+	pos    int
+}
+
+// NewMemScan returns a scan over rows with the given schema.
+func NewMemScan(schema *table.Schema, rows []table.Tuple) *MemScan {
+	return &MemScan{schema: schema, rows: rows}
+}
+
+// Schema implements Operator.
+func (m *MemScan) Schema() *table.Schema { return m.schema }
+
+// Open implements Operator.
+func (m *MemScan) Open() error { m.pos = 0; return nil }
+
+// Next implements Operator.
+func (m *MemScan) Next() (table.Tuple, bool, error) {
+	if m.pos >= len(m.rows) {
+		return nil, false, nil
+	}
+	t := m.rows[m.pos]
+	m.pos++
+	return t, true, nil
+}
+
+// Close implements Operator.
+func (m *MemScan) Close() error { return nil }
+
+// HeapScan produces tuples from a heap file, one pinned page at a time.
+type HeapScan struct {
+	heap *table.Heap
+	scan *table.Scanner
+}
+
+// NewHeapScan returns a scan over h.
+func NewHeapScan(h *table.Heap) *HeapScan { return &HeapScan{heap: h} }
+
+// Schema implements Operator.
+func (s *HeapScan) Schema() *table.Schema { return s.heap.Schema() }
+
+// Open implements Operator.
+func (s *HeapScan) Open() error { s.scan = s.heap.Scan(); return nil }
+
+// Next implements Operator.
+func (s *HeapScan) Next() (table.Tuple, bool, error) {
+	if s.scan == nil {
+		return nil, false, fmt.Errorf("exec: HeapScan.Next before Open")
+	}
+	return s.scan.Next()
+}
+
+// Close implements Operator.
+func (s *HeapScan) Close() error { s.scan = nil; return nil }
+
+// Predicate decides whether a tuple passes a filter.
+type Predicate func(table.Tuple) (bool, error)
+
+// Filter passes through tuples satisfying a predicate.
+type Filter struct {
+	in   Operator
+	pred Predicate
+}
+
+// NewFilter returns a filter over in.
+func NewFilter(in Operator, pred Predicate) *Filter {
+	return &Filter{in: in, pred: pred}
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *table.Schema { return f.in.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.in.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (table.Tuple, bool, error) {
+	for {
+		t, ok, err := f.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass, err := f.pred(t)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return t, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.in.Close() }
+
+// Project keeps the named columns, in order.
+type Project struct {
+	in     Operator
+	schema *table.Schema
+	idx    []int
+}
+
+// NewProject returns a projection of in onto cols.
+func NewProject(in Operator, cols ...string) (*Project, error) {
+	schema, err := in.Schema().Project(cols...)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = in.Schema().ColIndex(c)
+	}
+	return &Project{in: in, schema: schema, idx: idx}, nil
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *table.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.in.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() (table.Tuple, bool, error) {
+	t, ok, err := p.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(table.Tuple, len(p.idx))
+	for i, j := range p.idx {
+		out[i] = t[j]
+	}
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.in.Close() }
+
+// MapFunc transforms a tuple; it is how fine-grained UDFs (e.g. a per-block
+// tensor kernel) plug into the relational pipeline.
+type MapFunc func(table.Tuple) (table.Tuple, error)
+
+// Map applies a tuple transformation with an explicit output schema.
+type Map struct {
+	in     Operator
+	schema *table.Schema
+	fn     MapFunc
+}
+
+// NewMap returns a map operator producing tuples of outSchema.
+func NewMap(in Operator, outSchema *table.Schema, fn MapFunc) *Map {
+	return &Map{in: in, schema: outSchema, fn: fn}
+}
+
+// Schema implements Operator.
+func (m *Map) Schema() *table.Schema { return m.schema }
+
+// Open implements Operator.
+func (m *Map) Open() error { return m.in.Open() }
+
+// Next implements Operator.
+func (m *Map) Next() (table.Tuple, bool, error) {
+	t, ok, err := m.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out, err := m.fn(t)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (m *Map) Close() error { return m.in.Close() }
+
+// Limit passes through at most n tuples.
+type Limit struct {
+	in   Operator
+	n    int
+	seen int
+}
+
+// NewLimit returns a limit of n rows over in.
+func NewLimit(in Operator, n int) *Limit { return &Limit{in: in, n: n} }
+
+// Schema implements Operator.
+func (l *Limit) Schema() *table.Schema { return l.in.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open() error { l.seen = 0; return l.in.Open() }
+
+// Next implements Operator.
+func (l *Limit) Next() (table.Tuple, bool, error) {
+	if l.seen >= l.n {
+		return nil, false, nil
+	}
+	t, ok, err := l.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return t, true, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.in.Close() }

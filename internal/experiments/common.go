@@ -1,0 +1,183 @@
+// Package experiments implements the paper's evaluation (Sec. 7): one
+// driver per table/figure that builds the workload, runs every compared
+// system, and returns the result rows. The cmd/bench binary prints them;
+// bench_test.go wraps the per-system inner loops as testing.B benchmarks.
+//
+// Absolute numbers differ from the paper (the substrate is a single-box
+// simulation, not an r4.2xlarge with TensorFlow/PyTorch), but each driver
+// reproduces the comparison's *shape*: who wins, who OOMs, and roughly by
+// what factor.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tensorbase/internal/memlimit"
+	"tensorbase/internal/storage"
+	"tensorbase/internal/table"
+	"tensorbase/internal/tensor"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// Quick shrinks workloads for CI/test runs; the full configuration
+	// is used by cmd/bench.
+	Quick bool
+	// Dir is where database files are created (default: a temp dir).
+	Dir string
+	// Seed drives all data generation.
+	Seed int64
+}
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 7
+	}
+	return c.Seed
+}
+
+// workdir returns a directory for database files plus a cleanup func.
+func (c Config) workdir() (string, func(), error) {
+	if c.Dir != "" {
+		return c.Dir, func() {}, nil
+	}
+	dir, err := os.MkdirTemp("", "tensorbase-exp-")
+	if err != nil {
+		return "", nil, err
+	}
+	return dir, func() { os.RemoveAll(dir) }, nil
+}
+
+// Row is one reported measurement.
+type Row struct {
+	Exp      string        // experiment id: fig2, fig3, table3, pushdown, cache
+	Workload string        // model / dataset
+	System   string        // ours | udf-centric | tensorflow(graph) | pytorch(eager) | ...
+	Batch    int           // batch size (0 if not applicable)
+	Latency  time.Duration // end-to-end latency; 0 when Status != OK
+	Status   string        // "OK" or "OOM"
+	Note     string        // free-form: speedup, accuracy, ...
+}
+
+// Format renders rows as an aligned text table.
+func Format(rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-9s %-18s %-19s %7s %12s %-5s %s\n",
+		"exp", "workload", "system", "batch", "latency", "stat", "note")
+	for _, r := range rows {
+		lat := "-"
+		if r.Status == "OK" {
+			lat = r.Latency.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(&sb, "%-9s %-18s %-19s %7d %12s %-5s %s\n",
+			r.Exp, r.Workload, r.System, r.Batch, lat, r.Status, r.Note)
+	}
+	return sb.String()
+}
+
+// newPoolAt opens a fresh database file in dir and returns its pool.
+func newPoolAt(dir, name string, frames int) (*storage.BufferPool, func() error, error) {
+	disk, err := storage.OpenDisk(filepath.Join(dir, name))
+	if err != nil {
+		return nil, nil, err
+	}
+	return storage.NewBufferPool(disk, frames), disk.Close, nil
+}
+
+// storeFeatureTable writes an (n, width) tensor into a heap as
+// (id, features) rows and returns the heap.
+func storeFeatureTable(pool *storage.BufferPool, x *tensor.Tensor) (*table.Heap, error) {
+	schema := table.MustSchema(
+		table.Column{Name: "id", Type: table.Int64},
+		table.Column{Name: "features", Type: table.FloatVec},
+	)
+	h, err := table.NewHeap(pool, schema)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < x.Dim(0); i++ {
+		if _, err := h.Insert(table.Tuple{
+			table.IntVal(int64(i)),
+			table.VecVal(x.Row(i)),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// chunkedSchema stores tensors too large for one record as chunk rows.
+var chunkedSchema = table.MustSchema(
+	table.Column{Name: "tensor_id", Type: table.Int64},
+	table.Column{Name: "chunk", Type: table.Int64},
+	table.Column{Name: "data", Type: table.FloatVec},
+)
+
+const chunkFloats = 8000 // 32 KB per chunk, fits one record
+
+// storeTensorChunked writes each "row" of dimension 0 of x (e.g. one image)
+// as a sequence of chunk tuples.
+func storeTensorChunked(pool *storage.BufferPool, x *tensor.Tensor) (*table.Heap, error) {
+	h, err := table.NewHeap(pool, chunkedSchema)
+	if err != nil {
+		return nil, err
+	}
+	n := x.Dim(0)
+	per := x.Len() / n
+	for i := 0; i < n; i++ {
+		row := x.Data()[i*per : (i+1)*per]
+		for c := 0; c*chunkFloats < len(row); c++ {
+			end := min((c+1)*chunkFloats, len(row))
+			if _, err := h.Insert(table.Tuple{
+				table.IntVal(int64(i)),
+				table.IntVal(int64(c)),
+				table.VecVal(row[c*chunkFloats : end]),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return h, nil
+}
+
+// loadTensorChunked reassembles n rows of per floats each from a chunked
+// heap (scan order matches insertion order).
+func loadTensorChunked(h *table.Heap, n, per int) (*tensor.Tensor, error) {
+	out := tensor.New(n, per)
+	sc := h.Scan()
+	for {
+		t, ok, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		i := int(t[0].Int)
+		c := int(t[1].Int)
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("experiments: chunk for tensor %d out of range", i)
+		}
+		copy(out.Data()[i*per+c*chunkFloats:], t[2].Vec)
+	}
+	return out, nil
+}
+
+// oomRow builds a Row for an out-of-memory outcome, propagating unexpected
+// errors instead.
+func oomRow(base Row, err error) (Row, error) {
+	if errIsOOM(err) {
+		base.Status = "OOM"
+		return base, nil
+	}
+	return Row{}, err
+}
+
+func errIsOOM(err error) bool {
+	return errors.Is(err, memlimit.ErrOOM)
+}

@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tensorbase/internal/connector"
+	"tensorbase/internal/core"
+	"tensorbase/internal/data"
+	"tensorbase/internal/dlruntime"
+	"tensorbase/internal/exec"
+	"tensorbase/internal/memlimit"
+	"tensorbase/internal/nn"
+	"tensorbase/internal/storage"
+	"tensorbase/internal/table"
+	"tensorbase/internal/tensor"
+	"tensorbase/internal/udf"
+)
+
+// Wire models the part of the cross-system path our in-process connector
+// cannot measure: the socket hop and the client-side parse/materialisation
+// of the PostgreSQL → ConnectorX → framework pipeline. Costs are charged as
+// a single sleep per transfer: a throughput term plus a per-value term (the
+// database wire protocol and the dataframe conversion touch every value).
+type Wire struct {
+	BytesPerSec float64
+	PerValue    time.Duration
+	PerRow      time.Duration
+}
+
+// DefaultWire reflects a local socket (≈1 GiB/s), ≈20ns of protocol parse +
+// conversion per value, and ≈2µs of driver overhead per row — conservative
+// relative to measured ConnectorX costs.
+func DefaultWire() Wire {
+	return Wire{BytesPerSec: 1 << 30, PerValue: 20 * time.Nanosecond, PerRow: 2 * time.Microsecond}
+}
+
+// Delay sleeps for the modelled cost of moving the given traffic.
+func (w Wire) Delay(rows, values, bytes int64) {
+	d := time.Duration(float64(bytes) / w.BytesPerSec * float64(time.Second))
+	d += time.Duration(values) * w.PerValue
+	d += time.Duration(rows) * w.PerRow
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// interleavedBestOf measures the paths round-robin (f0, f1, …, f0, f1, …)
+// for three rounds so page-cache and allocator warm-up affect every path
+// equally, and returns each path's best run.
+func interleavedBestOf(fs ...func() (time.Duration, error)) ([]time.Duration, error) {
+	best := make([]time.Duration, len(fs))
+	for round := 0; round < 3; round++ {
+		for i, f := range fs {
+			d, err := f()
+			if err != nil {
+				return nil, err
+			}
+			if best[i] == 0 || d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+	return best, nil
+}
+
+// heapRowSource adapts a heap's FloatVec column to connector.RowSource.
+type heapRowSource struct {
+	scan    *table.Scanner
+	featIdx int
+}
+
+func newHeapRowSource(h *table.Heap, featCol string) (*heapRowSource, error) {
+	idx := h.Schema().ColIndex(featCol)
+	if idx < 0 {
+		return nil, fmt.Errorf("experiments: no column %q", featCol)
+	}
+	return &heapRowSource{scan: h.Scan(), featIdx: idx}, nil
+}
+
+// NextRow implements connector.RowSource.
+func (s *heapRowSource) NextRow() ([]float32, bool, error) {
+	t, ok, err := s.scan.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return t[s.featIdx].Vec, true, nil
+}
+
+// fig2Workload is one bar group of Figure 2/3.
+type figWorkload struct {
+	model *nn.Model
+	rows  int
+	width int // flat feature width
+	x     *tensor.Tensor
+}
+
+// runOurs measures the in-database path: heap scan → adaptive inference
+// UDF over stored rows. Returns end-to-end latency.
+func runOurs(pool *storage.BufferPool, heap *table.Heap, model *nn.Model, budget *memlimit.Budget, threshold int64, batch int) (time.Duration, int, error) {
+	u := core.NewAdaptiveUDF(model, core.NewOptimizer(threshold), pool, budget)
+	op, err := udf.NewInferOp(exec.NewHeapScan(heap), u, "features", batch)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	rows, err := exec.Collect(op)
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), len(rows), nil
+}
+
+// runDLCentric measures the DL-centric path: heap scan → connector encode /
+// wire / decode → external runtime inference. The session is pre-loaded
+// (models stay resident in serving systems); transfer and inference are on
+// the clock, as in the paper's measurements.
+func runDLCentric(heap *table.Heap, width int, sess *dlruntime.Session, wire Wire) (time.Duration, int, error) {
+	src, err := newHeapRowSource(heap, "features")
+	if err != nil {
+		return 0, 0, err
+	}
+	var stats connector.Stats
+	start := time.Now()
+	x, err := connector.Transfer(src, width, 1024, &stats)
+	if err != nil {
+		return 0, 0, err
+	}
+	rows, _, bytes := stats.Snapshot()
+	wire.Delay(rows, rows*int64(width), bytes)
+	out, err := sess.Infer(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Results travel back across the wire too.
+	wire.Delay(int64(out.Dim(0)), int64(out.Len()), out.Bytes())
+	return time.Since(start), out.Dim(0), nil
+}
+
+// Fig2 reproduces Figure 2: latency of FFNN inference queries over data
+// managed by the RDBMS — our adaptive in-database serving vs the DL-centric
+// architecture on the Graph (TensorFlow-like) and Eager (PyTorch-like)
+// profiles. Small models fit the memory threshold, so the optimizer fuses
+// them into a single in-database UDF and the cross-system transfer becomes
+// the baselines' bottleneck.
+func Fig2(cfg Config) ([]Row, error) {
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	rows := 20000
+	encRows := 400
+	if cfg.Quick {
+		rows = 2000
+		encRows = 60
+	}
+	workloads := []figWorkload{
+		{model: nn.FraudFC(rng, 256), rows: rows, width: 28},
+		{model: nn.FraudFC(rng, 512), rows: rows, width: 28},
+		{model: nn.EncoderFC(rng), rows: encRows, width: 76},
+	}
+	for i := range workloads {
+		workloads[i].x = data.Dense(cfg.seed()+int64(i), workloads[i].rows, workloads[i].width)
+	}
+	return runFig(cfg, "fig2", workloads, false)
+}
+
+// Fig3 reproduces Figure 3: the CNN counterpart, on DeepBench-CONV1.
+// Images exceed the single-record limit, so they are stored as chunked
+// tensors in the heap — as the paper loads samples into netsDB.
+func Fig3(cfg Config) ([]Row, error) {
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	batch := 4
+	if cfg.Quick {
+		batch = 1
+	}
+	m := nn.DeepBenchConv1(rng)
+	x := data.Images(cfg.seed()+100, batch, 112, 64)
+	w := figWorkload{model: m, rows: batch, width: 112 * 112 * 64, x: x.Reshape(batch, 112*112*64)}
+	return runFig(cfg, "fig3", []figWorkload{w}, true)
+}
+
+// runFig executes one figure's comparison over its workloads.
+func runFig(cfg Config, exp string, workloads []figWorkload, chunked bool) ([]Row, error) {
+	dir, cleanup, err := cfg.workdir()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	wire := DefaultWire()
+	var out []Row
+	for wi, w := range workloads {
+		pool, closeDB, err := newPoolAt(dir, fmt.Sprintf("%s-%d.db", exp, wi), 4096)
+		if err != nil {
+			return nil, err
+		}
+		if chunked {
+			// Images exceed the single-record limit; all paths read the
+			// same chunked representation from the heap, measured
+			// interleaved so warm-up is shared.
+			ch, err := storeTensorChunked(pool, w.x)
+			if err != nil {
+				return nil, err
+			}
+			oursFn := oursChunkedFn(pool, ch, w)
+			graphFn, closeGraph, err := dlChunkedFn(ch, w, dlruntime.Graph, wire)
+			if err != nil {
+				return nil, err
+			}
+			eagerFn, closeEager, err := dlChunkedFn(ch, w, dlruntime.Eager, wire)
+			if err != nil {
+				return nil, err
+			}
+			lats, err := interleavedBestOf(oursFn, graphFn, eagerFn)
+			closeGraph()
+			closeEager()
+			if err != nil {
+				return nil, err
+			}
+			ours := Row{Exp: exp, Workload: w.model.Name(), System: "ours(in-db)", Batch: w.rows, Latency: lats[0], Status: "OK"}
+			out = append(out, ours,
+				Row{Exp: exp, Workload: w.model.Name(), System: dlName(dlruntime.Graph), Batch: w.rows, Latency: lats[1], Status: "OK", Note: speedupNote(lats[0], lats[1])},
+				Row{Exp: exp, Workload: w.model.Name(), System: dlName(dlruntime.Eager), Batch: w.rows, Latency: lats[2], Status: "OK", Note: speedupNote(lats[0], lats[2])},
+			)
+			closeDB()
+			continue
+		}
+		heap, err := storeFeatureTable(pool, w.x)
+		if err != nil {
+			return nil, err
+		}
+		oursFn := func() (time.Duration, error) {
+			d, n, err := runOurs(pool, heap, w.model, memlimit.Unlimited(), 2<<30, 256)
+			if err == nil && n != w.rows {
+				return 0, fmt.Errorf("experiments: ours produced %d rows, want %d", n, w.rows)
+			}
+			return d, err
+		}
+		graphRT := dlruntime.New(dlruntime.Graph, 0)
+		graphSess, err := graphRT.Load(w.model)
+		if err != nil {
+			return nil, err
+		}
+		eagerRT := dlruntime.New(dlruntime.Eager, 0)
+		eagerSess, err := eagerRT.Load(w.model)
+		if err != nil {
+			return nil, err
+		}
+		dlFn := func(sess *dlruntime.Session) func() (time.Duration, error) {
+			return func() (time.Duration, error) {
+				d, _, err := runDLCentric(heap, w.width, sess, wire)
+				return d, err
+			}
+		}
+		lats, err := interleavedBestOf(oursFn, dlFn(graphSess), dlFn(eagerSess))
+		graphSess.Close()
+		eagerSess.Close()
+		if err != nil {
+			return nil, err
+		}
+		ours := Row{Exp: exp, Workload: w.model.Name(), System: "ours(in-db)", Batch: w.rows, Latency: lats[0], Status: "OK"}
+		out = append(out, ours,
+			Row{Exp: exp, Workload: w.model.Name(), System: dlName(dlruntime.Graph), Batch: w.rows, Latency: lats[1], Status: "OK", Note: speedupNote(lats[0], lats[1])},
+			Row{Exp: exp, Workload: w.model.Name(), System: dlName(dlruntime.Eager), Batch: w.rows, Latency: lats[2], Status: "OK", Note: speedupNote(lats[0], lats[2])},
+		)
+		closeDB()
+	}
+	return out, nil
+}
+
+// oursChunkedFn builds the measured in-database path over a chunked store.
+func oursChunkedFn(pool *storage.BufferPool, ch *table.Heap, w figWorkload) func() (time.Duration, error) {
+	u := core.NewAdaptiveUDF(w.model, core.NewOptimizer(2<<30), pool, memlimit.Unlimited())
+	return func() (time.Duration, error) {
+		start := time.Now()
+		x, err := loadTensorChunked(ch, w.rows, w.width)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := u.Apply(x); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+}
+
+// dlChunkedFn builds the measured DL-centric path over a chunked store.
+// The returned closer releases the pre-loaded session.
+func dlChunkedFn(ch *table.Heap, w figWorkload, profile dlruntime.Profile, wire Wire) (func() (time.Duration, error), func(), error) {
+	rt := dlruntime.New(profile, 0)
+	sess, err := rt.Load(w.model)
+	if err != nil {
+		return nil, nil, err
+	}
+	run := func() (time.Duration, error) {
+		start := time.Now()
+		x, err := loadTensorChunked(ch, w.rows, w.width)
+		if err != nil {
+			return 0, err
+		}
+		// Ship rows across the connector into the runtime's layout.
+		var stats connector.Stats
+		xr, err := connector.Transfer(connector.NewTensorSource(x), w.width, 1, &stats)
+		if err != nil {
+			return 0, err
+		}
+		rows, _, bytes := stats.Snapshot()
+		wire.Delay(rows, rows*int64(w.width), bytes)
+		shape := append([]int(nil), w.model.InShape...)
+		shape[0] = w.rows
+		out, err := sess.Infer(xr.Reshape(shape...))
+		if err != nil {
+			return 0, err
+		}
+		wire.Delay(int64(w.rows), int64(out.Len()), out.Bytes())
+		return time.Since(start), nil
+	}
+	return run, func() { sess.Close() }, nil
+}
+
+func dlName(p dlruntime.Profile) string {
+	if p == dlruntime.Graph {
+		return "dl-centric(graph)"
+	}
+	return "dl-centric(eager)"
+}
+
+func speedupNote(ours, theirs time.Duration) string {
+	if ours <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("ours is %.2fx faster", float64(theirs)/float64(ours))
+}

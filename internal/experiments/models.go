@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"tensorbase/internal/nn"
+)
+
+// ModelZoo renders Tables 1 and 2 of the paper: the fully connected and
+// convolutional model families the evaluation serves, with per-model
+// parameter sizes and the optimizer's memory estimate of the largest
+// operator at a reference batch size.
+func ModelZoo(cfg Config) (string, error) {
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	amazonScale, landScale := 256, 10
+	if cfg.Quick {
+		amazonScale, landScale = 512, 20
+	}
+	var sb strings.Builder
+	sb.WriteString("Table 1: fully connected models (features/hidden/outputs)\n")
+	fcs := []struct {
+		m     *nn.Model
+		dims  string
+		batch int
+	}{
+		{nn.FraudFC(rng, 256), "28 / 256 / 2", 1000},
+		{nn.FraudFC(rng, 512), "28 / 512 / 2", 1000},
+		{nn.EncoderFC(rng), "76 / 3072 / 768", 1000},
+	}
+	in, hid, out := nn.Amazon14kDims(amazonScale)
+	fcs = append(fcs, struct {
+		m     *nn.Model
+		dims  string
+		batch int
+	}{nn.Amazon14kFC(rng, amazonScale), fmt.Sprintf("%d / %d / %d (597540/1024/14588 ÷ %d)", in, hid, out, amazonScale), 1000})
+
+	fmt.Fprintf(&sb, "%-16s %-42s %12s %14s\n", "model", "dims", "params", "maxOp@b1000")
+	for _, f := range fcs {
+		maxOp, err := f.m.MaxOpBytes(f.batch)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "%-16s %-42s %12s %14s\n", f.m.Name(), f.dims, fmtBytes(f.m.ParamBytes()), fmtBytes(maxOp))
+	}
+
+	sb.WriteString("\nTable 2: convolutional models (stride 1, no padding)\n")
+	hw, oc := nn.LandCoverDims(landScale)
+	convs := []struct {
+		m    *nn.Model
+		dims string
+	}{
+		{nn.DeepBenchConv1(rng), "input 112x112x64, kernel 64x64x1x1"},
+		{nn.LandCover(rng, landScale), fmt.Sprintf("input %dx%dx3, kernel %dx3x1x1 (2500/2048 ÷ %d)", hw, hw, oc, landScale)},
+	}
+	fmt.Fprintf(&sb, "%-16s %-42s %12s %14s\n", "model", "dims", "params", "maxOp@b1")
+	for _, c := range convs {
+		maxOp, err := c.m.MaxOpBytes(1)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "%-16s %-42s %12s %14s\n", c.m.Name(), c.dims, fmtBytes(c.m.ParamBytes()), fmtBytes(maxOp))
+	}
+	return sb.String(), nil
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

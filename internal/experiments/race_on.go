@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is active; timing-shape tests
+// skip their latency assertions because instrumentation overhead (10-30×,
+// unevenly distributed) invalidates cross-system comparisons.
+const raceEnabled = true

@@ -1,0 +1,121 @@
+// Package memlimit provides cooperative memory accounting with a hard
+// budget. It is how the repository reproduces the resource-constrained
+// environment of the paper's evaluation (an r4.2xlarge with an effective
+// per-operator limit): every runtime that allocates tensors — the simulated
+// external DL runtime, the in-database UDF executor, and the relation-centric
+// block executor — reserves its working-set bytes against a Budget and
+// receives ErrOOM when the reservation would exceed the limit, exactly where
+// TensorFlow/PyTorch/the UDF build would have thrown an out-of-memory error.
+package memlimit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrOOM is returned when a reservation would exceed the budget's limit.
+var ErrOOM = errors.New("memlimit: out of memory")
+
+// Budget tracks reserved bytes against a fixed limit. A zero or negative
+// limit means unlimited. Budget is safe for concurrent use.
+type Budget struct {
+	mu       sync.Mutex
+	limit    int64
+	reserved int64
+	peak     int64
+}
+
+// NewBudget returns a budget with the given limit in bytes.
+// limit <= 0 means unlimited.
+func NewBudget(limit int64) *Budget {
+	return &Budget{limit: limit}
+}
+
+// Unlimited returns a budget that never refuses a reservation.
+func Unlimited() *Budget { return &Budget{} }
+
+// Limit returns the configured limit in bytes (0 if unlimited).
+func (b *Budget) Limit() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.limit
+}
+
+// Reserve claims n bytes. It returns a wrapped ErrOOM without claiming
+// anything if the reservation would exceed the limit.
+func (b *Budget) Reserve(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("memlimit: negative reservation %d", n)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.limit > 0 && b.reserved+n > b.limit {
+		return fmt.Errorf("%w: need %d bytes, %d of %d already reserved",
+			ErrOOM, n, b.reserved, b.limit)
+	}
+	b.reserved += n
+	if b.reserved > b.peak {
+		b.peak = b.reserved
+	}
+	return nil
+}
+
+// Release returns n bytes to the budget. Releasing more than is reserved
+// panics: it indicates double-free accounting in the caller.
+func (b *Budget) Release(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("memlimit: negative release %d", n))
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n > b.reserved {
+		panic(fmt.Sprintf("memlimit: release of %d bytes exceeds %d reserved", n, b.reserved))
+	}
+	b.reserved -= n
+}
+
+// Reserved returns the currently reserved byte count.
+func (b *Budget) Reserved() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reserved
+}
+
+// Peak returns the high-water mark of reserved bytes.
+func (b *Budget) Peak() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.peak
+}
+
+// Reset releases all reservations and clears the peak. Intended for reusing
+// one budget across benchmark iterations.
+func (b *Budget) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reserved = 0
+	b.peak = 0
+}
+
+// Reservation is a convenience handle that releases its bytes exactly once.
+type Reservation struct {
+	budget *Budget
+	n      int64
+	once   sync.Once
+}
+
+// TryReserve reserves n bytes and returns a handle that releases them via
+// Close. The handle's Close is idempotent.
+func (b *Budget) TryReserve(n int64) (*Reservation, error) {
+	if err := b.Reserve(n); err != nil {
+		return nil, err
+	}
+	return &Reservation{budget: b, n: n}, nil
+}
+
+// Close releases the reservation. Safe to call multiple times.
+func (r *Reservation) Close() error {
+	r.once.Do(func() { r.budget.Release(r.n) })
+	return nil
+}

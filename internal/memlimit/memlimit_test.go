@@ -1,0 +1,175 @@
+package memlimit
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestReserveWithinLimit(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Reserve(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reserve(40); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Reserved(); got != 100 {
+		t.Fatalf("Reserved = %d, want 100", got)
+	}
+}
+
+func TestReserveOverLimitReturnsErrOOM(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Reserve(101); !errors.Is(err, ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM", err)
+	}
+	if got := b.Reserved(); got != 0 {
+		t.Fatalf("failed reservation must not claim bytes, Reserved = %d", got)
+	}
+}
+
+func TestOOMBoundaryExact(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Reserve(100); err != nil {
+		t.Fatalf("reservation equal to the limit must succeed: %v", err)
+	}
+	if err := b.Reserve(1); !errors.Is(err, ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM", err)
+	}
+}
+
+func TestUnlimitedNeverRefuses(t *testing.T) {
+	b := Unlimited()
+	if err := b.Reserve(1 << 60); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseRestoresCapacity(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Reserve(100); err != nil {
+		t.Fatal(err)
+	}
+	b.Release(50)
+	if err := b.Reserve(50); err != nil {
+		t.Fatalf("reserve after release failed: %v", err)
+	}
+}
+
+func TestReleaseTooMuchPanics(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Reserve(10); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release should panic")
+		}
+	}()
+	b.Release(11)
+}
+
+func TestNegativeReservationRejected(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Reserve(-1); err == nil {
+		t.Fatal("negative reservation must error")
+	}
+}
+
+func TestPeakTracksHighWater(t *testing.T) {
+	b := NewBudget(0)
+	mustReserve(t, b, 70)
+	b.Release(50)
+	mustReserve(t, b, 10)
+	if got := b.Peak(); got != 70 {
+		t.Fatalf("Peak = %d, want 70", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := NewBudget(100)
+	mustReserve(t, b, 80)
+	b.Reset()
+	if b.Reserved() != 0 || b.Peak() != 0 {
+		t.Fatalf("Reset left reserved=%d peak=%d", b.Reserved(), b.Peak())
+	}
+	mustReserve(t, b, 100)
+}
+
+func TestTryReserveCloseIdempotent(t *testing.T) {
+	b := NewBudget(100)
+	r, err := b.TryReserve(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close() // must not double-release
+	if got := b.Reserved(); got != 0 {
+		t.Fatalf("Reserved after Close = %d", got)
+	}
+}
+
+func TestTryReserveOOM(t *testing.T) {
+	b := NewBudget(10)
+	if _, err := b.TryReserve(11); !errors.Is(err, ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM", err)
+	}
+}
+
+func TestConcurrentReserveReleaseNeverExceedsLimit(t *testing.T) {
+	const limit = 1000
+	b := NewBudget(limit)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := b.Reserve(7); err == nil {
+					if r := b.Reserved(); r > limit {
+						t.Errorf("reserved %d exceeds limit", r)
+					}
+					b.Release(7)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Reserved() != 0 {
+		t.Fatalf("leaked %d bytes", b.Reserved())
+	}
+}
+
+// Property: any interleaving of successful reserves and matching releases
+// leaves the budget balanced, and reserved never exceeds the limit.
+func TestReserveReleaseBalanceProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		b := NewBudget(1 << 20)
+		var held []int64
+		for _, s := range sizes {
+			n := int64(s)
+			if err := b.Reserve(n); err == nil {
+				held = append(held, n)
+			}
+			if b.Reserved() > 1<<20 {
+				return false
+			}
+		}
+		for _, n := range held {
+			b.Release(n)
+		}
+		return b.Reserved() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustReserve(t *testing.T, b *Budget, n int64) {
+	t.Helper()
+	if err := b.Reserve(n); err != nil {
+		t.Fatal(err)
+	}
+}

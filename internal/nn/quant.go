@@ -1,0 +1,259 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"tensorbase/internal/tensor"
+)
+
+// Model compression (Sec. 4): the storage optimizer keeps compressed
+// versions of a model with different size/accuracy trade-offs, and the
+// query layer picks a version by SLA. This file implements symmetric 8-bit
+// weight quantization — both as a model transformation (Quantize8, for
+// measuring the accuracy cost) and as a storage format (SaveQuantized, a
+// TBM1 variant whose tensors are int8 + scale, one quarter the bytes).
+
+// Quantize8 returns a copy of m whose Linear and Conv2D weights are snapped
+// to a symmetric 256-level grid (biases stay exact). The returned model
+// behaves like the original would after a quantized save/load round trip,
+// so its measured accuracy is the accuracy of the compressed version.
+func Quantize8(m *Model, name string) (*Model, error) {
+	layers := make([]Layer, len(m.Layers))
+	for i, l := range m.Layers {
+		switch l := l.(type) {
+		case *Linear:
+			q := &Linear{W: quantizeTensor(l.W)}
+			if l.B != nil {
+				q.B = l.B.Clone()
+			}
+			layers[i] = q
+		case *Conv2D:
+			layers[i] = &Conv2D{K: quantizeTensor(l.K), UseIm2Col: l.UseIm2Col}
+		default:
+			layers[i] = l
+		}
+	}
+	return NewModel(name, m.InShape, layers...)
+}
+
+// quantizeTensor snaps t to int8 resolution and dequantizes back.
+func quantizeTensor(t *tensor.Tensor) *tensor.Tensor {
+	scale := quantScale(t.Data())
+	out := tensor.New(t.Shape()...)
+	for i, v := range t.Data() {
+		out.Data()[i] = float32(quantClamp(v, scale)) * scale
+	}
+	return out
+}
+
+// quantScale returns max|x| / 127 (zero-safe).
+func quantScale(data []float32) float32 {
+	var maxAbs float32
+	for _, v := range data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 1
+	}
+	return maxAbs / 127
+}
+
+func quantClamp(v, scale float32) int8 {
+	q := math.Round(float64(v / scale))
+	if q > 127 {
+		q = 127
+	}
+	if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}
+
+// Quantized model format ("TBQ1"): like TBM1 but weight tensors are stored
+// as a float32 scale plus an int8 payload.
+
+const quantMagic = "TBQ1"
+
+// SaveQuantized writes m with 8-bit quantized weight tensors. Loading the
+// result (LoadQuantized) yields a model identical to Quantize8(m).
+func SaveQuantized(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(quantMagic); err != nil {
+		return err
+	}
+	writeString(bw, m.ModelName)
+	writeShape(bw, m.InShape)
+	writeUvarint(bw, uint64(len(m.Layers)))
+	for i, l := range m.Layers {
+		if err := writeQuantLayer(bw, l); err != nil {
+			return fmt.Errorf("nn: save quantized layer %d (%s): %w", i, l.Name(), err)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeQuantLayer(bw *bufio.Writer, l Layer) error {
+	switch l := l.(type) {
+	case *Linear:
+		bw.WriteByte(tagLinear)
+		writeQuantTensor(bw, l.W)
+		hasBias := byte(0)
+		if l.B != nil {
+			hasBias = 1
+		}
+		bw.WriteByte(hasBias)
+		if l.B != nil {
+			writeTensor(bw, l.B) // biases stay exact
+		}
+	case *Conv2D:
+		bw.WriteByte(tagConv2D)
+		writeQuantTensor(bw, l.K)
+		im2col := byte(0)
+		if l.UseIm2Col {
+			im2col = 1
+		}
+		bw.WriteByte(im2col)
+	case ReLU:
+		bw.WriteByte(tagReLU)
+	case Sigmoid:
+		bw.WriteByte(tagSigmoid)
+	case Softmax:
+		bw.WriteByte(tagSoftmax)
+	case Flatten:
+		bw.WriteByte(tagFlatten)
+	default:
+		return fmt.Errorf("unsupported layer type %T", l)
+	}
+	return nil
+}
+
+func writeQuantTensor(bw *bufio.Writer, t *tensor.Tensor) {
+	writeShape(bw, t.Shape())
+	scale := quantScale(t.Data())
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], math.Float32bits(scale))
+	bw.Write(buf[:])
+	for _, v := range t.Data() {
+		bw.WriteByte(byte(quantClamp(v, scale)))
+	}
+}
+
+func readQuantTensor(br *bufio.Reader) (*tensor.Tensor, error) {
+	shape, err := readShape(br)
+	if err != nil {
+		return nil, err
+	}
+	var buf [4]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, err
+	}
+	scale := math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
+	t := tensor.New(shape...)
+	payload := make([]byte, t.Len())
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, err
+	}
+	for i, b := range payload {
+		t.Data()[i] = float32(int8(b)) * scale
+	}
+	return t, nil
+}
+
+// LoadQuantized reads a TBQ1 model.
+func LoadQuantized(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(quantMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if string(magic) != quantMagic {
+		return nil, fmt.Errorf("nn: bad magic %q, want %q", magic, quantMagic)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	inShape, err := readShape(br)
+	if err != nil {
+		return nil, err
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<16 {
+		return nil, fmt.Errorf("nn: implausible layer count %d", count)
+	}
+	layers := make([]Layer, 0, count)
+	for i := uint64(0); i < count; i++ {
+		l, err := readQuantLayer(br)
+		if err != nil {
+			return nil, fmt.Errorf("nn: reading quantized layer %d: %w", i, err)
+		}
+		layers = append(layers, l)
+	}
+	return NewModel(name, inShape, layers...)
+}
+
+func readQuantLayer(br *bufio.Reader) (Layer, error) {
+	tag, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagLinear:
+		w, err := readQuantTensor(br)
+		if err != nil {
+			return nil, err
+		}
+		if w.Rank() != 2 {
+			return nil, fmt.Errorf("linear weight must be 2-D, got %v", w.Shape())
+		}
+		hasBias, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		l := &Linear{W: w}
+		if hasBias == 1 {
+			b, err := readTensor(br)
+			if err != nil {
+				return nil, err
+			}
+			l.B = b
+		}
+		return l, nil
+	case tagConv2D:
+		k, err := readQuantTensor(br)
+		if err != nil {
+			return nil, err
+		}
+		if k.Rank() != 4 {
+			return nil, fmt.Errorf("conv2d kernel must be 4-D, got %v", k.Shape())
+		}
+		im2col, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		return &Conv2D{K: k, UseIm2Col: im2col == 1}, nil
+	case tagReLU:
+		return ReLU{}, nil
+	case tagSigmoid:
+		return Sigmoid{}, nil
+	case tagSoftmax:
+		return Softmax{}, nil
+	case tagFlatten:
+		return Flatten{}, nil
+	default:
+		return nil, fmt.Errorf("unknown layer tag %d", tag)
+	}
+}

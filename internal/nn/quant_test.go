@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tensorbase/internal/tensor"
+)
+
+func trainedClusterModel(t *testing.T, seed int64) (*Model, *tensor.Tensor, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const n, d = 400, 12
+	x := tensor.New(n, d)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 3
+		labels[i] = cls
+		for j := 0; j < d; j++ {
+			// Class c is bright in its own third of the dimensions.
+			center := float32(0)
+			if j/4 == cls {
+				center = 2
+			}
+			x.Set(center+float32(rng.NormFloat64())*0.4, i, j)
+		}
+	}
+	m := MustModel("quant-src", []int{1, d},
+		NewLinear(rng, d, 24), ReLU{}, NewLinear(rng, 24, 3), Softmax{})
+	if _, err := Train(m, x, labels, TrainConfig{Epochs: 8, BatchSize: 32, LR: 0.1, Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	return m, x, labels
+}
+
+func TestQuantize8PreservesAccuracy(t *testing.T) {
+	m, x, labels := trainedClusterModel(t, 31)
+	orig, err := Accuracy(m, x.Clone(), labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize8(m, "quant-8bit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qacc, err := Accuracy(q, x.Clone(), labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig < 0.95 {
+		t.Fatalf("source model underfit: %.3f", orig)
+	}
+	// 8-bit symmetric quantization costs at most a few points here.
+	if qacc < orig-0.05 {
+		t.Fatalf("quantized accuracy %.3f vs original %.3f", qacc, orig)
+	}
+	if q.Name() != "quant-8bit" {
+		t.Fatalf("name = %q", q.Name())
+	}
+}
+
+func TestQuantize8WeightsOnGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	m := MustModel("g", []int{1, 8}, NewLinear(rng, 8, 4))
+	q, err := Quantize8(m, "g8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.Layers[0].(*Linear).W
+	scale := quantScale(m.Layers[0].(*Linear).W.Data())
+	for i, v := range w.Data() {
+		steps := float64(v / scale)
+		if math.Abs(steps-math.Round(steps)) > 1e-4 {
+			t.Fatalf("weight %d = %v is not on the %v grid", i, v, scale)
+		}
+	}
+	// Biases must be untouched.
+	if !q.Layers[0].(*Linear).B.Equal(m.Layers[0].(*Linear).B) {
+		t.Fatal("bias was quantized")
+	}
+}
+
+func TestSaveQuantizedRoundTripEqualsQuantize8(t *testing.T) {
+	m, x, _ := trainedClusterModel(t, 33)
+	var buf bytes.Buffer
+	if err := SaveQuantized(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadQuantized(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize8(m, m.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := loaded.Forward(x.Clone())
+	b := q.Forward(x.Clone())
+	if !a.AlmostEqual(b, 1e-5) {
+		t.Fatal("quantized save/load differs from Quantize8")
+	}
+}
+
+func TestSaveQuantizedIsSmaller(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	m := FraudFC(rng, 256)
+	var full, quant bytes.Buffer
+	if err := Save(&full, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveQuantized(&quant, m); err != nil {
+		t.Fatal(err)
+	}
+	// Weights shrink 4×; headers and biases keep the ratio a bit lower.
+	if quant.Len()*3 >= full.Len() {
+		t.Fatalf("quantized file %d bytes vs full %d, want >= 3x smaller", quant.Len(), full.Len())
+	}
+}
+
+func TestSaveQuantizedCNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	m := CacheCNN(rng, 10)
+	var buf bytes.Buffer
+	if err := SaveQuantized(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadQuantized(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 10, 10, 1)
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float32()
+	}
+	a := loaded.Forward(x.Clone())
+	q, err := Quantize8(m, m.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.AlmostEqual(q.Forward(x.Clone()), 1e-4) {
+		t.Fatal("CNN quantized round trip differs")
+	}
+}
+
+func TestLoadQuantizedRejectsWrongMagic(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	m := FraudFC(rng, 16)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil { // plain TBM1
+		t.Fatal(err)
+	}
+	if _, err := LoadQuantized(&buf); err == nil {
+		t.Fatal("TBM1 input must be rejected by LoadQuantized")
+	}
+}
+
+func TestQuantizeZeroWeights(t *testing.T) {
+	m := MustModel("z", []int{1, 4}, &Linear{W: tensor.New(2, 4)})
+	q, err := Quantize8(m, "z8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range q.Layers[0].(*Linear).W.Data() {
+		if v != 0 {
+			t.Fatalf("zero weights must stay zero, got %v", v)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tensorbase/internal/tensor"
+)
+
+// Training support (Sec. 6.1 extension): the paper notes that the
+// UDF-centric architecture extends to training by pairing each forward UDF
+// with a backward UDF and an SGD optimizer. This file implements exactly
+// that for classification models ending in Softmax with cross-entropy loss:
+// gradients flow through Linear, Conv2D, ReLU, Sigmoid and Flatten layers.
+
+// TrainConfig controls SGD training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float32
+	Seed      int64
+	// Verbose, when non-nil, receives a line per epoch.
+	Verbose func(format string, args ...any)
+}
+
+// Train fits m to (x, labels) with mini-batch SGD and cross-entropy loss.
+// x's first dimension is the sample count; labels[i] is the class of sample
+// i. The model must end in a Softmax layer. It returns the final-epoch
+// average training loss.
+func Train(m *Model, x *tensor.Tensor, labels []int, cfg TrainConfig) (float64, error) {
+	n := x.Dim(0)
+	if n != len(labels) {
+		return 0, fmt.Errorf("nn: %d samples but %d labels", n, len(labels))
+	}
+	if len(m.Layers) == 0 {
+		return 0, fmt.Errorf("nn: empty model")
+	}
+	if _, ok := m.Layers[len(m.Layers)-1].(Softmax); !ok {
+		return 0, fmt.Errorf("nn: Train requires a Softmax output layer, model %q ends in %s",
+			m.ModelName, m.Layers[len(m.Layers)-1].Name())
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.01
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sampleVol := x.Len() / n
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := min(start+cfg.BatchSize, n)
+			bsz := end - start
+			batchShape := append([]int(nil), x.Shape()...)
+			batchShape[0] = bsz
+			xb := tensor.New(batchShape...)
+			yb := make([]int, bsz)
+			for i := 0; i < bsz; i++ {
+				src := perm[start+i]
+				copy(xb.Data()[i*sampleVol:(i+1)*sampleVol], x.Data()[src*sampleVol:(src+1)*sampleVol])
+				yb[i] = labels[src]
+			}
+			loss, err := trainBatch(m, xb, yb, cfg.LR)
+			if err != nil {
+				return 0, err
+			}
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+		if cfg.Verbose != nil {
+			cfg.Verbose("epoch %d/%d loss %.4f", epoch+1, cfg.Epochs, lastLoss)
+		}
+	}
+	return lastLoss, nil
+}
+
+// trainBatch runs one forward/backward/update step and returns the batch
+// cross-entropy loss.
+func trainBatch(m *Model, xb *tensor.Tensor, yb []int, lr float32) (float64, error) {
+	// Forward pass, recording each layer's input. In-place layers (ReLU)
+	// alias, which is fine: their backward rule only needs the output.
+	inputs := make([]*tensor.Tensor, len(m.Layers))
+	act := xb
+	for i, l := range m.Layers {
+		inputs[i] = act
+		act = l.Forward(act)
+	}
+	probs := act // output of the final Softmax
+	bsz := len(yb)
+	nclass := probs.Dim(1)
+
+	var loss float64
+	for i, y := range yb {
+		if y < 0 || y >= nclass {
+			return 0, fmt.Errorf("nn: label %d out of range [0,%d)", y, nclass)
+		}
+		p := float64(probs.At(i, y))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+	}
+	loss /= float64(bsz)
+
+	// Softmax + cross-entropy gradient at the softmax input: (p - 1{y}) / B.
+	grad := probs.Clone()
+	inv := float32(1) / float32(bsz)
+	for i, y := range yb {
+		row := grad.Row(i)
+		for j := range row {
+			row[j] *= inv
+		}
+		row[y] -= inv
+	}
+
+	// Backward through the remaining layers, skipping the final Softmax
+	// (its gradient is already folded into grad).
+	for li := len(m.Layers) - 2; li >= 0; li-- {
+		switch l := m.Layers[li].(type) {
+		case *Linear:
+			grad = linearBackward(l, inputs[li], grad, lr)
+		case ReLU:
+			// inputs[li] aliases the post-ReLU output; zero grad where
+			// the activation was clipped.
+			out := inputs[li]
+			for i, v := range out.Data() {
+				if v <= 0 {
+					grad.Data()[i] = 0
+				}
+			}
+		case Flatten:
+			grad = grad.Reshape(inputs[li].Shape()...)
+		case *Conv2D:
+			grad = convBackward(l, inputs[li], grad, lr)
+		case Sigmoid:
+			out := inputs[li] // aliases the sigmoid output
+			for i, v := range out.Data() {
+				grad.Data()[i] *= v * (1 - v)
+			}
+		default:
+			return 0, fmt.Errorf("nn: no backward rule for layer %s", l.Name())
+		}
+	}
+	return loss, nil
+}
+
+// linearBackward updates l's parameters from dY and returns dX.
+// y = x·Wᵀ + b ⇒ dW = dYᵀ·x, db = colsum(dY), dX = dY·W.
+func linearBackward(l *Linear, x, dy *tensor.Tensor, lr float32) *tensor.Tensor {
+	dw := tensor.MatMul(tensor.Transpose(dy), x) // (out, in)
+	dx := tensor.MatMul(dy, l.W)                 // (batch, in)
+	wd := l.W.Data()
+	for i, g := range dw.Data() {
+		wd[i] -= lr * g
+	}
+	if l.B != nil {
+		bd := l.B.Data()
+		out := dy.Dim(1)
+		for i := 0; i < dy.Dim(0); i++ {
+			row := dy.Row(i)
+			for j := 0; j < out; j++ {
+				bd[j] -= lr * row[j]
+			}
+		}
+	}
+	return dx
+}
+
+// convBackward updates l's kernel from dY and returns dX, for the stride-1
+// no-padding convolution:
+//
+//	dK[o,ky,kx,c] = Σ_{b,y,x} dY[b,y,x,o] · X[b,y+ky,x+kx,c]
+//	dX[b,i,j,c]   = Σ_{o,ky,kx} dY[b,i−ky,j−kx,o] · K[o,ky,kx,c]
+func convBackward(l *Conv2D, x, dy *tensor.Tensor, lr float32) *tensor.Tensor {
+	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oc, kh, kw := l.K.Dim(0), l.K.Dim(1), l.K.Dim(2)
+	oh, ow := h-kh+1, w-kw+1
+	xd := x.Data()
+	dyd := dy.Data()
+	kd := l.K.Data()
+
+	dk := make([]float32, l.K.Len())
+	dx := tensor.New(n, h, w, c)
+	dxd := dx.Data()
+	for b := 0; b < n; b++ {
+		for y := 0; y < oh; y++ {
+			for xx := 0; xx < ow; xx++ {
+				dyOff := ((b*oh+y)*ow + xx) * oc
+				for ky := 0; ky < kh; ky++ {
+					for kx := 0; kx < kw; kx++ {
+						inOff := ((b*h+y+ky)*w + xx + kx) * c
+						for o := 0; o < oc; o++ {
+							g := dyd[dyOff+o]
+							if g == 0 {
+								continue
+							}
+							kOff := ((o*kh+ky)*kw + kx) * c
+							for ch := 0; ch < c; ch++ {
+								dk[kOff+ch] += g * xd[inOff+ch]
+								dxd[inOff+ch] += g * kd[kOff+ch]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for i, g := range dk {
+		kd[i] -= lr * g
+	}
+	return dx
+}
+
+// Accuracy returns the fraction of rows of x that m classifies as labels.
+func Accuracy(m *Model, x *tensor.Tensor, labels []int) (float64, error) {
+	pred, err := m.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	if len(pred) != len(labels) {
+		return 0, fmt.Errorf("nn: %d predictions but %d labels", len(pred), len(labels))
+	}
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels)), nil
+}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The model zoo reproduces Tables 1 and 2 of the paper. Models whose paper
+// dimensions exceed what a test box should chew through (Amazon-14k-FC,
+// LandCover) take a scale divisor: scale=1 reproduces the paper shapes,
+// larger values shrink the scaled dimensions proportionally while keeping
+// the architecture and the who-OOMs-where structure intact.
+
+// FraudFC builds the Fraud-FC-{hidden} model of Table 1:
+// 28 features → hidden → 2 classes, one hidden layer.
+func FraudFC(rng *rand.Rand, hidden int) *Model {
+	return MustModel(fmt.Sprintf("Fraud-FC-%d", hidden), []int{1, 28},
+		NewLinear(rng, 28, hidden), ReLU{},
+		NewLinear(rng, hidden, 2), Softmax{},
+	)
+}
+
+// EncoderFC builds the Encoder-FC model of Table 1: 76 → 3072 → 768.
+func EncoderFC(rng *rand.Rand) *Model {
+	return MustModel("Encoder-FC", []int{1, 76},
+		NewLinear(rng, 76, 3072), ReLU{},
+		NewLinear(rng, 3072, 768),
+	)
+}
+
+// Amazon14kDims returns the (features, hidden, outputs) of Amazon-14k-FC at
+// the given scale divisor. scale=1 is the paper's 597540/1024/14588.
+func Amazon14kDims(scale int) (in, hidden, out int) {
+	if scale < 1 {
+		scale = 1
+	}
+	in = 597540 / scale
+	hidden = 1024
+	out = 14588 / scale
+	if in < 1 {
+		in = 1
+	}
+	if out < 2 {
+		out = 2
+	}
+	return
+}
+
+// Amazon14kFC builds the Amazon-14k-FC model of Table 1 at a scale divisor.
+func Amazon14kFC(rng *rand.Rand, scale int) *Model {
+	in, hidden, out := Amazon14kDims(scale)
+	return MustModel("Amazon-14k-FC", []int{1, in},
+		NewLinear(rng, in, hidden), ReLU{},
+		NewLinear(rng, hidden, out),
+	)
+}
+
+// DeepBenchConv1 builds the DeepBench-CONV1 model of Table 2:
+// 112×112×64 input, 64 1×1×64 kernels, stride 1, no padding.
+func DeepBenchConv1(rng *rand.Rand) *Model {
+	return MustModel("DeepBench-CONV1", []int{1, 112, 112, 64},
+		NewConv2D(rng, 64, 1, 1, 64),
+	)
+}
+
+// LandCoverDims returns the (height/width, outChannels) of the LandCover
+// model at the given scale divisor. scale=1 is the paper's 2500×2500×3 input
+// with 2048 1×1×3 kernels.
+func LandCoverDims(scale int) (hw, outC int) {
+	if scale < 1 {
+		scale = 1
+	}
+	hw = 2500 / scale
+	outC = 2048 / scale
+	if hw < 4 {
+		hw = 4
+	}
+	if outC < 4 {
+		outC = 4
+	}
+	return
+}
+
+// LandCover builds the LandCover model of Table 2 at a scale divisor.
+func LandCover(rng *rand.Rand, scale int) *Model {
+	hw, outC := LandCoverDims(scale)
+	return MustModel("LandCover", []int{1, hw, hw, 3},
+		NewConv2D(rng, outC, 1, 1, 3),
+	)
+}
+
+// BoschFC builds the Sec. 7.2.1 model: one hidden layer of 256 neurons and a
+// 2-neuron output over 968 augmented features (W is 256×968).
+func BoschFC(rng *rand.Rand, features int) *Model {
+	return MustModel("Bosch-FC", []int{1, features},
+		NewLinear(rng, features, 256), ReLU{},
+		NewLinear(rng, 256, 2), Softmax{},
+	)
+}
+
+// CacheCNN builds the Sec. 7.2.2 CNN: two convolutional layers (32 then 16
+// 3×3 kernels) followed by fully connected layers of 64 and 10 neurons, over
+// side×side single-channel images.
+func CacheCNN(rng *rand.Rand, side int) *Model {
+	convOut := side - 4 // two valid 3×3 convs
+	flat := convOut * convOut * 16
+	return MustModel("Cache-CNN", []int{1, side, side, 1},
+		NewConv2D(rng, 32, 3, 3, 1), ReLU{},
+		NewConv2D(rng, 16, 3, 3, 32), ReLU{},
+		Flatten{},
+		NewLinear(rng, flat, 64), ReLU{},
+		NewLinear(rng, 64, 10), Softmax{},
+	)
+}
+
+// CacheFFNN builds the Sec. 7.2.2 FFNN: four fully connected layers of 128,
+// 1024, 2048 and 64 neurons plus a 10-class head, over flat inputs of the
+// given width (784 for MNIST).
+func CacheFFNN(rng *rand.Rand, in int) *Model {
+	return MustModel("Cache-FFNN", []int{1, in},
+		NewLinear(rng, in, 128), ReLU{},
+		NewLinear(rng, 128, 1024), ReLU{},
+		NewLinear(rng, 1024, 2048), ReLU{},
+		NewLinear(rng, 2048, 64), ReLU{},
+		NewLinear(rng, 64, 10), Softmax{},
+	)
+}

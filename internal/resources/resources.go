@@ -1,0 +1,159 @@
+// Package resources implements the unified resource management of Sec. 3:
+// a Governor that divides the machine's cores between the engine's query
+// workers and the tensor kernels' internal parallelism (the paper's
+// RDBMS-threads vs OpenMP-threads coordination problem), and a grid-search
+// Tuner for the hyper-parameter co-optimisation the section calls for —
+// picking the thread split and batch size that minimise measured latency.
+package resources
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"tensorbase/internal/tensor"
+)
+
+// Governor partitions a fixed number of compute tokens (cores) between
+// query-level parallelism and kernel-level parallelism. Acquire blocks
+// until tokens are available, so concurrent inference queries cannot
+// oversubscribe the machine the way independently-configured DB and BLAS
+// thread pools do.
+type Governor struct {
+	total  int
+	tokens chan struct{}
+}
+
+// NewGovernor returns a governor over n compute tokens (n <= 0 uses
+// GOMAXPROCS).
+func NewGovernor(n int) *Governor {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	g := &Governor{total: n, tokens: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		g.tokens <- struct{}{}
+	}
+	return g
+}
+
+// Total returns the token count.
+func (g *Governor) Total() int { return g.total }
+
+// Acquire blocks until n tokens are held. Acquiring more than Total panics
+// (it would deadlock).
+func (g *Governor) Acquire(n int) {
+	if n > g.total {
+		panic(fmt.Sprintf("resources: acquire of %d exceeds %d tokens", n, g.total))
+	}
+	for i := 0; i < n; i++ {
+		<-g.tokens
+	}
+}
+
+// TryAcquire attempts to take n tokens without blocking.
+func (g *Governor) TryAcquire(n int) bool {
+	if n > g.total {
+		return false
+	}
+	taken := 0
+	for taken < n {
+		select {
+		case <-g.tokens:
+			taken++
+		default:
+			g.Release(taken)
+			return false
+		}
+	}
+	return true
+}
+
+// Release returns n tokens.
+func (g *Governor) Release(n int) {
+	for i := 0; i < n; i++ {
+		select {
+		case g.tokens <- struct{}{}:
+		default:
+			panic("resources: release beyond capacity")
+		}
+	}
+}
+
+// Available returns the tokens currently free.
+func (g *Governor) Available() int { return len(g.tokens) }
+
+// ApplyKernelCap points the tensor kernels at the governor's split:
+// kernels may fan out to at most kernelThreads goroutines each.
+func ApplyKernelCap(kernelThreads int) {
+	tensor.SetMaxWorkers(kernelThreads)
+}
+
+// Config is one point in the tuning grid.
+type Config struct {
+	// Workers is the engine-side parallelism (e.g. concurrent batches).
+	Workers int
+	// KernelThreads caps per-kernel parallelism.
+	KernelThreads int
+	// Batch is the inference micro-batch size.
+	Batch int
+}
+
+// Grid enumerates the cross product of the candidate values, dropping
+// combinations that oversubscribe totalThreads (Workers × KernelThreads
+// must not exceed it) — the constraint existing tuners miss per Sec. 3.
+func Grid(totalThreads int, workers, kernels, batches []int) []Config {
+	var out []Config
+	for _, w := range workers {
+		for _, k := range kernels {
+			if w < 1 || k < 1 || w*k > totalThreads {
+				continue
+			}
+			for _, b := range batches {
+				if b < 1 {
+					continue
+				}
+				out = append(out, Config{Workers: w, KernelThreads: k, Batch: b})
+			}
+		}
+	}
+	return out
+}
+
+// Measurement is one tuning observation.
+type Measurement struct {
+	Config  Config
+	Latency time.Duration
+}
+
+// Tune runs the workload under every configuration (applying the kernel
+// cap for the duration of each run) and returns the measurements sorted
+// fastest first. The workload receives the configuration and returns its
+// measured latency; errors abort the search.
+func Tune(configs []Config, run func(Config) (time.Duration, error)) ([]Measurement, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("resources: empty configuration grid")
+	}
+	out := make([]Measurement, 0, len(configs))
+	defer tensor.SetMaxWorkers(0)
+	for _, cfg := range configs {
+		ApplyKernelCap(cfg.KernelThreads)
+		lat, err := run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("resources: tuning %+v: %w", cfg, err)
+		}
+		out = append(out, Measurement{Config: cfg, Latency: lat})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Latency < out[j].Latency })
+	return out, nil
+}
+
+// Best is a convenience wrapper returning only the winning configuration.
+func Best(configs []Config, run func(Config) (time.Duration, error)) (Config, error) {
+	ms, err := Tune(configs, run)
+	if err != nil {
+		return Config{}, err
+	}
+	return ms[0].Config, nil
+}

@@ -1,0 +1,144 @@
+package resources
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGovernorAcquireRelease(t *testing.T) {
+	g := NewGovernor(4)
+	if g.Total() != 4 || g.Available() != 4 {
+		t.Fatalf("total=%d avail=%d", g.Total(), g.Available())
+	}
+	g.Acquire(3)
+	if g.Available() != 1 {
+		t.Fatalf("avail = %d", g.Available())
+	}
+	g.Release(3)
+	if g.Available() != 4 {
+		t.Fatalf("avail = %d", g.Available())
+	}
+}
+
+func TestGovernorTryAcquire(t *testing.T) {
+	g := NewGovernor(2)
+	if !g.TryAcquire(2) {
+		t.Fatal("TryAcquire(2) should succeed")
+	}
+	if g.TryAcquire(1) {
+		t.Fatal("TryAcquire beyond capacity should fail")
+	}
+	g.Release(2)
+	if g.TryAcquire(3) {
+		t.Fatal("TryAcquire above total should fail")
+	}
+	if g.Available() != 2 {
+		t.Fatal("failed TryAcquire must not leak tokens")
+	}
+}
+
+func TestGovernorOverAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-acquire should panic")
+		}
+	}()
+	NewGovernor(1).Acquire(2)
+}
+
+func TestGovernorOverReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release should panic")
+		}
+	}()
+	NewGovernor(1).Release(1)
+}
+
+func TestGovernorBoundsConcurrency(t *testing.T) {
+	g := NewGovernor(3)
+	var inFlight, peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Acquire(1)
+			defer g.Release(1)
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("peak concurrency %d exceeds 3 tokens", got)
+	}
+	if g.Available() != 3 {
+		t.Fatalf("tokens leaked: %d", g.Available())
+	}
+}
+
+func TestGridRespectsThreadBudget(t *testing.T) {
+	cfgs := Grid(8, []int{1, 2, 4, 8}, []int{1, 2, 4, 8}, []int{64})
+	if len(cfgs) == 0 {
+		t.Fatal("empty grid")
+	}
+	for _, c := range cfgs {
+		if c.Workers*c.KernelThreads > 8 {
+			t.Fatalf("oversubscribed config %+v", c)
+		}
+	}
+	// 8 cores: (1,1..8)=4, (2,1..4)=3, (4,1..2)=2, (8,1)=1 → 10 configs.
+	if len(cfgs) != 10 {
+		t.Fatalf("grid size %d, want 10", len(cfgs))
+	}
+	if len(Grid(8, []int{0}, []int{1}, []int{0})) != 0 {
+		t.Fatal("invalid values must be dropped")
+	}
+}
+
+func TestTuneOrdersByLatencyAndPicksBest(t *testing.T) {
+	cfgs := Grid(4, []int{1, 2, 4}, []int{1}, []int{32, 128})
+	// Synthetic cost: workers=2, batch=128 is fastest.
+	cost := func(c Config) (time.Duration, error) {
+		d := time.Duration(100) * time.Microsecond
+		if c.Workers != 2 {
+			d += 50 * time.Microsecond
+		}
+		if c.Batch != 128 {
+			d += 30 * time.Microsecond
+		}
+		return d, nil
+	}
+	ms, err := Tune(cfgs, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Latency < ms[i-1].Latency {
+			t.Fatal("measurements not sorted")
+		}
+	}
+	best, err := Best(cfgs, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Workers != 2 || best.Batch != 128 {
+		t.Fatalf("best = %+v", best)
+	}
+}
+
+func TestTuneEmptyGrid(t *testing.T) {
+	if _, err := Tune(nil, nil); err == nil {
+		t.Fatal("empty grid must error")
+	}
+}

@@ -1,0 +1,269 @@
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNoFreeFrames is returned when every frame in the pool is pinned.
+var ErrNoFreeFrames = errors.New("storage: all buffer frames pinned")
+
+// Frame is a buffer-pool slot holding one page.
+type Frame struct {
+	id    PageID
+	data  [PageSize]byte
+	pins  int
+	dirty bool
+	// refBit marks recent use under the Clock policy.
+	refBit bool
+	// lruElem is the frame's position in the pool's LRU list when
+	// unpinned; nil while pinned.
+	lruElem *list.Element
+}
+
+// ID returns the page id currently held by the frame.
+func (f *Frame) ID() PageID { return f.id }
+
+// Data returns the frame's page bytes. Valid only while pinned.
+func (f *Frame) Data() []byte { return f.data[:] }
+
+// Page returns a slotted-page view of the frame. Valid only while pinned.
+func (f *Frame) Page() *Page { return NewPage(f.data[:]) }
+
+// PoolStats reports buffer pool activity; Evictions counts pages written
+// back or dropped to make room — the disk-spilling behaviour that lets the
+// relation-centric representation run tensors larger than memory.
+type PoolStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	DirtyOut  uint64 // evictions that required a write-back
+}
+
+// Policy selects the pool's page-replacement algorithm.
+type Policy int
+
+// Replacement policies.
+const (
+	// LRU evicts the least recently unpinned page (default).
+	LRU Policy = iota
+	// Clock sweeps a hand over the frames, giving each referenced page a
+	// second chance — cheaper bookkeeping per hit than LRU.
+	Clock
+)
+
+// BufferPool caches pages in a fixed number of frames with a configurable
+// replacement policy. Fetched pages are pinned and must be unpinned
+// (marking dirty if modified). It is safe for concurrent use.
+type BufferPool struct {
+	mu     sync.Mutex
+	disk   *DiskManager
+	policy Policy
+	frames []*Frame
+	table  map[PageID]*Frame
+	free   []*Frame
+	lru    *list.List // of *Frame, front = least recently used (LRU policy)
+	hand   int        // sweep position (Clock policy)
+	stats  PoolStats
+}
+
+// NewBufferPool returns an LRU pool of n frames over disk.
+func NewBufferPool(disk *DiskManager, n int) *BufferPool {
+	return NewBufferPoolWithPolicy(disk, n, LRU)
+}
+
+// NewBufferPoolWithPolicy returns a pool of n frames with the given
+// replacement policy.
+func NewBufferPoolWithPolicy(disk *DiskManager, n int, policy Policy) *BufferPool {
+	if n < 1 {
+		panic("storage: buffer pool needs at least one frame")
+	}
+	p := &BufferPool{
+		disk:   disk,
+		policy: policy,
+		frames: make([]*Frame, n),
+		table:  make(map[PageID]*Frame, n),
+		lru:    list.New(),
+	}
+	for i := range p.frames {
+		f := &Frame{id: InvalidPageID}
+		p.frames[i] = f
+		p.free = append(p.free, f)
+	}
+	return p
+}
+
+// Size returns the number of frames.
+func (p *BufferPool) Size() int { return len(p.frames) }
+
+// Stats returns a snapshot of pool counters.
+func (p *BufferPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Fetch pins page id into a frame, reading it from disk on a miss.
+func (p *BufferPool) Fetch(id PageID) (*Frame, error) {
+	p.mu.Lock()
+	if f, ok := p.table[id]; ok {
+		p.stats.Hits++
+		p.pinLocked(f)
+		p.mu.Unlock()
+		return f, nil
+	}
+	p.stats.Misses++
+	f, err := p.victimLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = false
+	p.table[id] = f
+	p.mu.Unlock()
+	// Read outside the lock: the frame is pinned so it cannot be evicted.
+	if err := p.disk.Read(id, f.data[:]); err != nil {
+		p.mu.Lock()
+		delete(p.table, id)
+		f.id = InvalidPageID
+		f.pins = 0
+		p.free = append(p.free, f)
+		p.mu.Unlock()
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewPage allocates a fresh page on disk, pins it, and formats it as an
+// empty slotted page.
+func (p *BufferPool) NewPage() (*Frame, error) {
+	id, err := p.disk.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	f, err := p.victimLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = true
+	p.table[id] = f
+	p.mu.Unlock()
+	InitPage(f.data[:])
+	return f, nil
+}
+
+// pinLocked pins an already-resident frame.
+func (p *BufferPool) pinLocked(f *Frame) {
+	if p.policy == LRU {
+		if f.lruElem != nil {
+			p.lru.Remove(f.lruElem)
+			f.lruElem = nil
+		}
+	} else {
+		f.refBit = true
+	}
+	f.pins++
+}
+
+// victimLocked returns an empty frame, evicting per the configured policy.
+// The returned frame is not in the page table.
+func (p *BufferPool) victimLocked() (*Frame, error) {
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		return f, nil
+	}
+	var f *Frame
+	if p.policy == LRU {
+		e := p.lru.Front()
+		if e == nil {
+			return nil, fmt.Errorf("%w (%d frames)", ErrNoFreeFrames, len(p.frames))
+		}
+		f = e.Value.(*Frame)
+		p.lru.Remove(e)
+		f.lruElem = nil
+	} else {
+		f = p.clockVictimLocked()
+		if f == nil {
+			return nil, fmt.Errorf("%w (%d frames)", ErrNoFreeFrames, len(p.frames))
+		}
+	}
+	delete(p.table, f.id)
+	p.stats.Evictions++
+	if f.dirty {
+		p.stats.DirtyOut++
+		// Write back while holding the lock. Correct first: the pool is
+		// not the bottleneck at our page sizes.
+		if err := p.disk.Write(f.id, f.data[:]); err != nil {
+			return nil, err
+		}
+	}
+	f.id = InvalidPageID
+	f.dirty = false
+	return f, nil
+}
+
+// clockVictimLocked sweeps the hand over the frames: pinned frames are
+// skipped, referenced frames get their bit cleared (second chance), the
+// first unpinned unreferenced frame is the victim. Two full sweeps with no
+// victim means everything is pinned.
+func (p *BufferPool) clockVictimLocked() *Frame {
+	for sweep := 0; sweep < 2*len(p.frames); sweep++ {
+		f := p.frames[p.hand]
+		p.hand = (p.hand + 1) % len(p.frames)
+		if f.pins > 0 || f.id == InvalidPageID {
+			continue
+		}
+		if f.refBit {
+			f.refBit = false
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+// Unpin releases one pin on page id, marking the page dirty if the caller
+// modified it. The page becomes evictable when its pin count reaches zero.
+func (p *BufferPool) Unpin(id PageID, dirty bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.table[id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of non-resident page %d", id)
+	}
+	if f.pins <= 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %d", id)
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	if f.pins == 0 && p.policy == LRU {
+		f.lruElem = p.lru.PushBack(f)
+	}
+	return nil
+}
+
+// FlushAll writes every dirty resident page back to disk.
+func (p *BufferPool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, f := range p.table {
+		if f.dirty {
+			if err := p.disk.Write(id, f.data[:]); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Slotted page layout. Records grow from the end of the page toward the
+// header; the slot directory grows from the header toward the records.
+//
+//	bytes 0..1   uint16 slot count
+//	bytes 2..3   uint16 free-space end (records start here, grows down)
+//	bytes 4..7   uint32 next page id in the heap-file chain
+//	bytes 8..    slot directory: per slot uint16 offset, uint16 length
+//
+// A slot with offset 0 marks a deleted record (0 can never be a valid
+// record offset because the header occupies it).
+
+const (
+	pageHeaderSize = 8
+	slotSize       = 4
+)
+
+// ErrPageFull is returned when a record does not fit in the page.
+var ErrPageFull = errors.New("storage: page full")
+
+// Page is a slotted record page over a PageSize byte buffer.
+type Page struct {
+	buf []byte
+}
+
+// NewPage wraps buf (length PageSize) as a slotted page. The caller must
+// have initialised it (InitPage) or read it from disk.
+func NewPage(buf []byte) *Page {
+	if len(buf) != PageSize {
+		panic(fmt.Sprintf("storage: page buffer is %d bytes, want %d", len(buf), PageSize))
+	}
+	return &Page{buf: buf}
+}
+
+// InitPage formats buf as an empty slotted page.
+func InitPage(buf []byte) *Page {
+	p := NewPage(buf)
+	p.setSlotCount(0)
+	p.setFreeEnd(PageSize)
+	p.SetNext(InvalidPageID)
+	return p
+}
+
+func (p *Page) slotCount() int     { return int(binary.LittleEndian.Uint16(p.buf[0:2])) }
+func (p *Page) setSlotCount(n int) { binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n)) }
+func (p *Page) freeEnd() int       { return int(binary.LittleEndian.Uint16(p.buf[2:4])) }
+func (p *Page) setFreeEnd(off int) { binary.LittleEndian.PutUint16(p.buf[2:4], uint16(off)) }
+
+// Next returns the next page id in the heap-file chain.
+func (p *Page) Next() PageID { return PageID(binary.LittleEndian.Uint32(p.buf[4:8])) }
+
+// SetNext links this page to the next page in the heap-file chain.
+func (p *Page) SetNext(id PageID) { binary.LittleEndian.PutUint32(p.buf[4:8], uint32(id)) }
+
+// NumSlots returns the number of slots (including deleted ones).
+func (p *Page) NumSlots() int { return p.slotCount() }
+
+func (p *Page) slotAt(i int) (off, length int) {
+	base := pageHeaderSize + i*slotSize
+	return int(binary.LittleEndian.Uint16(p.buf[base : base+2])),
+		int(binary.LittleEndian.Uint16(p.buf[base+2 : base+4]))
+}
+
+func (p *Page) setSlotAt(i, off, length int) {
+	base := pageHeaderSize + i*slotSize
+	binary.LittleEndian.PutUint16(p.buf[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[base+2:base+4], uint16(length))
+}
+
+// FreeSpace returns the bytes available for one more record (accounting for
+// its slot directory entry). Negative results clamp to zero.
+func (p *Page) FreeSpace() int {
+	free := p.freeEnd() - (pageHeaderSize + p.slotCount()*slotSize) - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// MaxRecordSize is the largest record that fits in an empty page.
+const MaxRecordSize = PageSize - pageHeaderSize - slotSize
+
+// Insert stores rec in the page and returns its slot index.
+// It returns ErrPageFull if the record does not fit.
+func (p *Page) Insert(rec []byte) (int, error) {
+	if len(rec) > MaxRecordSize {
+		return 0, fmt.Errorf("storage: record of %d bytes exceeds max %d", len(rec), MaxRecordSize)
+	}
+	if len(rec) > p.FreeSpace() {
+		return 0, ErrPageFull
+	}
+	off := p.freeEnd() - len(rec)
+	copy(p.buf[off:], rec)
+	slot := p.slotCount()
+	p.setSlotAt(slot, off, len(rec))
+	p.setSlotCount(slot + 1)
+	p.setFreeEnd(off)
+	return slot, nil
+}
+
+// Record returns the record in the given slot. The returned slice aliases
+// the page buffer; callers must copy if they retain it past the pin.
+// It returns false for deleted or out-of-range slots.
+func (p *Page) Record(slot int) ([]byte, bool) {
+	if slot < 0 || slot >= p.slotCount() {
+		return nil, false
+	}
+	off, length := p.slotAt(slot)
+	if off == 0 {
+		return nil, false // deleted
+	}
+	return p.buf[off : off+length], true
+}
+
+// Delete marks the record in slot as deleted. Space is not compacted.
+// It returns false for already-deleted or out-of-range slots.
+func (p *Page) Delete(slot int) bool {
+	if slot < 0 || slot >= p.slotCount() {
+		return false
+	}
+	off, _ := p.slotAt(slot)
+	if off == 0 {
+		return false
+	}
+	p.setSlotAt(slot, 0, 0)
+	return true
+}

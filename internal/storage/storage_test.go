@@ -1,0 +1,548 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newDisk(t *testing.T) *DiskManager {
+	t.Helper()
+	d, err := OpenDisk(filepath.Join(t.TempDir(), "test.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestDiskAllocateReadWrite(t *testing.T) {
+	d := newDisk(t)
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, PageSize)
+	out[0], out[PageSize-1] = 0xAB, 0xCD
+	if err := d.Write(id, out); err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, PageSize)
+	if err := d.Read(id, in); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Fatal("read back different bytes")
+	}
+}
+
+func TestDiskRejectsOutOfRange(t *testing.T) {
+	d := newDisk(t)
+	buf := make([]byte, PageSize)
+	if err := d.Read(5, buf); err == nil {
+		t.Fatal("read beyond end must error")
+	}
+	if err := d.Write(5, buf); err == nil {
+		t.Fatal("write beyond end must error")
+	}
+	if err := d.Read(0, make([]byte, 10)); err == nil {
+		t.Fatal("short buffer must error")
+	}
+}
+
+func TestDiskPersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.db")
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := d.Allocate()
+	page := make([]byte, PageSize)
+	copy(page, "hello pages")
+	if err := d.Write(id, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.NumPages() != 1 {
+		t.Fatalf("NumPages = %d after reopen", d2.NumPages())
+	}
+	in := make([]byte, PageSize)
+	if err := d2.Read(id, in); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(in, []byte("hello pages")) {
+		t.Fatal("contents lost across reopen")
+	}
+}
+
+func TestPageInsertAndRecord(t *testing.T) {
+	buf := make([]byte, PageSize)
+	p := InitPage(buf)
+	s0, err := p.Insert([]byte("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := p.Insert([]byte("beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0 == s1 {
+		t.Fatal("slots must differ")
+	}
+	r, ok := p.Record(s0)
+	if !ok || string(r) != "alpha" {
+		t.Fatalf("Record(s0) = %q, %v", r, ok)
+	}
+	r, ok = p.Record(s1)
+	if !ok || string(r) != "beta" {
+		t.Fatalf("Record(s1) = %q, %v", r, ok)
+	}
+}
+
+func TestPageFull(t *testing.T) {
+	p := InitPage(make([]byte, PageSize))
+	rec := make([]byte, 1000)
+	inserted := 0
+	for {
+		if _, err := p.Insert(rec); err != nil {
+			if !errors.Is(err, ErrPageFull) {
+				t.Fatalf("unexpected error %v", err)
+			}
+			break
+		}
+		inserted++
+	}
+	// ~1004 bytes per record incl. its slot entry.
+	want := (PageSize - 8) / 1004
+	if inserted != want {
+		t.Fatalf("inserted %d 1000-byte records, want %d", inserted, want)
+	}
+}
+
+func TestPageRejectsOversizeRecord(t *testing.T) {
+	p := InitPage(make([]byte, PageSize))
+	if _, err := p.Insert(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Fatal("oversize record must error")
+	}
+	if _, err := p.Insert(make([]byte, MaxRecordSize)); err != nil {
+		t.Fatalf("max-size record must fit: %v", err)
+	}
+}
+
+func TestPageDelete(t *testing.T) {
+	p := InitPage(make([]byte, PageSize))
+	s, _ := p.Insert([]byte("x"))
+	if !p.Delete(s) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := p.Record(s); ok {
+		t.Fatal("deleted record still visible")
+	}
+	if p.Delete(s) {
+		t.Fatal("double delete must fail")
+	}
+	if p.Delete(99) {
+		t.Fatal("out-of-range delete must fail")
+	}
+}
+
+func TestPageNextChain(t *testing.T) {
+	p := InitPage(make([]byte, PageSize))
+	if p.Next() != InvalidPageID {
+		t.Fatal("fresh page must have no next")
+	}
+	p.SetNext(42)
+	if p.Next() != 42 {
+		t.Fatalf("Next = %d", p.Next())
+	}
+}
+
+// Property: any sequence of inserted records that fits reads back intact
+// and in order.
+func TestPageRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := InitPage(make([]byte, PageSize))
+		var want [][]byte
+		for i := 0; i < 50; i++ {
+			rec := make([]byte, 1+r.Intn(200))
+			r.Read(rec)
+			if _, err := p.Insert(rec); err != nil {
+				break
+			}
+			want = append(want, rec)
+		}
+		for i, w := range want {
+			got, ok := p.Record(i)
+			if !ok || !bytes.Equal(got, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferPoolFetchHitMiss(t *testing.T) {
+	d := newDisk(t)
+	p := NewBufferPool(d, 4)
+	f, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	f.Data()[100] = 0x42
+	if err := p.Unpin(id, true); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Data()[100] != 0x42 {
+		t.Fatal("fetch returned stale data")
+	}
+	p.Unpin(id, false)
+	st := p.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("Hits = %d, want 1", st.Hits)
+	}
+}
+
+func TestBufferPoolEvictsLRUAndWritesBack(t *testing.T) {
+	d := newDisk(t)
+	p := NewBufferPool(d, 2)
+	ids := make([]PageID, 3)
+	for i := range ids {
+		f, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = f.ID()
+		f.Data()[0] = byte(i + 1)
+		if err := p.Unpin(f.ID(), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pool has 2 frames; creating 3 pages must have evicted page 0 dirty.
+	st := p.Stats()
+	if st.Evictions == 0 || st.DirtyOut == 0 {
+		t.Fatalf("expected dirty eviction, stats %+v", st)
+	}
+	// Page 0 must read back from disk with its data intact.
+	f, err := p.Fetch(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Data()[0] != 1 {
+		t.Fatalf("evicted page lost data: %d", f.Data()[0])
+	}
+	p.Unpin(ids[0], false)
+}
+
+func TestBufferPoolAllPinned(t *testing.T) {
+	d := newDisk(t)
+	p := NewBufferPool(d, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := p.NewPage(); err != nil {
+			t.Fatal(err)
+		}
+		// Intentionally not unpinned.
+	}
+	if _, err := p.NewPage(); !errors.Is(err, ErrNoFreeFrames) {
+		t.Fatalf("err = %v, want ErrNoFreeFrames", err)
+	}
+}
+
+func TestBufferPoolUnpinErrors(t *testing.T) {
+	d := newDisk(t)
+	p := NewBufferPool(d, 2)
+	if err := p.Unpin(7, false); err == nil {
+		t.Fatal("unpin of non-resident page must error")
+	}
+	f, _ := p.NewPage()
+	p.Unpin(f.ID(), false)
+	if err := p.Unpin(f.ID(), false); err == nil {
+		t.Fatal("unpin below zero must error")
+	}
+}
+
+func TestBufferPoolPinPreventsEviction(t *testing.T) {
+	d := newDisk(t)
+	p := NewBufferPool(d, 2)
+	pinned, _ := p.NewPage()
+	pinnedID := pinned.ID()
+	// Churn through many pages with the other frame.
+	for i := 0; i < 10; i++ {
+		f, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(f.ID(), false)
+	}
+	// The pinned page must still be resident with pins intact.
+	f, err := p.Fetch(pinnedID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	p.Unpin(pinnedID, false)
+	p.Unpin(pinnedID, false)
+	_ = f
+	if st.Hits == 0 {
+		t.Fatal("pinned page should have been a hit")
+	}
+}
+
+func TestBufferPoolFlushAll(t *testing.T) {
+	d := newDisk(t)
+	p := NewBufferPool(d, 4)
+	f, _ := p.NewPage()
+	id := f.ID()
+	f.Data()[7] = 0x99
+	p.Unpin(id, true)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[7] != 0x99 {
+		t.Fatal("FlushAll did not write dirty page")
+	}
+}
+
+func TestBufferPoolConcurrentAccess(t *testing.T) {
+	d := newDisk(t)
+	p := NewBufferPool(d, 8)
+	var ids []PageID
+	for i := 0; i < 16; i++ {
+		f, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data()[0] = byte(i)
+		ids = append(ids, f.ID())
+		p.Unpin(f.ID(), true)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				id := ids[r.Intn(len(ids))]
+				f, err := p.Fetch(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if f.ID() != id {
+					errs <- fmt.Errorf("frame holds page %d, want %d", f.ID(), id)
+				}
+				if err := p.Unpin(id, false); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferPoolDataSurvivesEvictionChurn(t *testing.T) {
+	d := newDisk(t)
+	p := NewBufferPool(d, 3)
+	const n = 20
+	ids := make([]PageID, n)
+	for i := 0; i < n; i++ {
+		f, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = f.ID()
+		for j := 0; j < 16; j++ {
+			f.Data()[j] = byte(i * j)
+		}
+		p.Unpin(f.ID(), true)
+	}
+	for i := 0; i < n; i++ {
+		f, err := p.Fetch(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 16; j++ {
+			if f.Data()[j] != byte(i*j) {
+				t.Fatalf("page %d byte %d = %d, want %d", i, j, f.Data()[j], byte(i*j))
+			}
+		}
+		p.Unpin(ids[i], false)
+	}
+}
+
+func TestOperationsAfterCloseError(t *testing.T) {
+	d, err := OpenDisk(filepath.Join(t.TempDir(), "closed.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.Read(id, buf); err == nil {
+		t.Fatal("read after close must error")
+	}
+	if err := d.Write(id, buf); err == nil {
+		t.Fatal("write after close must error")
+	}
+	if _, err := d.Allocate(); err == nil {
+		t.Fatal("allocate after close must error")
+	}
+}
+
+func TestBufferPoolSurfacesDiskErrors(t *testing.T) {
+	d, err := OpenDisk(filepath.Join(t.TempDir(), "err.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewBufferPool(d, 2)
+	f, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f.ID(), true)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Fetching an unknown page after close must fail cleanly, not panic.
+	if _, err := p.Fetch(99); err == nil {
+		t.Fatal("fetch after close must error")
+	}
+	if err := p.FlushAll(); err == nil {
+		t.Fatal("flush of dirty pages after close must error")
+	}
+}
+
+func TestDiskIOStats(t *testing.T) {
+	d := newDisk(t)
+	id, _ := d.Allocate()
+	buf := make([]byte, PageSize)
+	d.Write(id, buf)
+	d.Read(id, buf)
+	r, w := d.IOStats()
+	if r != 1 || w != 1 {
+		t.Fatalf("reads=%d writes=%d", r, w)
+	}
+}
+
+func TestOpenDiskRejectsPartialFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.db")
+	if err := os.WriteFile(path, make([]byte, PageSize+1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(path); err == nil {
+		t.Fatal("non-page-aligned file must be rejected")
+	}
+}
+
+func newClockPool(t *testing.T, frames int) *BufferPool {
+	t.Helper()
+	d := newDisk(t)
+	return NewBufferPoolWithPolicy(d, frames, Clock)
+}
+
+func TestClockPoolEvictsAndPreservesData(t *testing.T) {
+	p := newClockPool(t, 3)
+	const n = 20
+	ids := make([]PageID, n)
+	for i := 0; i < n; i++ {
+		f, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = f.ID()
+		f.Data()[0] = byte(i)
+		if err := p.Unpin(f.ID(), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		f, err := p.Fetch(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data()[0] != byte(i) {
+			t.Fatalf("page %d lost data under clock eviction", i)
+		}
+		p.Unpin(ids[i], false)
+	}
+	if p.Stats().Evictions == 0 {
+		t.Fatal("expected clock evictions")
+	}
+}
+
+func TestClockPoolSecondChance(t *testing.T) {
+	p := newClockPool(t, 2)
+	hot, _ := p.NewPage()
+	hotID := hot.ID()
+	p.Unpin(hotID, true)
+	cold, _ := p.NewPage()
+	coldID := cold.ID()
+	p.Unpin(coldID, true)
+	// Touch the hot page so its ref bit is set.
+	if _, err := p.Fetch(hotID); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(hotID, false)
+	// A new page must evict the cold page (no ref bit), not the hot one.
+	f, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f.ID(), false)
+	p.mu.Lock()
+	_, hotResident := p.table[hotID]
+	_, coldResident := p.table[coldID]
+	p.mu.Unlock()
+	if !hotResident || coldResident {
+		t.Fatalf("second chance violated: hot=%v cold=%v", hotResident, coldResident)
+	}
+}
+
+func TestClockPoolAllPinned(t *testing.T) {
+	p := newClockPool(t, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := p.NewPage(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.NewPage(); !errors.Is(err, ErrNoFreeFrames) {
+		t.Fatalf("err = %v, want ErrNoFreeFrames", err)
+	}
+}

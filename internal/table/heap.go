@@ -1,0 +1,200 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+
+	"tensorbase/internal/storage"
+)
+
+// RID identifies a record: page + slot.
+type RID struct {
+	Page storage.PageID
+	Slot int
+}
+
+// Heap is an unordered collection of tuples stored as a chain of slotted
+// pages in the buffer pool. Large tuples are rejected rather than
+// overflow-chained; tensor blocks are sized by the caller to fit a page.
+type Heap struct {
+	pool   *storage.BufferPool
+	schema *Schema
+	first  storage.PageID
+	last   storage.PageID
+	count  int64
+}
+
+// NewHeap creates an empty heap with one allocated page.
+func NewHeap(pool *storage.BufferPool, schema *Schema) (*Heap, error) {
+	f, err := pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	id := f.ID()
+	if err := pool.Unpin(id, true); err != nil {
+		return nil, err
+	}
+	return &Heap{pool: pool, schema: schema, first: id, last: id}, nil
+}
+
+// OpenHeap re-attaches to an existing chain starting at first. The caller
+// supplies the row count (tracked by the catalog).
+func OpenHeap(pool *storage.BufferPool, schema *Schema, first, last storage.PageID, count int64) *Heap {
+	return &Heap{pool: pool, schema: schema, first: first, last: last, count: count}
+}
+
+// Schema returns the heap's tuple schema.
+func (h *Heap) Schema() *Schema { return h.schema }
+
+// FirstPage returns the head of the page chain.
+func (h *Heap) FirstPage() storage.PageID { return h.first }
+
+// LastPage returns the tail of the page chain.
+func (h *Heap) LastPage() storage.PageID { return h.last }
+
+// Count returns the number of inserted tuples.
+func (h *Heap) Count() int64 { return h.count }
+
+// Insert appends a tuple and returns its RID, extending the page chain as
+// needed.
+func (h *Heap) Insert(t Tuple) (RID, error) {
+	rec, err := Encode(h.schema, t)
+	if err != nil {
+		return RID{}, err
+	}
+	return h.InsertRecord(rec)
+}
+
+// InsertRecord appends a pre-encoded record.
+func (h *Heap) InsertRecord(rec []byte) (RID, error) {
+	if len(rec) > storage.MaxRecordSize {
+		return RID{}, fmt.Errorf("table: record of %d bytes exceeds page capacity %d", len(rec), storage.MaxRecordSize)
+	}
+	f, err := h.pool.Fetch(h.last)
+	if err != nil {
+		return RID{}, err
+	}
+	page := f.Page()
+	slot, err := page.Insert(rec)
+	if err == nil {
+		rid := RID{Page: h.last, Slot: slot}
+		h.count++
+		return rid, h.pool.Unpin(h.last, true)
+	}
+	if !errors.Is(err, storage.ErrPageFull) {
+		h.pool.Unpin(h.last, false)
+		return RID{}, err
+	}
+	// Extend the chain with a fresh page.
+	nf, err := h.pool.NewPage()
+	if err != nil {
+		h.pool.Unpin(h.last, false)
+		return RID{}, err
+	}
+	newID := nf.ID()
+	page.SetNext(newID)
+	if err := h.pool.Unpin(h.last, true); err != nil {
+		h.pool.Unpin(newID, false)
+		return RID{}, err
+	}
+	slot, err = nf.Page().Insert(rec)
+	if err != nil {
+		h.pool.Unpin(newID, false)
+		return RID{}, err
+	}
+	h.last = newID
+	h.count++
+	return RID{Page: newID, Slot: slot}, h.pool.Unpin(newID, true)
+}
+
+// Get fetches and decodes the tuple at rid.
+func (h *Heap) Get(rid RID) (Tuple, error) {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(rid.Page, false)
+	rec, ok := f.Page().Record(rid.Slot)
+	if !ok {
+		return nil, fmt.Errorf("table: no record at page %d slot %d", rid.Page, rid.Slot)
+	}
+	return Decode(h.schema, rec)
+}
+
+// RIDs returns the record ids of every live record in scan order — the
+// same order Scan yields tuples, so position n of both refers to the same
+// row. Index builders use this to map index entries back to records.
+func (h *Heap) RIDs() ([]RID, error) {
+	var out []RID
+	page := h.first
+	for page != storage.InvalidPageID {
+		f, err := h.pool.Fetch(page)
+		if err != nil {
+			return nil, err
+		}
+		p := f.Page()
+		for slot := 0; slot < p.NumSlots(); slot++ {
+			if _, ok := p.Record(slot); ok {
+				out = append(out, RID{Page: page, Slot: slot})
+			}
+		}
+		next := p.Next()
+		if err := h.pool.Unpin(page, false); err != nil {
+			return nil, err
+		}
+		page = next
+	}
+	return out, nil
+}
+
+// Scanner iterates the heap front to back. It pins one page at a time, so
+// scans of arbitrarily large heaps run in constant memory — the property
+// the relation-centric execution path relies on.
+type Scanner struct {
+	heap *Heap
+	page storage.PageID
+	slot int
+	done bool
+}
+
+// Scan returns a scanner positioned before the first tuple.
+func (h *Heap) Scan() *Scanner {
+	return &Scanner{heap: h, page: h.first}
+}
+
+// Next returns the next tuple, or ok=false at the end.
+func (s *Scanner) Next() (Tuple, bool, error) {
+	for !s.done {
+		f, err := s.heap.pool.Fetch(s.page)
+		if err != nil {
+			return nil, false, err
+		}
+		page := f.Page()
+		for s.slot < page.NumSlots() {
+			rec, ok := page.Record(s.slot)
+			s.slot++
+			if !ok {
+				continue // deleted
+			}
+			t, err := Decode(s.heap.schema, rec)
+			if uerr := s.heap.pool.Unpin(s.page, false); uerr != nil && err == nil {
+				err = uerr
+			}
+			if err != nil {
+				return nil, false, err
+			}
+			return t, true, nil
+		}
+		next := page.Next()
+		if err := s.heap.pool.Unpin(s.page, false); err != nil {
+			return nil, false, err
+		}
+		if next == storage.InvalidPageID {
+			s.done = true
+			break
+		}
+		s.page = next
+		s.slot = 0
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,337 @@
+package table
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tensorbase/internal/storage"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{"id", Int64},
+		Column{"score", Float64},
+		Column{"name", Text},
+		Column{"features", FloatVec},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(Column{"a", Int64}, Column{"a", Text}); err == nil {
+		t.Fatal("duplicate column must be rejected")
+	}
+	if _, err := NewSchema(Column{"", Int64}); err == nil {
+		t.Fatal("empty name must be rejected")
+	}
+	if _, err := NewSchema(Column{"a", ColType(99)}); err == nil {
+		t.Fatal("invalid type must be rejected")
+	}
+}
+
+func TestColIndex(t *testing.T) {
+	s := testSchema(t)
+	if got := s.ColIndex("name"); got != 2 {
+		t.Fatalf("ColIndex(name) = %d", got)
+	}
+	if got := s.ColIndex("missing"); got != -1 {
+		t.Fatalf("ColIndex(missing) = %d", got)
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := testSchema(t)
+	p, err := s.Project("name", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Cols[0].Name != "name" || p.Cols[1].Name != "id" {
+		t.Fatalf("Project = %+v", p.Cols)
+	}
+	if _, err := s.Project("ghost"); err == nil {
+		t.Fatal("unknown column must error")
+	}
+}
+
+func TestConcatDisambiguates(t *testing.T) {
+	a := MustSchema(Column{"id", Int64}, Column{"v", Float64})
+	b := MustSchema(Column{"id", Int64}, Column{"w", Float64})
+	c := a.Concat(b)
+	if c.Len() != 4 {
+		t.Fatalf("Concat len = %d", c.Len())
+	}
+	if c.Cols[2].Name == "id" {
+		t.Fatalf("collision not disambiguated: %+v", c.Cols)
+	}
+	if c.ColIndex("id_2") < 0 {
+		t.Fatalf("expected id_2 column, got %+v", c.Cols)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	in := Tuple{IntVal(-42), FloatVal(3.14), TextVal("héllo"), VecVal([]float32{1.5, -2.5, 0})}
+	rec, err := Encode(s, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(s, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if !in[i].Equal(out[i]) {
+			t.Fatalf("column %d: %v != %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestEncodeTypeMismatch(t *testing.T) {
+	s := testSchema(t)
+	bad := Tuple{TextVal("no"), FloatVal(1), TextVal("x"), VecVal(nil)}
+	if _, err := Encode(s, bad); err == nil {
+		t.Fatal("type mismatch must error")
+	}
+	if _, err := Encode(s, Tuple{IntVal(1)}); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	s := testSchema(t)
+	rec, err := Encode(s, Tuple{IntVal(1), FloatVal(2), TextVal("abc"), VecVal([]float32{1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 4, len(rec) - 1} {
+		if _, err := Decode(s, rec[:cut]); err == nil {
+			t.Fatalf("truncation at %d must error", cut)
+		}
+	}
+	if _, err := Decode(s, append(rec, 0)); err == nil {
+		t.Fatal("trailing bytes must error")
+	}
+}
+
+// Property: Encode∘Decode is the identity over random tuples.
+func TestTupleRoundTripProperty(t *testing.T) {
+	s := MustSchema(Column{"i", Int64}, Column{"f", Float64}, Column{"t", Text}, Column{"v", FloatVec})
+	f := func(i int64, fl float64, str string, vec []float32) bool {
+		if len(str) > 1000 || len(vec) > 500 {
+			return true // keep records page-sized
+		}
+		in := Tuple{IntVal(i), FloatVal(fl), TextVal(str), VecVal(vec)}
+		rec, err := Encode(s, in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(s, rec)
+		if err != nil {
+			return false
+		}
+		// NaN float payloads: compare bit patterns via Equal semantics,
+		// but NaN != NaN, so skip NaN floats.
+		if fl != fl {
+			return true
+		}
+		for j := range vec {
+			if vec[j] != vec[j] {
+				return true
+			}
+		}
+		for j := range in {
+			if !in[j].Equal(out[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newPool(t *testing.T, frames int) *storage.BufferPool {
+	t.Helper()
+	d, err := storage.OpenDisk(filepath.Join(t.TempDir(), "t.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return storage.NewBufferPool(d, frames)
+}
+
+func TestHeapInsertGet(t *testing.T) {
+	s := testSchema(t)
+	h, err := NewHeap(newPool(t, 8), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Tuple{IntVal(7), FloatVal(0.5), TextVal("row"), VecVal([]float32{9})}
+	rid, err := h.Insert(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := h.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Equal(in[0]) || !out[2].Equal(in[2]) {
+		t.Fatalf("Get = %v", out)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestHeapScanOrderAndCompleteness(t *testing.T) {
+	s := MustSchema(Column{"id", Int64})
+	h, err := NewHeap(newPool(t, 8), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000 // forces multiple pages
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert(Tuple{IntVal(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := h.Scan()
+	i := 0
+	for {
+		tup, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if tup[0].Int != int64(i) {
+			t.Fatalf("row %d has id %d", i, tup[0].Int)
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("scanned %d rows, want %d", i, n)
+	}
+}
+
+func TestHeapScanLargerThanBufferPool(t *testing.T) {
+	// A heap much larger than the pool must still scan fully: pages spill
+	// and re-load through eviction.
+	s := MustSchema(Column{"pad", Text})
+	pool := newPool(t, 2)
+	h, err := NewHeap(pool, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("x", 1000)
+	const n = 200 // ~25 pages through a 2-frame pool
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert(Tuple{TextVal(pad)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := h.Scan()
+	count := 0
+	for {
+		_, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("scanned %d, want %d", count, n)
+	}
+}
+
+func TestHeapRejectsOversizeTuple(t *testing.T) {
+	s := MustSchema(Column{"v", FloatVec})
+	h, err := NewHeap(newPool(t, 4), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]float32, storage.PageSize) // 4x page size in bytes
+	if _, err := h.Insert(Tuple{VecVal(big)}); err == nil {
+		t.Fatal("oversize tuple must be rejected")
+	}
+}
+
+func TestHeapRandomizedInsertScan(t *testing.T) {
+	s := MustSchema(Column{"id", Int64}, Column{"v", FloatVec})
+	h, err := NewHeap(newPool(t, 4), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var want []Tuple
+	for i := 0; i < 300; i++ {
+		vec := make([]float32, rng.Intn(100))
+		for j := range vec {
+			vec[j] = rng.Float32()
+		}
+		tup := Tuple{IntVal(int64(i)), VecVal(vec)}
+		if _, err := h.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tup)
+	}
+	sc := h.Scan()
+	for i := 0; ; i++ {
+		got, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if i != len(want) {
+				t.Fatalf("scanned %d, want %d", i, len(want))
+			}
+			break
+		}
+		if !got[0].Equal(want[i][0]) || !got[1].Equal(want[i][1]) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestHeapRIDsMatchScanOrder(t *testing.T) {
+	s := MustSchema(Column{"id", Int64})
+	h, err := NewHeap(newPool(t, 4), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000 // multiple pages
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert(Tuple{IntVal(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rids, err := h.RIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != n {
+		t.Fatalf("got %d rids", len(rids))
+	}
+	// Each RID must fetch the tuple the scanner yields at that position.
+	for i := 0; i < n; i += 97 {
+		tup, err := h.Get(rids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tup[0].Int != int64(i) {
+			t.Fatalf("rid %d fetches id %d", i, tup[0].Int)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Value is one tuple field. Exactly the member matching Type is meaningful.
+type Value struct {
+	Type  ColType
+	Int   int64
+	Float float64
+	Str   string
+	Vec   []float32
+}
+
+// IntVal returns an Int64 value.
+func IntVal(v int64) Value { return Value{Type: Int64, Int: v} }
+
+// FloatVal returns a Float64 value.
+func FloatVal(v float64) Value { return Value{Type: Float64, Float: v} }
+
+// TextVal returns a Text value.
+func TextVal(v string) Value { return Value{Type: Text, Str: v} }
+
+// VecVal returns a FloatVec value. The slice is not copied.
+func VecVal(v []float32) Value { return Value{Type: FloatVec, Vec: v} }
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v.Type {
+	case Int64:
+		return fmt.Sprintf("%d", v.Int)
+	case Float64:
+		return fmt.Sprintf("%g", v.Float)
+	case Text:
+		return v.Str
+	case FloatVec:
+		if len(v.Vec) <= 8 {
+			return fmt.Sprintf("%v", v.Vec)
+		}
+		return fmt.Sprintf("vec[%d]", len(v.Vec))
+	default:
+		return "<nil>"
+	}
+}
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool {
+	if v.Type != o.Type {
+		return false
+	}
+	switch v.Type {
+	case Int64:
+		return v.Int == o.Int
+	case Float64:
+		return v.Float == o.Float
+	case Text:
+		return v.Str == o.Str
+	case FloatVec:
+		if len(v.Vec) != len(o.Vec) {
+			return false
+		}
+		for i := range v.Vec {
+			if v.Vec[i] != o.Vec[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Tuple is one row: values in schema column order.
+type Tuple []Value
+
+// Encode serialises t against schema s into a compact binary record.
+func Encode(s *Schema, t Tuple) ([]byte, error) {
+	if len(t) != s.Len() {
+		return nil, fmt.Errorf("table: tuple has %d values, schema has %d columns", len(t), s.Len())
+	}
+	size := 0
+	for i, v := range t {
+		if v.Type != s.Cols[i].Type {
+			return nil, fmt.Errorf("table: column %q: value type %v, want %v", s.Cols[i].Name, v.Type, s.Cols[i].Type)
+		}
+		switch v.Type {
+		case Int64, Float64:
+			size += 8
+		case Text:
+			size += binary.MaxVarintLen64 + len(v.Str)
+		case FloatVec:
+			size += binary.MaxVarintLen64 + 4*len(v.Vec)
+		}
+	}
+	buf := make([]byte, 0, size)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range t {
+		switch v.Type {
+		case Int64:
+			binary.LittleEndian.PutUint64(tmp[:8], uint64(v.Int))
+			buf = append(buf, tmp[:8]...)
+		case Float64:
+			binary.LittleEndian.PutUint64(tmp[:8], math.Float64bits(v.Float))
+			buf = append(buf, tmp[:8]...)
+		case Text:
+			n := binary.PutUvarint(tmp[:], uint64(len(v.Str)))
+			buf = append(buf, tmp[:n]...)
+			buf = append(buf, v.Str...)
+		case FloatVec:
+			n := binary.PutUvarint(tmp[:], uint64(len(v.Vec)))
+			buf = append(buf, tmp[:n]...)
+			for _, f := range v.Vec {
+				binary.LittleEndian.PutUint32(tmp[:4], math.Float32bits(f))
+				buf = append(buf, tmp[:4]...)
+			}
+		}
+	}
+	return buf, nil
+}
+
+// Decode deserialises a record produced by Encode against schema s.
+func Decode(s *Schema, rec []byte) (Tuple, error) {
+	t := make(Tuple, s.Len())
+	off := 0
+	for i, c := range s.Cols {
+		switch c.Type {
+		case Int64:
+			if off+8 > len(rec) {
+				return nil, truncErr(c.Name)
+			}
+			t[i] = IntVal(int64(binary.LittleEndian.Uint64(rec[off:])))
+			off += 8
+		case Float64:
+			if off+8 > len(rec) {
+				return nil, truncErr(c.Name)
+			}
+			t[i] = FloatVal(math.Float64frombits(binary.LittleEndian.Uint64(rec[off:])))
+			off += 8
+		case Text:
+			n, sz := binary.Uvarint(rec[off:])
+			if sz <= 0 || off+sz+int(n) > len(rec) {
+				return nil, truncErr(c.Name)
+			}
+			off += sz
+			t[i] = TextVal(string(rec[off : off+int(n)]))
+			off += int(n)
+		case FloatVec:
+			n, sz := binary.Uvarint(rec[off:])
+			if sz <= 0 || off+sz+4*int(n) > len(rec) {
+				return nil, truncErr(c.Name)
+			}
+			off += sz
+			vec := make([]float32, n)
+			for j := range vec {
+				vec[j] = math.Float32frombits(binary.LittleEndian.Uint32(rec[off:]))
+				off += 4
+			}
+			t[i] = VecVal(vec)
+		}
+	}
+	if off != len(rec) {
+		return nil, fmt.Errorf("table: %d trailing bytes after decoding tuple", len(rec)-off)
+	}
+	return t, nil
+}
+
+func truncErr(col string) error {
+	return fmt.Errorf("table: truncated record at column %q", col)
+}

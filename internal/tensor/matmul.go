@@ -1,0 +1,178 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// matmulParallelThreshold is the minimum number of multiply-adds before
+// MatMul fans work out to worker goroutines; below it the goroutine overhead
+// dominates for the small models this engine serves.
+const matmulParallelThreshold = 1 << 18
+
+// maxWorkers caps kernel parallelism when set (> 0). The resource governor
+// uses it to coordinate kernel threads with the engine's own workers — the
+// Sec. 3 problem of RDBMS threads and BLAS/OpenMP threads fighting for the
+// same cores.
+var maxWorkers atomic.Int32
+
+// SetMaxWorkers caps the number of goroutines a single kernel may fan out
+// to; n <= 0 restores the default (GOMAXPROCS).
+func SetMaxWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	maxWorkers.Store(int32(n))
+}
+
+// kernelWorkers returns the effective parallelism for one kernel call.
+func kernelWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if cap := int(maxWorkers.Load()); cap > 0 && cap < w {
+		w = cap
+	}
+	return w
+}
+
+// MatMul returns a × b for 2-D tensors of shapes (m,k) and (k,n).
+func MatMul(a, b *Tensor) *Tensor {
+	out := New(a.shape[0], b.shape[1])
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a × b, reusing out's storage. Shapes must be
+// (m,k) × (k,n) → (m,n). The kernel is a cache-friendly i-k-j loop with the
+// inner loop over contiguous rows of b, parallelised across row bands of a
+// when the problem is large enough.
+func MatMulInto(out, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 {
+		panic("tensor: MatMul requires 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%d,%d)×(%d,%d)", m, k, k2, n))
+	}
+	if out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul output shape %v, want (%d,%d)", out.shape, m, n))
+	}
+	for i := range out.data {
+		out.data[i] = 0
+	}
+	work := m * k * n
+	workers := kernelWorkers()
+	if work < matmulParallelThreshold || workers == 1 || m == 1 {
+		matmulRows(out.data, a.data, b.data, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	band := (m + workers - 1) / workers
+	for r0 := 0; r0 < m; r0 += band {
+		r1 := min(r0+band, m)
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			matmulRows(out.data, a.data, b.data, r0, r1, k, n)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// matmulRows computes rows [r0,r1) of the product into out.
+func matmulRows(out, a, b []float32, r0, r1, k, n int) {
+	for i := r0; i < r1; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB returns a × bᵀ for shapes (m,k) and (n,k). Weight matrices in
+// the model zoo are stored (out,in), so X × Wᵀ is the hot path.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransB requires 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch (%d,%d)×(%d,%d)ᵀ", m, k, n, k2))
+	}
+	out := New(m, n)
+	work := m * k * n
+	workers := kernelWorkers()
+	if work < matmulParallelThreshold || workers == 1 || m == 1 {
+		matmulTransBRows(out.data, a.data, b.data, 0, m, k, n)
+		return out
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	band := (m + workers - 1) / workers
+	for r0 := 0; r0 < m; r0 += band {
+		r1 := min(r0+band, m)
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			matmulTransBRows(out.data, a.data, b.data, r0, r1, k, n)
+		}(r0, r1)
+	}
+	wg.Wait()
+	return out
+}
+
+func matmulTransBRows(out, a, b []float32, r0, r1, k, n int) {
+	for i := r0; i < r1; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var sum float32
+			for p, av := range arow {
+				sum += av * brow[p]
+			}
+			orow[j] = sum
+		}
+	}
+}
+
+// AddInto computes out[i] += add[i] elementwise; shapes must match.
+func AddInto(out, add *Tensor) {
+	if !sameShape(out.shape, add.shape) {
+		panic(fmt.Sprintf("tensor: AddInto shape mismatch %v vs %v", out.shape, add.shape))
+	}
+	for i, v := range add.data {
+		out.data[i] += v
+	}
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic("tensor: Transpose requires a 2-D tensor")
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		row := t.data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.data[j*m+i] = v
+		}
+	}
+	return out
+}

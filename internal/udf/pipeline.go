@@ -1,0 +1,114 @@
+package udf
+
+import (
+	"fmt"
+	"sync"
+
+	"tensorbase/internal/nn"
+	"tensorbase/internal/tensor"
+)
+
+// Operator pipelining (Sec. 5(2)): the paper proposes breaking a model UDF
+// into fine-grained operator UDFs deployed as streaming pipeline stages, so
+// consecutive micro-batches overlap — stage k runs batch i while stage k+1
+// runs batch i-1 — instead of the data-parallel whole-batch execution the
+// relational engine defaults to. Pipeline implements exactly that: one
+// goroutine per operator connected by bounded channels.
+type Pipeline struct {
+	model *nn.Model
+	// StageDepth is the channel buffer between stages (default 2).
+	StageDepth int
+}
+
+// NewPipeline wraps model for pipelined micro-batch execution.
+func NewPipeline(model *nn.Model) *Pipeline {
+	return &Pipeline{model: model, StageDepth: 2}
+}
+
+// Model returns the pipelined model.
+func (p *Pipeline) Model() *nn.Model { return p.model }
+
+// pipeItem carries one micro-batch through the stages, tagging its position
+// so results reassemble in order.
+type pipeItem struct {
+	index int
+	x     *tensor.Tensor
+}
+
+// Run pushes x through the model in micro-batches of batch rows, with every
+// layer as its own concurrent stage, and returns the reassembled output.
+// Results are identical to Model.Forward; only the schedule differs.
+func (p *Pipeline) Run(x *tensor.Tensor, batch int) (*tensor.Tensor, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("udf: pipeline batch %d < 1", batch)
+	}
+	n := x.Dim(0)
+	if n == 0 {
+		return nil, fmt.Errorf("udf: empty pipeline input")
+	}
+	depth := p.StageDepth
+	if depth < 1 {
+		depth = 1
+	}
+
+	// Source stage: slice the input into micro-batches.
+	in := make(chan pipeItem, depth)
+	go func() {
+		defer close(in)
+		idx := 0
+		for r := 0; r < n; r += batch {
+			end := min(r+batch, n)
+			// Clone so in-place stages never mutate the caller's tensor.
+			in <- pipeItem{index: idx, x: x.SliceRows(r, end).Clone()}
+			idx++
+		}
+	}()
+
+	// One stage per layer. Each stage owns its layer; in-place layers are
+	// safe because every micro-batch flows through exactly one goroutine
+	// at a time.
+	cur := in
+	var firstErr error
+	var errOnce sync.Once
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+	}
+	for _, layer := range p.model.Layers {
+		out := make(chan pipeItem, depth)
+		go func(l nn.Layer, in <-chan pipeItem, out chan<- pipeItem) {
+			defer close(out)
+			for item := range in {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							fail(fmt.Errorf("udf: pipeline stage %s: %v", l.Name(), r))
+						}
+					}()
+					item.x = l.Forward(item.x)
+					out <- item
+				}()
+			}
+		}(layer, cur, out)
+		cur = out
+	}
+
+	// Sink: reassemble micro-batches in order.
+	var parts []pipeItem
+	for item := range cur {
+		parts = append(parts, item)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("udf: pipeline produced no output")
+	}
+	// Determine output width from any part, then place by index.
+	width := parts[0].x.Len() / parts[0].x.Dim(0)
+	out := tensor.New(n, width)
+	for _, part := range parts {
+		r0 := part.index * batch
+		copy(out.Data()[r0*width:], part.x.Reshape(part.x.Dim(0), width).Data())
+	}
+	return out, nil
+}

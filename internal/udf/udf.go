@@ -1,0 +1,256 @@
+// Package udf implements the UDF-centric execution path: model inference
+// encapsulated as user-defined functions running inside the database, over
+// data that never leaves it. A ModelUDF fuses the entire forward pass into
+// one UDF (the paper's coarse-grained encapsulation); OperatorUDF wraps a
+// single linear-algebra operator, the fine-grained form the unified IR
+// schedules individually.
+//
+// UDF-centric execution is whole-tensor: operators materialise their full
+// inputs and outputs, so a UDF whose operator footprint exceeds the engine's
+// memory budget fails with memlimit.ErrOOM — the Table 3 behaviour that
+// motivates falling back to the relation-centric representation.
+package udf
+
+import (
+	"fmt"
+	"sync"
+
+	"tensorbase/internal/exec"
+	"tensorbase/internal/memlimit"
+	"tensorbase/internal/nn"
+	"tensorbase/internal/table"
+	"tensorbase/internal/tensor"
+)
+
+// UDF is a batch tensor function registered with the database.
+type UDF interface {
+	// Name is the UDF's registry key.
+	Name() string
+	// Apply transforms a batch.
+	Apply(in *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// ModelUDF fuses a whole model forward pass into a single UDF.
+type ModelUDF struct {
+	model  *nn.Model
+	budget *memlimit.Budget
+}
+
+// NewModelUDF wraps m as one coarse-grained UDF charged against budget
+// (nil means unlimited).
+func NewModelUDF(m *nn.Model, budget *memlimit.Budget) *ModelUDF {
+	if budget == nil {
+		budget = memlimit.Unlimited()
+	}
+	return &ModelUDF{model: m, budget: budget}
+}
+
+// Name implements UDF.
+func (u *ModelUDF) Name() string { return "model:" + u.model.Name() }
+
+// Model returns the wrapped model.
+func (u *ModelUDF) Model() *nn.Model { return u.model }
+
+// Apply implements UDF: it reserves the largest per-operator footprint
+// (the paper's m·k + k·n + m·n rule) for the duration of the call.
+func (u *ModelUDF) Apply(in *tensor.Tensor) (*tensor.Tensor, error) {
+	batch := in.Dim(0)
+	peak, err := u.model.MaxOpBytes(batch)
+	if err != nil {
+		return nil, fmt.Errorf("udf: %s: %w", u.Name(), err)
+	}
+	res, err := u.budget.TryReserve(peak)
+	if err != nil {
+		return nil, fmt.Errorf("udf: %s batch %d: %w", u.Name(), batch, err)
+	}
+	defer res.Close()
+	return u.model.Forward(in), nil
+}
+
+// OperatorUDF wraps a single model operator as a fine-grained UDF.
+type OperatorUDF struct {
+	layer  nn.Layer
+	index  int
+	owner  string
+	budget *memlimit.Budget
+}
+
+// NewOperatorUDF wraps layer (index i of model owner) as a UDF.
+func NewOperatorUDF(layer nn.Layer, i int, owner string, budget *memlimit.Budget) *OperatorUDF {
+	if budget == nil {
+		budget = memlimit.Unlimited()
+	}
+	return &OperatorUDF{layer: layer, index: i, owner: owner, budget: budget}
+}
+
+// Name implements UDF.
+func (u *OperatorUDF) Name() string {
+	return fmt.Sprintf("op:%s[%d]:%s", u.owner, u.index, u.layer.Name())
+}
+
+// Apply implements UDF.
+func (u *OperatorUDF) Apply(in *tensor.Tensor) (*tensor.Tensor, error) {
+	need := u.layer.MemEstimate(in.Shape())
+	res, err := u.budget.TryReserve(need)
+	if err != nil {
+		return nil, fmt.Errorf("udf: %s: %w", u.Name(), err)
+	}
+	defer res.Close()
+	return u.layer.Forward(in), nil
+}
+
+// Registry is a thread-safe name → UDF map, the database's UDF catalog.
+type Registry struct {
+	mu   sync.RWMutex
+	udfs map[string]UDF
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{udfs: make(map[string]UDF)} }
+
+// Register adds u, rejecting duplicate names.
+func (r *Registry) Register(u UDF) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.udfs[u.Name()]; dup {
+		return fmt.Errorf("udf: %q already registered", u.Name())
+	}
+	r.udfs[u.Name()] = u
+	return nil
+}
+
+// Lookup returns the named UDF.
+func (r *Registry) Lookup(name string) (UDF, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	u, ok := r.udfs[name]
+	return u, ok
+}
+
+// Names returns the registered UDF names (unordered).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.udfs))
+	for n := range r.udfs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// InferOp is a relational operator that runs a UDF over the FloatVec
+// feature column of its input in micro-batches, emitting each input tuple
+// extended with a prediction column. It is how `PREDICT(model, features)`
+// executes inside a query plan.
+type InferOp struct {
+	in       exec.Operator
+	udf      UDF
+	featIdx  int
+	batch    int
+	schema   *table.Schema
+	buffered []table.Tuple
+	preds    *tensor.Tensor
+	pos      int
+	done     bool
+}
+
+// NewInferOp wraps in with UDF inference over featCol, batching batch rows
+// per UDF call. The output schema is the input schema plus a "prediction"
+// FloatVec column.
+func NewInferOp(in exec.Operator, u UDF, featCol string, batch int) (*InferOp, error) {
+	idx := in.Schema().ColIndex(featCol)
+	if idx < 0 {
+		return nil, fmt.Errorf("udf: unknown feature column %q", featCol)
+	}
+	if in.Schema().Cols[idx].Type != table.FloatVec {
+		return nil, fmt.Errorf("udf: feature column %q is %v, want VECTOR", featCol, in.Schema().Cols[idx].Type)
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("udf: batch size %d < 1", batch)
+	}
+	schema := in.Schema().Concat(table.MustSchema(table.Column{Name: "prediction", Type: table.FloatVec}))
+	return &InferOp{in: in, udf: u, featIdx: idx, batch: batch, schema: schema}, nil
+}
+
+// Schema implements exec.Operator.
+func (o *InferOp) Schema() *table.Schema { return o.schema }
+
+// Open implements exec.Operator.
+func (o *InferOp) Open() error {
+	o.buffered = nil
+	o.preds = nil
+	o.pos = 0
+	o.done = false
+	return o.in.Open()
+}
+
+// fill pulls up to batch tuples and runs the UDF over their features.
+func (o *InferOp) fill() error {
+	o.buffered = o.buffered[:0]
+	var width int
+	var feats []float32
+	for len(o.buffered) < o.batch {
+		t, ok, err := o.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			o.done = true
+			break
+		}
+		vec := t[o.featIdx].Vec
+		if len(o.buffered) == 0 {
+			width = len(vec)
+		} else if len(vec) != width {
+			return fmt.Errorf("udf: ragged feature vectors (%d vs %d)", len(vec), width)
+		}
+		feats = append(feats, vec...)
+		o.buffered = append(o.buffered, t)
+	}
+	if len(o.buffered) == 0 {
+		return nil
+	}
+	out, err := o.udf.Apply(tensor.FromSlice(feats, len(o.buffered), width))
+	if err != nil {
+		return err
+	}
+	if out.Dim(0) != len(o.buffered) {
+		return fmt.Errorf("udf: %s returned %d rows for %d inputs", o.udf.Name(), out.Dim(0), len(o.buffered))
+	}
+	o.preds = out
+	o.pos = 0
+	return nil
+}
+
+// Next implements exec.Operator.
+func (o *InferOp) Next() (table.Tuple, bool, error) {
+	for {
+		if o.pos < len(o.buffered) {
+			t := o.buffered[o.pos]
+			width := o.preds.Len() / o.preds.Dim(0)
+			pred := make([]float32, width)
+			copy(pred, o.preds.Data()[o.pos*width:(o.pos+1)*width])
+			o.pos++
+			out := make(table.Tuple, 0, len(t)+1)
+			out = append(out, t...)
+			out = append(out, table.VecVal(pred))
+			return out, true, nil
+		}
+		if o.done {
+			return nil, false, nil
+		}
+		if err := o.fill(); err != nil {
+			return nil, false, err
+		}
+		if len(o.buffered) == 0 {
+			return nil, false, nil
+		}
+	}
+}
+
+// Close implements exec.Operator.
+func (o *InferOp) Close() error {
+	o.buffered = nil
+	o.preds = nil
+	return o.in.Close()
+}
