@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"bytes"
@@ -396,6 +397,54 @@ func BenchmarkBufferPoolFrames(b *testing.B) {
 				if _, err := blocked.MultiplyStreaming(pool, am, wm, nil); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkBlockedParallel sweeps the worker count of the parallel
+// block-streaming multiply on a 1024² problem (DESIGN.md parallel
+// execution section). Each sub-benchmark reports a "speedup" metric
+// relative to the measured workers=1 run of the same sweep; on a
+// single-core machine expect ~1.0 across the board (the sweep then mostly
+// measures scheduler overhead).
+func BenchmarkBlockedParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	const n = 1024
+	a := tensor.New(n, n)
+	w := tensor.New(n, n)
+	for i := range a.Data() {
+		a.Data()[i] = float32(rng.NormFloat64())
+		w.Data()[i] = float32(rng.NormFloat64())
+	}
+	workerCounts := []int{1, 2, 4}
+	if cpus := runtime.NumCPU(); cpus > 4 {
+		workerCounts = append(workerCounts, cpus)
+	}
+	var serialNsPerOp float64
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool := benchPool(b, 4096)
+			am, err := blocked.Store(pool, a, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wm, err := blocked.Store(pool, w, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := blocked.MultiplyStreamingWorkers(pool, am, wm, nil, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if workers == 1 {
+				serialNsPerOp = nsPerOp
+			}
+			if serialNsPerOp > 0 {
+				b.ReportMetric(serialNsPerOp/nsPerOp, "speedup")
 			}
 		})
 	}

@@ -7,13 +7,20 @@
 // Because blocks live in buffer-pool pages, a matrix larger than memory
 // spills to disk transparently; this is what lets the relation-centric path
 // complete the Table 3 workloads where whole-tensor runtimes OOM.
+//
+// Blocks are independent units of work, so both multiply paths run
+// intra-operator parallel: result blocks fan out across workers drawn from
+// the shared core budget (internal/parallel), each worker streaming its
+// operand blocks through the concurrently-latched buffer pool and heap.
 package blocked
 
 import (
 	"fmt"
+	"sync"
 
 	"tensorbase/internal/exec"
 	"tensorbase/internal/memlimit"
+	"tensorbase/internal/parallel"
 	"tensorbase/internal/storage"
 	"tensorbase/internal/table"
 	"tensorbase/internal/tensor"
@@ -36,13 +43,18 @@ var blockSchema = table.MustSchema(
 // BlockSchema returns the relation schema used for blocked matrices.
 func BlockSchema() *table.Schema { return blockSchema }
 
-// Matrix is a dense matrix stored as a relation of tensor blocks.
+// Matrix is a dense matrix stored as a relation of tensor blocks. Matrix is
+// safe for concurrent use: block reads ride the heap's shared latch, and
+// appends (heap insert + index update) serialise on the matrix latch, so
+// parallel multiply workers append result blocks while others read.
 type Matrix struct {
 	heap      *table.Heap
 	pool      *storage.BufferPool
 	Rows      int
 	Cols      int
 	BlockSize int
+	// mu guards rids; the heap has its own latch.
+	mu sync.RWMutex
 	// rids indexes block coordinates → record id, so co-partitioned
 	// access patterns (fetch all blocks of one block-row) need no scan.
 	rids map[[2]int]table.RID
@@ -110,7 +122,8 @@ func NewEmpty(pool *storage.BufferPool, rows, cols, bs int) (*Matrix, error) {
 }
 
 // AppendBlock stores blk as block (rb, cb). The block's shape must match
-// the clipped block extent at that coordinate.
+// the clipped block extent at that coordinate. AppendBlock is safe to call
+// from concurrent workers producing distinct blocks.
 func (m *Matrix) AppendBlock(rb, cb int, blk *tensor.Tensor) error {
 	wantR := m.blockRows(rb)
 	wantC := m.blockCols(cb)
@@ -147,13 +160,23 @@ func (m *Matrix) putBlock(rb, cb int, blk *tensor.Tensor) error {
 	if err != nil {
 		return err
 	}
+	m.mu.Lock()
 	m.rids[[2]int{rb, cb}] = rid
+	m.mu.Unlock()
 	return nil
+}
+
+// rid looks up the record id of block (rb, cb) under the matrix latch.
+func (m *Matrix) rid(rb, cb int) (table.RID, bool) {
+	m.mu.RLock()
+	rid, ok := m.rids[[2]int{rb, cb}]
+	m.mu.RUnlock()
+	return rid, ok
 }
 
 // Block fetches block (rb, cb) through the buffer pool.
 func (m *Matrix) Block(rb, cb int) (*tensor.Tensor, error) {
-	rid, ok := m.rids[[2]int{rb, cb}]
+	rid, ok := m.rid(rb, cb)
 	if !ok {
 		return nil, fmt.Errorf("blocked: no block (%d,%d)", rb, cb)
 	}
@@ -166,6 +189,28 @@ func (m *Matrix) Block(rb, cb int) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("blocked: block (%d,%d) dims %dx%d but %d floats", rb, cb, r, c, len(t[4].Vec))
 	}
 	return tensor.FromSlice(t[4].Vec, r, c), nil
+}
+
+// blockInto fetches block (rb, cb) into the caller's reusable buffers:
+// the tuple header and float scratch cycle through table.DecodeInto, and
+// view is repointed at the decoded payload. This is the allocation-free
+// fetch the multiply inner loop runs per k-step; the view is valid only
+// until the next blockInto with the same buffers.
+func (m *Matrix) blockInto(rb, cb int, view *tensor.Tensor, t table.Tuple, scratch []float32) (table.Tuple, []float32, error) {
+	rid, ok := m.rid(rb, cb)
+	if !ok {
+		return t, scratch, fmt.Errorf("blocked: no block (%d,%d)", rb, cb)
+	}
+	t, scratch, err := m.heap.GetInto(rid, t, scratch)
+	if err != nil {
+		return t, scratch, err
+	}
+	r, c := int(t[2].Int), int(t[3].Int)
+	if r*c != len(t[4].Vec) {
+		return t, scratch, fmt.Errorf("blocked: block (%d,%d) dims %dx%d but %d floats", rb, cb, r, c, len(t[4].Vec))
+	}
+	view.Reuse2D(t[4].Vec, r, c)
+	return t, scratch, nil
 }
 
 // Assemble reconstructs the dense tensor. Intended for verification and
@@ -192,19 +237,45 @@ func (m *Matrix) blockBytes() int64 {
 	return int64(m.BlockSize) * int64(m.BlockSize) * 4
 }
 
+// mulScratch is one multiply worker's reusable state: the block accumulator
+// plus decode buffers for the two operand fetches. Workers draw it from a
+// sync.Pool so repeated multiplies (layer after layer of one inference)
+// recycle the same buffers instead of re-allocating per result block.
+type mulScratch struct {
+	acc, a, b  tensor.Tensor
+	accBuf     []float32
+	aT, bT     table.Tuple
+	aScr, bScr []float32
+}
+
 // MultiplyStreaming computes C = A × B relation-centrically with a
-// constant-size working set: for each result block (rb, cb) it accumulates
-// Σₖ A[rb,k]·B[k,cb] into a single block buffer and writes the finished
-// block straight into the result relation. Operand blocks stream through
-// the buffer pool (which spills and reloads as needed), so the memory
-// footprint is a handful of blocks no matter how large A, B, or C are —
-// the property that lets the relation-centric plan complete the Table 3
-// workloads whose results exceed machine memory.
+// bounded working set: each result block (rb, cb) accumulates
+// Σₖ A[rb,k]·B[k,cb] into a per-worker block buffer via the fused
+// MatMulAddInto kernel and is written straight into the result relation.
+// Operand blocks stream through the buffer pool (which spills and reloads
+// as needed), so the memory footprint is a handful of blocks per worker no
+// matter how large A, B, or C are — the property that lets the
+// relation-centric plan complete the Table 3 workloads whose results
+// exceed machine memory.
 //
-// The budget, if non-nil, is charged for the four resident blocks
-// (accumulator, partial product, two operands); exceeding it returns
-// memlimit.ErrOOM.
+// Result blocks fan out across workers drawn from the shared core budget.
+// Each block's k-loop is identical to the serial one, and blocks are
+// addressed by coordinate, so the parallel result is bit-identical to the
+// serial result.
+//
+// The budget, if non-nil, is charged three resident blocks (accumulator
+// and two operands) per worker; if the reservation does not fit, the
+// worker count sheds until it does, and a single worker's working set
+// exceeding the budget returns memlimit.ErrOOM.
 func MultiplyStreaming(pool *storage.BufferPool, a, b *Matrix, budget *memlimit.Budget) (*Matrix, error) {
+	return MultiplyStreamingWorkers(pool, a, b, budget, 0)
+}
+
+// MultiplyStreamingWorkers is MultiplyStreaming with an explicit worker
+// count: workers <= 0 sizes the fan-out from the shared core budget
+// (internal/parallel); workers >= 1 forces exactly that many, which
+// benchmark sweeps use to measure scaling.
+func MultiplyStreamingWorkers(pool *storage.BufferPool, a, b *Matrix, budget *memlimit.Budget, workers int) (*Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("blocked: multiply shape mismatch (%d,%d)×(%d,%d)", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
@@ -212,36 +283,88 @@ func MultiplyStreaming(pool *storage.BufferPool, a, b *Matrix, budget *memlimit.
 		return nil, fmt.Errorf("blocked: mismatched block sizes %d vs %d", a.BlockSize, b.BlockSize)
 	}
 	bs := a.BlockSize
-	if budget != nil {
-		res, err := budget.TryReserve(4 * a.blockBytes())
-		if err != nil {
-			return nil, fmt.Errorf("blocked: multiply working set: %w", err)
-		}
-		defer res.Close()
-	}
 	out, err := NewEmpty(pool, a.Rows, b.Cols, bs)
 	if err != nil {
 		return nil, err
 	}
-	kBlocks := a.NumColBlocks()
-	for rb := 0; rb < out.NumRowBlocks(); rb++ {
-		for cb := 0; cb < out.NumColBlocks(); cb++ {
-			acc := tensor.New(out.blockRows(rb), out.blockCols(cb))
-			for k := 0; k < kBlocks; k++ {
-				ablk, err := a.Block(rb, k)
-				if err != nil {
-					return nil, err
-				}
-				bblk, err := b.Block(k, cb)
-				if err != nil {
-					return nil, err
-				}
-				tensor.AddInto(acc, tensor.MatMul(ablk, bblk))
+	ncb := out.NumColBlocks()
+	ntasks := out.NumRowBlocks() * ncb
+
+	// Size the fan-out: engine-level block workers draw tokens from the
+	// same budget the tensor kernels do, so the two levels of parallelism
+	// cannot multiply into oversubscription. (The tokens are held for the
+	// whole multiply; kernels inside the workers then find the budget
+	// drained and run serially — block-level parallelism wins, per Sec. 3.)
+	shared := parallel.Default()
+	extras := 0
+	if workers <= 0 {
+		want := min(shared.Total(), ntasks)
+		extras = shared.TryAcquireUpTo(want - 1)
+		workers = 1 + extras
+	} else if workers > ntasks {
+		workers = ntasks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	releaseExtras := func() {
+		if extras > 0 {
+			shared.Release(extras)
+			extras = 0
+		}
+	}
+
+	// Charge the memory budget three resident blocks per worker, shedding
+	// workers if the reservation does not fit.
+	if budget != nil {
+		for {
+			res, rerr := budget.TryReserve(3 * int64(workers) * a.blockBytes())
+			if rerr == nil {
+				defer res.Close()
+				break
 			}
-			if err := out.AppendBlock(rb, cb, acc); err != nil {
-				return nil, err
+			if workers == 1 {
+				releaseExtras()
+				return nil, fmt.Errorf("blocked: multiply working set: %w", rerr)
+			}
+			workers = (workers + 1) / 2
+			if extras > workers-1 {
+				shared.Release(extras - (workers - 1))
+				extras = workers - 1
 			}
 		}
+	}
+
+	scratch := sync.Pool{New: func() any {
+		return &mulScratch{accBuf: make([]float32, bs*bs)}
+	}}
+	kBlocks := a.NumColBlocks()
+	task := func(i int) error {
+		rb, cb := i/ncb, i%ncb
+		ws := scratch.Get().(*mulScratch)
+		defer scratch.Put(ws)
+		r, c := out.blockRows(rb), out.blockCols(cb)
+		accData := ws.accBuf[:r*c]
+		clear(accData)
+		ws.acc.Reuse2D(accData, r, c)
+		for k := 0; k < kBlocks; k++ {
+			var err error
+			ws.aT, ws.aScr, err = a.blockInto(rb, k, &ws.a, ws.aT, ws.aScr)
+			if err != nil {
+				return err
+			}
+			ws.bT, ws.bScr, err = b.blockInto(k, cb, &ws.b, ws.bT, ws.bScr)
+			if err != nil {
+				return err
+			}
+			tensor.MatMulAddInto(&ws.acc, &ws.a, &ws.b)
+		}
+		return out.AppendBlock(rb, cb, &ws.acc)
+	}
+	err = parallel.Run(workers, ntasks, task)
+	releaseExtras()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -249,14 +372,26 @@ func MultiplyStreaming(pool *storage.BufferPool, a, b *Matrix, budget *memlimit.
 // MultiplyRelational computes C = A × B by running the literal relational
 // plan over the block relations:
 //
-//	C = γ_{rb,cb; VecSum(data)}( σ map:partial( A ⋈_{A.cb = B.rb} B ) )
+//	C = γ_{rb,cb; MatMulSum(data)}( A ⋈_{A.cb = B.rb} B )
 //
-// i.e. a hash join of the block relations on the shared dimension, a map
-// UDF computing each bs×bs partial product, and a grouped vector-sum
-// aggregation. This is the paper's rewriting executed verbatim on the
-// relational operators; MultiplyStreaming is its co-partitioned
-// optimisation.
+// i.e. a hash join of the block relations on the shared dimension followed
+// by a grouped user-defined aggregate. The original plan's map UDF (the
+// bs×bs partial product) and VecSum aggregation are fused into one fold
+// that calls tensor.MatMulAddInto, so each joined block pair accumulates
+// straight into its group's result block without materialising a partial-
+// product tuple. The aggregate is hash-partitioned on the result
+// coordinates (rb, cb) with one worker per partition (exec.PartitionedAgg),
+// which parallelises the pipeline while keeping every group's fold order —
+// and therefore the result — identical to serial execution. This is the
+// paper's rewriting executed on the relational operators; MultiplyStreaming
+// is its co-partitioned optimisation.
 func MultiplyRelational(pool *storage.BufferPool, a, b *Matrix) (*Matrix, error) {
+	return MultiplyRelationalWorkers(pool, a, b, 0)
+}
+
+// MultiplyRelationalWorkers is MultiplyRelational with an explicit
+// aggregate worker count (<= 0 sizes from the shared core budget).
+func MultiplyRelationalWorkers(pool *storage.BufferPool, a, b *Matrix, workers int) (*Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("blocked: multiply shape mismatch (%d,%d)×(%d,%d)", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
@@ -268,25 +403,27 @@ func MultiplyRelational(pool *storage.BufferPool, a, b *Matrix) (*Matrix, error)
 		return nil, err
 	}
 	// Join output columns: rb cb r c data | rb_2 cb_2 r_2 c_2 data_2.
-	partial := exec.NewMap(join, blockSchema, func(t table.Tuple) (table.Tuple, error) {
+	// MatMulSum fold: C[rb,cb] += A-block × B-block, fused via MatMulAddInto.
+	fold := func(acc []float32, t table.Tuple) ([]float32, error) {
 		ar, ac := int(t[2].Int), int(t[3].Int)
 		br, bc := int(t[7].Int), int(t[8].Int)
 		if ac != br {
 			return nil, fmt.Errorf("blocked: inner block dims %d vs %d", ac, br)
 		}
-		ablk := tensor.FromSlice(t[4].Vec, ar, ac)
-		bblk := tensor.FromSlice(t[9].Vec, br, bc)
-		p := tensor.MatMul(ablk, bblk)
-		return table.Tuple{
-			t[0],                    // rb from A
-			t[6],                    // cb from B
-			table.IntVal(int64(ar)), // result rows
-			table.IntVal(int64(bc)), // result cols
-			table.VecVal(p.Data()),  // partial product
-		}, nil
-	})
-	agg, err := exec.NewHashAggregate(partial, []string{"rb", "cb", "r", "c"},
-		[]exec.AggSpec{{Kind: exec.VecSum, Col: "data", As: "data"}})
+		if acc == nil {
+			acc = make([]float32, ar*bc)
+		}
+		tensor.MatMulAddInto(
+			tensor.FromSlice(acc, ar, bc),
+			tensor.FromSlice(t[4].Vec, ar, ac),
+			tensor.FromSlice(t[9].Vec, br, bc),
+		)
+		return acc, nil
+	}
+	agg, err := exec.NewPartitionedAggregate(join,
+		[]string{"rb", "cb_2", "r", "c_2"},
+		[]exec.AggSpec{{Kind: exec.VecFold, Fold: fold, As: "data"}},
+		workers)
 	if err != nil {
 		return nil, err
 	}

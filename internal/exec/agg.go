@@ -13,7 +13,10 @@ type AggKind uint8
 
 // Aggregate kinds. VecSum sums FloatVec columns elementwise — the
 // aggregation half of the relation-centric "matmul = join + aggregation"
-// rewriting.
+// rewriting. VecFold runs a user-defined fold over whole input tuples,
+// which is how a per-tuple map UDF and its aggregation fuse into one
+// operator (e.g. MatMulSum: accumulate each joined block pair's product
+// directly into the group's result block).
 const (
 	Count AggKind = iota + 1
 	Sum
@@ -21,13 +24,22 @@ const (
 	Min
 	Max
 	VecSum
+	VecFold
 )
+
+// FoldFunc merges one input tuple into a group's float-vector accumulator.
+// On the group's first tuple acc is nil and the fold allocates it; the
+// possibly-grown accumulator is returned. Folds run once per input tuple in
+// input order, so a deterministic fold gives deterministic group results.
+type FoldFunc func(acc []float32, t table.Tuple) ([]float32, error)
 
 // AggSpec names one aggregate over an input column.
 type AggSpec struct {
 	Kind AggKind
-	Col  string // ignored for Count
+	Col  string // ignored for Count and VecFold
 	As   string // output column name
+	// Fold implements the VecFold kind; required for it, ignored otherwise.
+	Fold FoldFunc
 }
 
 // HashAggregate groups by key columns and computes aggregates per group.
@@ -98,6 +110,12 @@ func NewHashAggregate(in Operator, groupBy []string, specs []AggSpec) (*HashAggr
 			}
 			aggIdx[i] = idx
 			cols = append(cols, table.Column{Name: s.As, Type: table.FloatVec})
+		case VecFold:
+			if s.Fold == nil {
+				return nil, fmt.Errorf("exec: VecFold aggregate %q needs a Fold function", s.As)
+			}
+			aggIdx[i] = -1
+			cols = append(cols, table.Column{Name: s.As, Type: table.FloatVec})
 		default:
 			return nil, fmt.Errorf("exec: unknown aggregate kind %d", s.Kind)
 		}
@@ -157,8 +175,15 @@ func (a *HashAggregate) Open() error {
 }
 
 func (a *HashAggregate) groupKey(t table.Tuple) string {
+	return groupKeyOf(t, a.groupIdx)
+}
+
+// groupKeyOf builds the canonical group-key string for the values of t at
+// idx. The partitioned aggregate uses the same encoding to route tuples and
+// to merge-sort results, so its output order matches the serial operator's.
+func groupKeyOf(t table.Tuple, idx []int) string {
 	var sb strings.Builder
-	for _, i := range a.groupIdx {
+	for _, i := range idx {
 		fmt.Fprintf(&sb, "%v|", t[i])
 	}
 	return sb.String()
@@ -199,6 +224,12 @@ func (a *HashAggregate) accumulate(st *aggState, t table.Tuple) error {
 			for j, f := range vec {
 				acc[j] += f
 			}
+		case VecFold:
+			acc, err := s.Fold(st.vecs[i], t)
+			if err != nil {
+				return fmt.Errorf("exec: fold %q: %w", s.As, err)
+			}
+			st.vecs[i] = acc
 		}
 	}
 	st.inited = true
@@ -227,7 +258,7 @@ func (a *HashAggregate) finish(st *aggState) table.Tuple {
 			out = append(out, table.FloatVal(st.mins[i]))
 		case Max:
 			out = append(out, table.FloatVal(st.maxs[i]))
-		case VecSum:
+		case VecSum, VecFold:
 			out = append(out, table.VecVal(st.vecs[i]))
 		}
 	}

@@ -1,0 +1,201 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tensorbase/internal/parallel"
+	"tensorbase/internal/table"
+)
+
+// groupedRows builds n tuples spread over g groups with deterministic
+// pseudo-random values.
+func groupedRows(n, g int, seed int64) []table.Tuple {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]table.Tuple, n)
+	for i := range out {
+		out[i] = table.Tuple{
+			table.IntVal(int64(i % g)),
+			table.FloatVal(r.NormFloat64()),
+		}
+	}
+	return out
+}
+
+func collectAgg(t *testing.T, op Operator) []table.Tuple {
+	t.Helper()
+	got, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// The partitioned aggregate must produce exactly the serial operator's
+// output — same groups, same values (bit-identical floats, since each
+// group folds in input order within one partition), same order.
+func TestPartitionedAggregateMatchesSerial(t *testing.T) {
+	specs := []AggSpec{
+		{Kind: Count, As: "n"},
+		{Kind: Sum, Col: "v", As: "sum"},
+		{Kind: Min, Col: "v", As: "min"},
+		{Kind: Max, Col: "v", As: "max"},
+		{Kind: Avg, Col: "v", As: "avg"},
+	}
+	rows := groupedRows(5000, 37, 20)
+	serialOp, err := NewHashAggregate(NewMemScan(intsSchema(), rows), []string{"id"}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectAgg(t, serialOp)
+
+	for _, workers := range []int{1, 2, 3, 8} {
+		op, err := NewPartitionedAggregate(NewMemScan(intsSchema(), rows), []string{"id"}, specs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collectAgg(t, op)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: partitioned output differs from serial", workers)
+		}
+	}
+}
+
+func TestPartitionedAggregateVecFold(t *testing.T) {
+	schema := table.MustSchema(
+		table.Column{Name: "g", Type: table.Int64},
+		table.Column{Name: "vec", Type: table.FloatVec},
+	)
+	var rows []table.Tuple
+	for i := 0; i < 200; i++ {
+		rows = append(rows, table.Tuple{
+			table.IntVal(int64(i % 7)),
+			table.VecVal([]float32{float32(i), float32(2 * i)}),
+		})
+	}
+	fold := func(acc []float32, t table.Tuple) ([]float32, error) {
+		if acc == nil {
+			acc = make([]float32, len(t[1].Vec))
+		}
+		for i, v := range t[1].Vec {
+			acc[i] += v
+		}
+		return acc, nil
+	}
+	specs := []AggSpec{{Kind: VecFold, Fold: fold, As: "total"}}
+
+	serialOp, _ := NewHashAggregate(NewMemScan(schema, rows), []string{"g"}, specs)
+	want := collectAgg(t, serialOp)
+
+	op, err := NewPartitionedAggregate(NewMemScan(schema, rows), []string{"g"}, specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectAgg(t, op)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("partitioned VecFold differs from serial")
+	}
+}
+
+func TestPartitionedAggregateValidatesLikeSerial(t *testing.T) {
+	sc := NewMemScan(intsSchema(), nil)
+	if _, err := NewPartitionedAggregate(sc, []string{"ghost"}, []AggSpec{{Kind: Count, As: "n"}}, 2); err == nil {
+		t.Fatal("unknown group column must error at construction")
+	}
+	if _, err := NewPartitionedAggregate(sc, []string{"id"}, []AggSpec{{Kind: VecFold, As: "x"}}, 2); err == nil {
+		t.Fatal("VecFold without a Fold func must error")
+	}
+}
+
+func TestPartitionedAggregateFoldErrorPropagates(t *testing.T) {
+	schema := table.MustSchema(
+		table.Column{Name: "g", Type: table.Int64},
+		table.Column{Name: "vec", Type: table.FloatVec},
+	)
+	var rows []table.Tuple
+	for i := 0; i < 100; i++ {
+		rows = append(rows, table.Tuple{table.IntVal(int64(i % 5)), table.VecVal([]float32{1})})
+	}
+	boom := errors.New("fold failed")
+	fold := func(acc []float32, t table.Tuple) ([]float32, error) {
+		if t[0].Int == 3 {
+			return nil, boom
+		}
+		return []float32{0}, nil
+	}
+	op, err := NewPartitionedAggregate(NewMemScan(schema, rows),
+		[]string{"g"}, []AggSpec{{Kind: VecFold, Fold: fold, As: "x"}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Open(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the fold error", err)
+	}
+}
+
+type failingScan struct {
+	schema *table.Schema
+	n      int
+}
+
+func (f *failingScan) Schema() *table.Schema { return f.schema }
+func (f *failingScan) Open() error           { return nil }
+func (f *failingScan) Close() error          { return nil }
+func (f *failingScan) Next() (table.Tuple, bool, error) {
+	if f.n <= 0 {
+		return nil, false, fmt.Errorf("input died")
+	}
+	f.n--
+	return table.Tuple{table.IntVal(int64(f.n)), table.FloatVal(1)}, true, nil
+}
+
+func TestPartitionedAggregateInputErrorPropagates(t *testing.T) {
+	op, err := NewPartitionedAggregate(&failingScan{schema: intsSchema(), n: 50},
+		[]string{"id"}, []AggSpec{{Kind: Count, As: "n"}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Open(); err == nil {
+		t.Fatal("input error must propagate through the partition fan-out")
+	}
+}
+
+// Unforced fan-out sizes from the shared budget and returns every token.
+func TestPartitionedAggregateReturnsBudgetTokens(t *testing.T) {
+	shared := parallel.NewBudget(4)
+	prev := parallel.SetDefault(shared)
+	defer parallel.SetDefault(prev)
+
+	rows := groupedRows(1000, 11, 21)
+	op, err := NewPartitionedAggregate(NewMemScan(intsSchema(), rows),
+		[]string{"id"}, []AggSpec{{Kind: Count, As: "n"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectAgg(t, op); len(got) != 11 {
+		t.Fatalf("groups = %d, want 11", len(got))
+	}
+	if shared.InUse() != 0 {
+		t.Fatalf("aggregate leaked %d tokens", shared.InUse())
+	}
+}
+
+// More workers than groups: some partitions see no tuples and contribute
+// nothing; the merge must still be complete and ordered.
+func TestPartitionedAggregateMoreWorkersThanGroups(t *testing.T) {
+	rows := groupedRows(40, 2, 22)
+	serialOp, _ := NewHashAggregate(NewMemScan(intsSchema(), rows), []string{"id"},
+		[]AggSpec{{Kind: Sum, Col: "v", As: "s"}})
+	want := collectAgg(t, serialOp)
+	op, err := NewPartitionedAggregate(NewMemScan(intsSchema(), rows), []string{"id"},
+		[]AggSpec{{Kind: Sum, Col: "v", As: "s"}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectAgg(t, op); !reflect.DeepEqual(got, want) {
+		t.Fatal("sparse partitions broke the merge")
+	}
+}

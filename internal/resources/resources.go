@@ -8,10 +8,10 @@ package resources
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"time"
 
+	"tensorbase/internal/parallel"
 	"tensorbase/internal/tensor"
 )
 
@@ -20,72 +20,54 @@ import (
 // until tokens are available, so concurrent inference queries cannot
 // oversubscribe the machine the way independently-configured DB and BLAS
 // thread pools do.
+//
+// Governor is a thin policy layer over a parallel.Budget — the same budget
+// type the executor's block scheduler and the tensor kernels draw from.
+// Bind installs the governor's budget as the process-wide default, which is
+// how all three levels of parallelism (query workers, block workers, kernel
+// bands) end up debiting one core account.
 type Governor struct {
-	total  int
-	tokens chan struct{}
+	budget *parallel.Budget
 }
 
 // NewGovernor returns a governor over n compute tokens (n <= 0 uses
 // GOMAXPROCS).
 func NewGovernor(n int) *Governor {
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	g := &Governor{total: n, tokens: make(chan struct{}, n)}
-	for i := 0; i < n; i++ {
-		g.tokens <- struct{}{}
-	}
-	return g
+	return &Governor{budget: parallel.NewBudget(n)}
+}
+
+// Budget exposes the underlying compute-token budget.
+func (g *Governor) Budget() *parallel.Budget { return g.budget }
+
+// Bind installs the governor's budget as the process-wide default that
+// tensor kernels and block schedulers consult, and returns a function that
+// restores the previous default (for scoped use in tests and tuning runs).
+func (g *Governor) Bind() (restore func()) {
+	prev := parallel.SetDefault(g.budget)
+	return func() { parallel.SetDefault(prev) }
 }
 
 // Total returns the token count.
-func (g *Governor) Total() int { return g.total }
+func (g *Governor) Total() int { return g.budget.Total() }
 
 // Acquire blocks until n tokens are held. Acquiring more than Total panics
 // (it would deadlock).
-func (g *Governor) Acquire(n int) {
-	if n > g.total {
-		panic(fmt.Sprintf("resources: acquire of %d exceeds %d tokens", n, g.total))
-	}
-	for i := 0; i < n; i++ {
-		<-g.tokens
-	}
-}
+func (g *Governor) Acquire(n int) { g.budget.Acquire(n) }
 
-// TryAcquire attempts to take n tokens without blocking.
-func (g *Governor) TryAcquire(n int) bool {
-	if n > g.total {
-		return false
-	}
-	taken := 0
-	for taken < n {
-		select {
-		case <-g.tokens:
-			taken++
-		default:
-			g.Release(taken)
-			return false
-		}
-	}
-	return true
-}
+// TryAcquire attempts to take n tokens without blocking; it takes all n or
+// none.
+func (g *Governor) TryAcquire(n int) bool { return g.budget.TryAcquire(n) }
 
-// Release returns n tokens.
-func (g *Governor) Release(n int) {
-	for i := 0; i < n; i++ {
-		select {
-		case g.tokens <- struct{}{}:
-		default:
-			panic("resources: release beyond capacity")
-		}
-	}
-}
+// Release returns n tokens. Releasing more than were acquired panics.
+func (g *Governor) Release(n int) { g.budget.Release(n) }
 
 // Available returns the tokens currently free.
-func (g *Governor) Available() int { return len(g.tokens) }
+func (g *Governor) Available() int { return g.budget.Available() }
 
 // ApplyKernelCap points the tensor kernels at the governor's split:
-// kernels may fan out to at most kernelThreads goroutines each.
+// kernels may fan out to at most kernelThreads goroutines each. The cap is
+// an upper bound on top of the shared budget — a kernel still has to win
+// tokens from the default budget to actually fan out.
 func ApplyKernelCap(kernelThreads int) {
 	tensor.SetMaxWorkers(kernelThreads)
 }

@@ -1,7 +1,6 @@
 package storage
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"sync"
@@ -18,9 +17,19 @@ type Frame struct {
 	dirty bool
 	// refBit marks recent use under the Clock policy.
 	refBit bool
-	// lruElem is the frame's position in the pool's LRU list when
-	// unpinned; nil while pinned.
-	lruElem *list.Element
+	// lruPrev/lruNext link unpinned frames into the pool's intrusive LRU
+	// list (head = least recently used). Intrusive links instead of
+	// container/list keep the hot fetch/unpin cycle allocation-free.
+	lruPrev, lruNext *Frame
+	inLRU            bool
+	// ready is closed once the frame's bytes are valid. A fetcher that
+	// hits a frame whose disk read is still in flight (a concurrent miss
+	// on the same page) pins it and waits on ready instead of returning
+	// half-read bytes.
+	ready chan struct{}
+	// loadErr records a failed disk read; waiters observe it after ready
+	// closes and release their pins instead of using the frame.
+	loadErr error
 }
 
 // ID returns the page id currently held by the frame.
@@ -31,6 +40,14 @@ func (f *Frame) Data() []byte { return f.data[:] }
 
 // Page returns a slotted-page view of the frame. Valid only while pinned.
 func (f *Frame) Page() *Page { return NewPage(f.data[:]) }
+
+// Record returns the record in the given slot without allocating a page
+// wrapper — the zero-alloc read path block-streaming loops use. The slice
+// aliases the frame and is valid only while pinned.
+func (f *Frame) Record(slot int) ([]byte, bool) {
+	p := Page{buf: f.data[:]}
+	return p.Record(slot)
+}
 
 // PoolStats reports buffer pool activity; Evictions counts pages written
 // back or dropped to make room — the disk-spilling behaviour that lets the
@@ -64,9 +81,11 @@ type BufferPool struct {
 	frames []*Frame
 	table  map[PageID]*Frame
 	free   []*Frame
-	lru    *list.List // of *Frame, front = least recently used (LRU policy)
-	hand   int        // sweep position (Clock policy)
-	stats  PoolStats
+	// lruHead/lruTail bound the intrusive list of unpinned frames,
+	// head = least recently used (LRU policy).
+	lruHead, lruTail *Frame
+	hand             int // sweep position (Clock policy)
+	stats            PoolStats
 }
 
 // NewBufferPool returns an LRU pool of n frames over disk.
@@ -85,7 +104,6 @@ func NewBufferPoolWithPolicy(disk *DiskManager, n int, policy Policy) *BufferPoo
 		policy: policy,
 		frames: make([]*Frame, n),
 		table:  make(map[PageID]*Frame, n),
-		lru:    list.New(),
 	}
 	for i := range p.frames {
 		f := &Frame{id: InvalidPageID}
@@ -105,13 +123,33 @@ func (p *BufferPool) Stats() PoolStats {
 	return p.stats
 }
 
-// Fetch pins page id into a frame, reading it from disk on a miss.
+// readyClosed is shared by frames whose bytes are valid from birth
+// (freshly formatted pages).
+var readyClosed = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// Fetch pins page id into a frame, reading it from disk on a miss. On a
+// concurrent miss — another fetcher is mid-read of the same page — Fetch
+// waits for that read to complete rather than observing partial bytes, so
+// parallel block workers can hammer the same operand pages safely.
 func (p *BufferPool) Fetch(id PageID) (*Frame, error) {
 	p.mu.Lock()
 	if f, ok := p.table[id]; ok {
 		p.stats.Hits++
 		p.pinLocked(f)
+		ready := f.ready
 		p.mu.Unlock()
+		<-ready
+		// loadErr was written before ready closed, so this read is ordered.
+		if err := f.loadErr; err != nil {
+			p.mu.Lock()
+			p.dropFailedPinLocked(f)
+			p.mu.Unlock()
+			return nil, err
+		}
 		return f, nil
 	}
 	p.stats.Misses++
@@ -123,19 +161,37 @@ func (p *BufferPool) Fetch(id PageID) (*Frame, error) {
 	f.id = id
 	f.pins = 1
 	f.dirty = false
+	f.loadErr = nil
+	f.ready = make(chan struct{})
 	p.table[id] = f
 	p.mu.Unlock()
-	// Read outside the lock: the frame is pinned so it cannot be evicted.
-	if err := p.disk.Read(id, f.data[:]); err != nil {
-		p.mu.Lock()
-		delete(p.table, id)
-		f.id = InvalidPageID
-		f.pins = 0
-		p.free = append(p.free, f)
-		p.mu.Unlock()
-		return nil, err
+	// Read outside the lock: the frame is pinned so it cannot be evicted,
+	// and concurrent fetchers of the same page wait on f.ready.
+	rerr := p.disk.Read(id, f.data[:])
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if rerr != nil {
+		f.loadErr = rerr
+		close(f.ready)
+		p.dropFailedPinLocked(f)
+		return nil, rerr
 	}
+	close(f.ready)
 	return f, nil
+}
+
+// dropFailedPinLocked releases one pin on a frame whose load failed; the
+// last pin out removes it from the table so the page can be retried.
+func (p *BufferPool) dropFailedPinLocked(f *Frame) {
+	f.pins--
+	if f.pins > 0 {
+		return
+	}
+	delete(p.table, f.id)
+	f.id = InvalidPageID
+	f.dirty = false
+	f.loadErr = nil
+	p.free = append(p.free, f)
 }
 
 // NewPage allocates a fresh page on disk, pins it, and formats it as an
@@ -154,19 +210,52 @@ func (p *BufferPool) NewPage() (*Frame, error) {
 	f.id = id
 	f.pins = 1
 	f.dirty = true
+	f.loadErr = nil
+	f.ready = readyClosed
+	// Format before publishing the unlock: the frame is in the table, so a
+	// hit must never observe pre-format bytes.
+	InitPage(f.data[:])
 	p.table[id] = f
 	p.mu.Unlock()
-	InitPage(f.data[:])
 	return f, nil
+}
+
+// lruPushBackLocked appends f as the most recently used unpinned frame.
+func (p *BufferPool) lruPushBackLocked(f *Frame) {
+	f.lruPrev = p.lruTail
+	f.lruNext = nil
+	if p.lruTail != nil {
+		p.lruTail.lruNext = f
+	} else {
+		p.lruHead = f
+	}
+	p.lruTail = f
+	f.inLRU = true
+}
+
+// lruRemoveLocked unlinks f from the LRU list if present.
+func (p *BufferPool) lruRemoveLocked(f *Frame) {
+	if !f.inLRU {
+		return
+	}
+	if f.lruPrev != nil {
+		f.lruPrev.lruNext = f.lruNext
+	} else {
+		p.lruHead = f.lruNext
+	}
+	if f.lruNext != nil {
+		f.lruNext.lruPrev = f.lruPrev
+	} else {
+		p.lruTail = f.lruPrev
+	}
+	f.lruPrev, f.lruNext = nil, nil
+	f.inLRU = false
 }
 
 // pinLocked pins an already-resident frame.
 func (p *BufferPool) pinLocked(f *Frame) {
 	if p.policy == LRU {
-		if f.lruElem != nil {
-			p.lru.Remove(f.lruElem)
-			f.lruElem = nil
-		}
+		p.lruRemoveLocked(f)
 	} else {
 		f.refBit = true
 	}
@@ -183,13 +272,11 @@ func (p *BufferPool) victimLocked() (*Frame, error) {
 	}
 	var f *Frame
 	if p.policy == LRU {
-		e := p.lru.Front()
-		if e == nil {
+		f = p.lruHead
+		if f == nil {
 			return nil, fmt.Errorf("%w (%d frames)", ErrNoFreeFrames, len(p.frames))
 		}
-		f = e.Value.(*Frame)
-		p.lru.Remove(e)
-		f.lruElem = nil
+		p.lruRemoveLocked(f)
 	} else {
 		f = p.clockVictimLocked()
 		if f == nil {
@@ -248,7 +335,7 @@ func (p *BufferPool) Unpin(id PageID, dirty bool) error {
 		f.dirty = true
 	}
 	if f.pins == 0 && p.policy == LRU {
-		f.lruElem = p.lru.PushBack(f)
+		p.lruPushBackLocked(f)
 	}
 	return nil
 }

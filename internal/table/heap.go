@@ -3,6 +3,7 @@ package table
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"tensorbase/internal/storage"
 )
@@ -16,7 +17,18 @@ type RID struct {
 // Heap is an unordered collection of tuples stored as a chain of slotted
 // pages in the buffer pool. Large tuples are rejected rather than
 // overflow-chained; tensor blocks are sized by the caller to fit a page.
+//
+// Latching contract: the heap carries one reader/writer latch. Insert and
+// InsertRecord take it exclusively — they mutate the tail page's bytes, the
+// chain pointers, and the row count, so writers serialise. Get, GetInto,
+// Scanner.Next, RIDs, and Count take it shared, so any number of readers
+// runs concurrently (with each other, and with readers of other heaps on
+// the same buffer pool). Page pins protect resident bytes from eviction;
+// the latch is what keeps a reader from observing a half-applied insert
+// into the page it is decoding. This is what lets the parallel relation-
+// centric executor fan block fetches and result appends across workers.
 type Heap struct {
+	mu     sync.RWMutex
 	pool   *storage.BufferPool
 	schema *Schema
 	first  storage.PageID
@@ -53,10 +65,15 @@ func (h *Heap) FirstPage() storage.PageID { return h.first }
 func (h *Heap) LastPage() storage.PageID { return h.last }
 
 // Count returns the number of inserted tuples.
-func (h *Heap) Count() int64 { return h.count }
+func (h *Heap) Count() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.count
+}
 
 // Insert appends a tuple and returns its RID, extending the page chain as
-// needed.
+// needed. Insert is latched: concurrent inserters serialise, and readers
+// never see a partially written tail page.
 func (h *Heap) Insert(t Tuple) (RID, error) {
 	rec, err := Encode(h.schema, t)
 	if err != nil {
@@ -65,11 +82,13 @@ func (h *Heap) Insert(t Tuple) (RID, error) {
 	return h.InsertRecord(rec)
 }
 
-// InsertRecord appends a pre-encoded record.
+// InsertRecord appends a pre-encoded record under the heap's write latch.
 func (h *Heap) InsertRecord(rec []byte) (RID, error) {
 	if len(rec) > storage.MaxRecordSize {
 		return RID{}, fmt.Errorf("table: record of %d bytes exceeds page capacity %d", len(rec), storage.MaxRecordSize)
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	f, err := h.pool.Fetch(h.last)
 	if err != nil {
 		return RID{}, err
@@ -109,22 +128,35 @@ func (h *Heap) InsertRecord(rec []byte) (RID, error) {
 
 // Get fetches and decodes the tuple at rid.
 func (h *Heap) Get(rid RID) (Tuple, error) {
+	t, _, err := h.GetInto(rid, nil, nil)
+	return t, err
+}
+
+// GetInto fetches the tuple at rid decoding into the caller's reusable
+// tuple header and float scratch (see DecodeInto) — the allocation-free
+// fetch path the streaming block multiply's inner loop runs per k-step.
+// It takes the heap's read latch, so it is safe against concurrent Insert.
+func (h *Heap) GetInto(rid RID, t Tuple, scratch []float32) (Tuple, []float32, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	f, err := h.pool.Fetch(rid.Page)
 	if err != nil {
-		return nil, err
+		return nil, scratch, err
 	}
 	defer h.pool.Unpin(rid.Page, false)
-	rec, ok := f.Page().Record(rid.Slot)
+	rec, ok := f.Record(rid.Slot)
 	if !ok {
-		return nil, fmt.Errorf("table: no record at page %d slot %d", rid.Page, rid.Slot)
+		return nil, scratch, fmt.Errorf("table: no record at page %d slot %d", rid.Page, rid.Slot)
 	}
-	return Decode(h.schema, rec)
+	return DecodeInto(h.schema, rec, t, scratch)
 }
 
 // RIDs returns the record ids of every live record in scan order — the
 // same order Scan yields tuples, so position n of both refers to the same
 // row. Index builders use this to map index entries back to records.
 func (h *Heap) RIDs() ([]RID, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	var out []RID
 	page := h.first
 	for page != storage.InvalidPageID {
@@ -162,8 +194,12 @@ func (h *Heap) Scan() *Scanner {
 	return &Scanner{heap: h, page: h.first}
 }
 
-// Next returns the next tuple, or ok=false at the end.
+// Next returns the next tuple, or ok=false at the end. Each call holds the
+// heap's read latch, so a scan interleaves safely with concurrent inserts
+// (tuples inserted behind the scan position may or may not be seen).
 func (s *Scanner) Next() (Tuple, bool, error) {
+	s.heap.mu.RLock()
+	defer s.heap.mu.RUnlock()
 	for !s.done {
 		f, err := s.heap.pool.Fetch(s.page)
 		if err != nil {

@@ -122,37 +122,54 @@ func Encode(s *Schema, t Tuple) ([]byte, error) {
 
 // Decode deserialises a record produced by Encode against schema s.
 func Decode(s *Schema, rec []byte) (Tuple, error) {
-	t := make(Tuple, s.Len())
+	t, _, err := DecodeInto(s, rec, nil, nil)
+	return t, err
+}
+
+// DecodeInto deserialises a record like Decode, but reuses the caller's
+// tuple header (when cap(t) suffices) and carves FloatVec payloads out of
+// scratch (grown as needed and returned for the next call) instead of
+// allocating per record. Block-streaming inner loops use it to fetch one
+// tensor block per k-step with zero steady-state allocations. The returned
+// tuple and its vector fields alias the buffers and are only valid until
+// the next DecodeInto with the same buffers.
+func DecodeInto(s *Schema, rec []byte, t Tuple, scratch []float32) (Tuple, []float32, error) {
+	if cap(t) >= s.Len() {
+		t = t[:s.Len()]
+	} else {
+		t = make(Tuple, s.Len())
+	}
+	// Measure pass: total float payload, so every vector column can be
+	// carved from one stable backing array (growing mid-decode would
+	// invalidate earlier columns' slices).
+	floats, err := measureVecs(s, rec)
+	if err != nil {
+		return nil, scratch, err
+	}
+	if cap(scratch) < floats {
+		scratch = make([]float32, floats)
+	}
+	scratch = scratch[:cap(scratch)]
+	used := 0
 	off := 0
 	for i, c := range s.Cols {
 		switch c.Type {
 		case Int64:
-			if off+8 > len(rec) {
-				return nil, truncErr(c.Name)
-			}
 			t[i] = IntVal(int64(binary.LittleEndian.Uint64(rec[off:])))
 			off += 8
 		case Float64:
-			if off+8 > len(rec) {
-				return nil, truncErr(c.Name)
-			}
 			t[i] = FloatVal(math.Float64frombits(binary.LittleEndian.Uint64(rec[off:])))
 			off += 8
 		case Text:
 			n, sz := binary.Uvarint(rec[off:])
-			if sz <= 0 || off+sz+int(n) > len(rec) {
-				return nil, truncErr(c.Name)
-			}
 			off += sz
 			t[i] = TextVal(string(rec[off : off+int(n)]))
 			off += int(n)
 		case FloatVec:
 			n, sz := binary.Uvarint(rec[off:])
-			if sz <= 0 || off+sz+4*int(n) > len(rec) {
-				return nil, truncErr(c.Name)
-			}
 			off += sz
-			vec := make([]float32, n)
+			vec := scratch[used : used+int(n) : used+int(n)]
+			used += int(n)
 			for j := range vec {
 				vec[j] = math.Float32frombits(binary.LittleEndian.Uint32(rec[off:]))
 				off += 4
@@ -161,9 +178,39 @@ func Decode(s *Schema, rec []byte) (Tuple, error) {
 		}
 	}
 	if off != len(rec) {
-		return nil, fmt.Errorf("table: %d trailing bytes after decoding tuple", len(rec)-off)
+		return nil, scratch, fmt.Errorf("table: %d trailing bytes after decoding tuple", len(rec)-off)
 	}
-	return t, nil
+	return t, scratch, nil
+}
+
+// measureVecs walks the record validating field bounds and returns the
+// total FloatVec element count.
+func measureVecs(s *Schema, rec []byte) (int, error) {
+	floats := 0
+	off := 0
+	for _, c := range s.Cols {
+		switch c.Type {
+		case Int64, Float64:
+			if off+8 > len(rec) {
+				return 0, truncErr(c.Name)
+			}
+			off += 8
+		case Text:
+			n, sz := binary.Uvarint(rec[off:])
+			if sz <= 0 || off+sz+int(n) > len(rec) {
+				return 0, truncErr(c.Name)
+			}
+			off += sz + int(n)
+		case FloatVec:
+			n, sz := binary.Uvarint(rec[off:])
+			if sz <= 0 || off+sz+4*int(n) > len(rec) {
+				return 0, truncErr(c.Name)
+			}
+			off += sz + 4*int(n)
+			floats += int(n)
+		}
+	}
+	return floats, nil
 }
 
 func truncErr(col string) error {

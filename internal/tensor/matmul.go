@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"tensorbase/internal/parallel"
 )
 
 // matmulParallelThreshold is the minimum number of multiply-adds before
@@ -27,13 +29,53 @@ func SetMaxWorkers(n int) {
 	maxWorkers.Store(int32(n))
 }
 
-// kernelWorkers returns the effective parallelism for one kernel call.
+// kernelWorkers returns the static per-kernel parallelism cap.
 func kernelWorkers() int {
 	w := runtime.GOMAXPROCS(0)
 	if cap := int(maxWorkers.Load()); cap > 0 && cap < w {
 		w = cap
 	}
 	return w
+}
+
+// fanOut decides how many goroutines a kernel over m result rows and `work`
+// multiply-adds may use. Beyond the static cap (GOMAXPROCS ∧ SetMaxWorkers)
+// it asks the shared parallel.Budget for tokens, so a kernel running inside
+// an engine worker that already holds the machine's cores degrades to
+// serial instead of oversubscribing (Sec. 3). The caller's goroutine is the
+// first worker; extra tokens are returned via the release func (nil when
+// the kernel should run serially).
+func fanOut(m, work int) (workers int, release func()) {
+	w := kernelWorkers()
+	if work < matmulParallelThreshold || w <= 1 || m <= 1 {
+		return 1, nil
+	}
+	if w > m {
+		w = m
+	}
+	budget := parallel.Default()
+	extra := budget.TryAcquireUpTo(w - 1)
+	if extra == 0 {
+		return 1, nil
+	}
+	return extra + 1, func() { budget.Release(extra) }
+}
+
+// bandLoop runs fn over row bands [r0,r1) of m rows split across workers,
+// computing the first band on the caller's goroutine.
+func bandLoop(m, workers int, fn func(r0, r1 int)) {
+	band := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for r0 := band; r0 < m; r0 += band {
+		r1 := min(r0+band, m)
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			fn(r0, r1)
+		}(r0, r1)
+	}
+	fn(0, min(band, m))
+	wg.Wait()
 }
 
 // MatMul returns a × b for 2-D tensors of shapes (m,k) and (k,n).
@@ -46,12 +88,31 @@ func MatMul(a, b *Tensor) *Tensor {
 // MatMulInto computes out = a × b, reusing out's storage. Shapes must be
 // (m,k) × (k,n) → (m,n). The kernel is a cache-friendly i-k-j loop with the
 // inner loop over contiguous rows of b, parallelised across row bands of a
-// when the problem is large enough.
+// when the problem is large enough and the shared core budget has tokens
+// free.
 func MatMulInto(out, a, b *Tensor) {
+	m, k, n := checkMatMulShapes(out, a, b)
+	for i := range out.data {
+		out.data[i] = 0
+	}
+	matmulAdd(out.data, a.data, b.data, m, k, n)
+}
+
+// MatMulAddInto computes out += a × b — the fused multiply-accumulate the
+// blocked execution paths use so the per-k-step partial product of
+// C[rb,cb] = Σₖ A[rb,k]·B[k,cb] accumulates straight into the result block
+// instead of materialising a temporary tensor per step. Shapes must be
+// (m,k) × (k,n) → (m,n).
+func MatMulAddInto(out, a, b *Tensor) {
+	m, k, n := checkMatMulShapes(out, a, b)
+	matmulAdd(out.data, a.data, b.data, m, k, n)
+}
+
+func checkMatMulShapes(out, a, b *Tensor) (m, k, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 || out.Rank() != 2 {
 		panic("tensor: MatMul requires 2-D tensors")
 	}
-	m, k := a.shape[0], a.shape[1]
+	m, k = a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%d,%d)×(%d,%d)", m, k, k2, n))
@@ -59,32 +120,25 @@ func MatMulInto(out, a, b *Tensor) {
 	if out.shape[0] != m || out.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMul output shape %v, want (%d,%d)", out.shape, m, n))
 	}
-	for i := range out.data {
-		out.data[i] = 0
-	}
-	work := m * k * n
-	workers := kernelWorkers()
-	if work < matmulParallelThreshold || workers == 1 || m == 1 {
-		matmulRows(out.data, a.data, b.data, 0, m, k, n)
-		return
-	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	band := (m + workers - 1) / workers
-	for r0 := 0; r0 < m; r0 += band {
-		r1 := min(r0+band, m)
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			matmulRows(out.data, a.data, b.data, r0, r1, k, n)
-		}(r0, r1)
-	}
-	wg.Wait()
+	return m, k, n
 }
 
-// matmulRows computes rows [r0,r1) of the product into out.
+// matmulAdd accumulates a×b into out, fanning out across row bands when the
+// problem is large enough. Row bands write disjoint rows of out, so the
+// parallel result is bit-identical to the serial one.
+func matmulAdd(out, a, b []float32, m, k, n int) {
+	workers, release := fanOut(m, m*k*n)
+	if workers == 1 {
+		matmulRows(out, a, b, 0, m, k, n)
+		return
+	}
+	defer release()
+	bandLoop(m, workers, func(r0, r1 int) {
+		matmulRows(out, a, b, r0, r1, k, n)
+	})
+}
+
+// matmulRows accumulates rows [r0,r1) of the product into out.
 func matmulRows(out, a, b []float32, r0, r1, k, n int) {
 	for i := r0; i < r1; i++ {
 		arow := a[i*k : (i+1)*k]
@@ -113,26 +167,15 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch (%d,%d)×(%d,%d)ᵀ", m, k, n, k2))
 	}
 	out := New(m, n)
-	work := m * k * n
-	workers := kernelWorkers()
-	if work < matmulParallelThreshold || workers == 1 || m == 1 {
+	workers, release := fanOut(m, m*k*n)
+	if workers == 1 {
 		matmulTransBRows(out.data, a.data, b.data, 0, m, k, n)
 		return out
 	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	band := (m + workers - 1) / workers
-	for r0 := 0; r0 < m; r0 += band {
-		r1 := min(r0+band, m)
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			matmulTransBRows(out.data, a.data, b.data, r0, r1, k, n)
-		}(r0, r1)
-	}
-	wg.Wait()
+	defer release()
+	bandLoop(m, workers, func(r0, r1 int) {
+		matmulTransBRows(out.data, a.data, b.data, r0, r1, k, n)
+	})
 	return out
 }
 

@@ -100,6 +100,23 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
 }
 
+// Reuse2D repoints t at data as an r×c matrix, reusing t's shape slice —
+// the allocation-free counterpart of FromSlice for block-streaming inner
+// loops that cycle one Tensor header over many scratch buffers. The slice
+// is not copied; the tensor aliases it.
+func (t *Tensor) Reuse2D(data []float32, r, c int) {
+	if r < 0 || c < 0 || len(data) != r*c {
+		panic(fmt.Sprintf("tensor: Reuse2D data length %d does not match (%d,%d)", len(data), r, c))
+	}
+	if cap(t.shape) >= 2 {
+		t.shape = t.shape[:2]
+	} else {
+		t.shape = make([]int, 2)
+	}
+	t.shape[0], t.shape[1] = r, c
+	t.data = data
+}
+
 // Clone returns a deep copy of t.
 func (t *Tensor) Clone() *Tensor {
 	d := make([]float32, len(t.data))
