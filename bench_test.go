@@ -30,6 +30,7 @@ import (
 	"tensorbase/internal/core"
 	"tensorbase/internal/data"
 	"tensorbase/internal/dlruntime"
+	"tensorbase/internal/engine"
 	"tensorbase/internal/exec"
 	"tensorbase/internal/experiments"
 	"tensorbase/internal/memlimit"
@@ -679,6 +680,95 @@ func BenchmarkReplacementPolicy(b *testing.B) {
 				_ = f.Data()[0]
 				pool.Unpin(id, false)
 			}
+		})
+	}
+}
+
+// BenchmarkPredictServing measures the SQL-integrated PREDICT serving path
+// end-to-end under concurrent clients: engine.Exec with the pipelined
+// inference operator and, when enabled, the per-model ANN result cache.
+// Cache cases pin the hit ratio across iterations with an admission cap:
+// the warm-up query fills the cache up to the cap, after which further
+// inserts are rejected, so every timed query sees the same hit mix.
+// Reports rows served per second and the observed cache hit rate.
+func BenchmarkPredictServing(b *testing.B) {
+	const nRows, hidden, batch = 256, 1024, 32
+	d := data.Fraud(11, nRows)
+	rng := rand.New(rand.NewSource(12))
+	model := nn.FraudFC(rng, hidden)
+	query := fmt.Sprintf("SELECT id, PREDICT(%s, features) FROM txns", model.Name())
+
+	open := func(b *testing.B, opts engine.Options) *engine.DB {
+		b.Helper()
+		db, err := engine.Open(filepath.Join(b.TempDir(), "bench.db"), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { db.Close() })
+		rows, schema, err := d.FeatureRows()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.CreateTable("txns", schema); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.InsertRows("txns", rows); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.LoadModel(model, 0); err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+
+	run := func(b *testing.B, db *engine.DB) {
+		// Warm-up fills the cache up to its admission cap (a no-op for
+		// the uncached cases) so timed iterations see a steady hit mix.
+		if _, err := db.Exec(query); err != nil {
+			b.Fatal(err)
+		}
+		before := db.Stats()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				res, err := db.Exec(query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != nRows {
+					b.Fatalf("rows = %d", len(res.Rows))
+				}
+			}
+		})
+		b.StopTimer()
+		after := db.Stats()
+		rows := float64(b.N) * nRows
+		b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/s")
+		served := after.CacheHits - before.CacheHits + after.CacheShared - before.CacheShared
+		probes := served + after.CacheMisses - before.CacheMisses
+		if probes > 0 {
+			b.ReportMetric(float64(served)/float64(probes), "hit-rate")
+		}
+	}
+
+	b.Run("serial_nocache", func(b *testing.B) {
+		run(b, open(b, engine.Options{InferBatch: batch, DisablePredictPipeline: true}))
+	})
+	b.Run("pipelined_nocache", func(b *testing.B) {
+		run(b, open(b, engine.Options{InferBatch: batch}))
+	})
+	for _, pct := range []int{0, 50, 100} {
+		cap := nRows * pct / 100
+		if pct == 0 {
+			cap = 1 // cap ≈ 0: one admitted entry, everything else misses
+		}
+		b.Run(fmt.Sprintf("cached_hit%d", pct), func(b *testing.B) {
+			run(b, open(b, engine.Options{
+				InferBatch:            batch,
+				ResultCache:           true,
+				ResultCacheDistance:   1e-9,
+				ResultCacheMaxEntries: cap,
+			}))
 		})
 	}
 }

@@ -26,11 +26,18 @@ func main() {
 	path := flag.String("db", "tensorbase.db", "database file")
 	memBudget := flag.Int64("mem", 0, "whole-tensor memory budget in bytes (0 = unlimited)")
 	threshold := flag.Int64("threshold", 2<<30, "optimizer memory-limit threshold in bytes")
+	cacheDist := flag.Float64("cache", -1, "enable per-model result caching with this squared-L2 distance threshold (0 = exact repeats only, negative = off)")
+	cacheMax := flag.Int("cache-max", 0, "result cache admission cap in entries (0 = unbounded)")
+	noPipeline := flag.Bool("no-pipeline", false, "disable pipelined PREDICT batching")
 	flag.Parse()
 
 	db, err := engine.Open(*path, engine.Options{
-		MemoryBudget:    *memBudget,
-		MemoryThreshold: *threshold,
+		MemoryBudget:           *memBudget,
+		MemoryThreshold:        *threshold,
+		ResultCache:            *cacheDist >= 0,
+		ResultCacheDistance:    max(*cacheDist, 0),
+		ResultCacheMaxEntries:  *cacheMax,
+		DisablePredictPipeline: *noPipeline,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tensorbase:", err)
@@ -81,6 +88,9 @@ func shellCommand(db *engine.DB, line string) bool {
 		s := db.Stats()
 		fmt.Printf("pool: %d hits, %d misses, %d evictions | disk: %d reads, %d writes | mem peak: %d KiB\n",
 			s.PoolHits, s.PoolMisses, s.PoolEvictions, s.DiskReads, s.DiskWrites, s.MemPeak>>10)
+		fmt.Printf("predict: %d batches (%d all-hit), %d model calls | cache: %d hits, %d misses, %d shared | pipeline: %d fills, %d stalls\n",
+			s.PredictBatches, s.BatchesAllHit, s.PredictUDFCalls,
+			s.CacheHits, s.CacheMisses, s.CacheShared, s.PipelineFills, s.PipelineStalls)
 	case `\lower`:
 		if len(fields) != 3 {
 			fmt.Println(`usage: \lower <model> <batch>`)

@@ -3,6 +3,7 @@ package ann
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -312,4 +313,39 @@ func TestResultsSortedProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestHNSWConcurrentSearch asserts the read path is safe to share: a frozen
+// graph serves many goroutines searching in parallel (the result cache holds
+// its read lock over exactly this call). Run under -race in the ROADMAP
+// race tier.
+func TestHNSWConcurrentSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	vecs, _ := clusteredData(rng, 500, 16, 8, 0.3)
+	h := NewHNSW(16, HNSWConfig{Seed: 51})
+	for i, v := range vecs {
+		if err := h.Add(int64(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				q := vecs[(i*7+w)%len(vecs)]
+				res, err := h.Search(q, 5)
+				if err != nil || len(res) == 0 {
+					t.Errorf("search: %v (%d results)", err, len(res))
+					return
+				}
+				if res[0].Dist != 0 {
+					t.Errorf("exact query did not return itself first (dist %g)", res[0].Dist)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }

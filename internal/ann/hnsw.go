@@ -1,7 +1,6 @@
 package ann
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -215,32 +214,60 @@ func (h *HNSW) greedyClosest(vec []float32, ep, l int) int {
 }
 
 // candHeap is a min-heap of Results by distance (best on top): the search
-// frontier.
+// frontier. Like resultHeap, hand-rolled to avoid heap.Interface boxing on
+// the Search hot path.
 type candHeap []Result
 
-func (h candHeap) Len() int            { return len(h) }
-func (h candHeap) Less(i, j int) bool  { return h[i].Dist < h[j].Dist }
-func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *candHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *candHeap) push(r Result) {
+	s := append(*h, r)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].Dist <= s[i].Dist {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*h = s
+}
+
+func (h *candHeap) pop() Result {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(s) && s[l].Dist < s[small].Dist {
+			small = l
+		}
+		if r < len(s) && s[r].Dist < s[small].Dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	*h = s
+	return top
 }
 
 // searchLayer runs a beam search of width ef on layer l and returns the
 // closest candidates (node indices in Result.ID), closest first.
 func (h *HNSW) searchLayer(vec []float32, ep, ef, l int) []Result {
-	visited := map[int32]bool{int32(ep): true}
+	visited := make([]bool, len(h.nodes))
+	visited[ep] = true
 	d0 := SquaredL2(vec, h.nodes[ep].vec)
 	frontier := candHeap{{ID: int64(ep), Dist: d0}}
-	var best resultHeap
-	heap.Push(&best, Result{ID: int64(ep), Dist: d0})
+	best := resultHeap{{ID: int64(ep), Dist: d0}}
 
-	for frontier.Len() > 0 {
-		cur := heap.Pop(&frontier).(Result)
+	for len(frontier) > 0 {
+		cur := frontier.pop()
 		if best.Len() >= ef && cur.Dist > best[0].Dist {
 			break
 		}
@@ -251,7 +278,7 @@ func (h *HNSW) searchLayer(vec []float32, ep, ef, l int) []Result {
 			visited[nb] = true
 			d := SquaredL2(vec, h.nodes[nb].vec)
 			if best.Len() < ef || d < best[0].Dist {
-				heap.Push(&frontier, Result{ID: int64(nb), Dist: d})
+				frontier.push(Result{ID: int64(nb), Dist: d})
 				keepBest(&best, Result{ID: int64(nb), Dist: d}, ef)
 			}
 		}

@@ -6,7 +6,6 @@
 package ann
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -91,30 +90,66 @@ func (b *Brute) Search(vec []float32, k int) ([]Result, error) {
 func (b *Brute) Len() int { return len(b.ids) }
 
 // resultHeap is a max-heap of Results by distance (worst on top), used to
-// keep the best k while scanning candidates.
+// keep the best k while scanning candidates. The sift operations are
+// hand-rolled rather than layered on container/heap: pushing through
+// heap.Interface boxes every Result in an interface value, and that
+// allocation churn dominated Search profiles on cache-sized graphs.
 type resultHeap []Result
 
-func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h resultHeap) Len() int { return len(h) }
+
+func (h *resultHeap) push(r Result) {
+	s := append(*h, r)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].Dist >= s[i].Dist {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*h = s
+}
+
+func (h *resultHeap) pop() Result {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	s.siftDown(0)
+	*h = s
+	return top
+}
+
+func (h resultHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h) && h[l].Dist > h[big].Dist {
+			big = l
+		}
+		if r < len(h) && h[r].Dist > h[big].Dist {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
 }
 
 // keepBest pushes r into h, keeping at most k entries.
 func keepBest(h *resultHeap, r Result, k int) {
 	if h.Len() < k {
-		heap.Push(h, r)
+		h.push(r)
 		return
 	}
 	if r.Dist < (*h)[0].Dist {
 		(*h)[0] = r
-		heap.Fix(h, 0)
+		h.siftDown(0)
 	}
 }
 
@@ -122,7 +157,7 @@ func keepBest(h *resultHeap, r Result, k int) {
 func drainSorted(h *resultHeap) []Result {
 	out := make([]Result, h.Len())
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Result)
+		out[i] = h.pop()
 	}
 	return out
 }

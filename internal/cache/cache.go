@@ -9,8 +9,11 @@
 package cache
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"tensorbase/internal/ann"
 	"tensorbase/internal/nn"
@@ -18,16 +21,27 @@ import (
 )
 
 // ResultCache maps feature vectors to cached prediction vectors through an
-// ANN index. It is safe for concurrent use.
+// ANN index. It is safe for concurrent use: lookups run the ANN search under
+// a read lock so they do not serialise behind each other, only inserts take
+// the write lock, and duplicate in-flight misses can be collapsed with the
+// single-flight protocol (ProbeFlight).
 type ResultCache struct {
-	mu      sync.Mutex
-	index   ann.Index
-	dim     int
-	maxDist float64 // squared L2 admission threshold
-	preds   map[int64][]float32
-	nextID  int64
-	hits    int64
-	misses  int64
+	mu         sync.RWMutex // guards index structure and preds map
+	index      ann.Index
+	dim        int
+	maxDist    float64 // squared L2 admission threshold
+	maxEntries int     // 0 = unbounded
+	preds      map[int64][]float32
+	exact      map[string]int64 // featKey → id: O(1) path for identical repeats
+	nextID     int64
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	shared   atomic.Int64
+	rejected atomic.Int64
+
+	fmu     sync.Mutex // guards flights, independent of mu
+	flights map[string]*flight
 }
 
 // New returns a cache over index for dim-wide features. A lookup hits when
@@ -42,7 +56,26 @@ func New(index ann.Index, dim int, maxSquaredDist float64) (*ResultCache, error)
 	if maxSquaredDist < 0 {
 		return nil, fmt.Errorf("cache: negative distance threshold %g", maxSquaredDist)
 	}
-	return &ResultCache{index: index, dim: dim, maxDist: maxSquaredDist, preds: make(map[int64][]float32)}, nil
+	return &ResultCache{
+		index:   index,
+		dim:     dim,
+		maxDist: maxSquaredDist,
+		preds:   make(map[int64][]float32),
+		exact:   make(map[string]int64),
+		flights: make(map[string]*flight),
+	}, nil
+}
+
+// SetMaxEntries caps the number of cached entries; once the index holds n
+// vectors further inserts are rejected (counted in Counters().Rejected).
+// n <= 0 removes the cap.
+func (c *ResultCache) SetMaxEntries(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.maxEntries = n
 }
 
 // NewHNSW returns a cache backed by a default-tuned HNSW index.
@@ -52,42 +85,69 @@ func NewHNSW(dim int, maxSquaredDist float64) (*ResultCache, error) {
 
 // Len returns the number of cached entries.
 func (c *ResultCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.index.Len()
 }
 
 // Lookup returns the cached prediction for the nearest entry within the
 // distance threshold, or ok=false. The returned slice must not be mutated.
+// Concurrent lookups proceed in parallel (read lock): only inserts exclude
+// them. An identical repeat of a cached feature vector is answered from an
+// exact-match map in O(1); the ANN search only runs for near-duplicates.
 func (c *ResultCache) Lookup(features []float32) (pred []float32, ok bool, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if len(features) != c.dim {
 		return nil, false, fmt.Errorf("cache: feature width %d, want %d", len(features), c.dim)
 	}
+	return c.lookupKeyed(features, featKey(features))
+}
+
+func (c *ResultCache) lookupKeyed(features []float32, key string) (pred []float32, ok bool, err error) {
+	c.mu.RLock()
+	if id, hit := c.exact[key]; hit {
+		p := c.preds[id]
+		c.mu.RUnlock()
+		c.hits.Add(1)
+		return p, true, nil
+	}
+	if c.maxDist == 0 {
+		// Exact-only mode: a zero-distance ANN hit implies bit-identical
+		// features (modulo ±0), which the exact map already answered, so
+		// skip the beam search and make misses O(1) too.
+		c.mu.RUnlock()
+		c.misses.Add(1)
+		return nil, false, nil
+	}
 	res, err := c.index.Search(features, 1)
+	var p []float32
+	found := false
+	if err == nil && len(res) > 0 && res[0].Dist <= c.maxDist {
+		p, found = c.preds[res[0].ID]
+	}
+	c.mu.RUnlock()
 	if err != nil {
 		return nil, false, err
 	}
-	if len(res) == 0 || res[0].Dist > c.maxDist {
-		c.misses++
-		return nil, false, nil
-	}
-	p, found := c.preds[res[0].ID]
 	if !found {
-		c.misses++
+		c.misses.Add(1)
 		return nil, false, nil
 	}
-	c.hits++
+	c.hits.Add(1)
 	return p, true, nil
 }
 
-// Insert caches prediction under the given features.
+// Insert caches prediction under the given features. When the entry cap is
+// reached the insert is silently rejected (admission control: HNSW does not
+// support deletion, so the cache stops growing instead of evicting).
 func (c *ResultCache) Insert(features, prediction []float32) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if len(features) != c.dim {
 		return fmt.Errorf("cache: feature width %d, want %d", len(features), c.dim)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxEntries > 0 && c.index.Len() >= c.maxEntries {
+		c.rejected.Add(1)
+		return nil
 	}
 	id := c.nextID
 	c.nextID++
@@ -95,14 +155,133 @@ func (c *ResultCache) Insert(features, prediction []float32) error {
 		return err
 	}
 	c.preds[id] = append([]float32(nil), prediction...)
+	c.exact[featKey(features)] = id
 	return nil
 }
 
 // Stats returns cumulative hit and miss counts.
 func (c *ResultCache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Counters is a full snapshot of the cache's cumulative counters.
+type Counters struct {
+	Hits     int64 // lookups answered from the cache
+	Misses   int64 // lookups that fell through to the model
+	Shared   int64 // misses that reused another request's in-flight result
+	Rejected int64 // inserts dropped by the max-entries cap
+	Entries  int   // current cached entries
+}
+
+// Counters returns a snapshot of all cumulative counters.
+func (c *ResultCache) Counters() Counters {
+	return Counters{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Shared:   c.shared.Load(),
+		Rejected: c.rejected.Load(),
+		Entries:  c.Len(),
+	}
+}
+
+// flight is one in-progress model computation for a feature key.
+type flight struct {
+	done chan struct{}
+	pred []float32
+	err  error
+}
+
+// Flight is a single-flight handle for a cache miss. Exactly one prober of a
+// given feature vector becomes the leader (Leader() true) and must settle
+// the flight with Commit or Cancel; every other concurrent prober of the
+// same features receives a follower handle whose Wait blocks until the
+// leader settles.
+//
+// Deadlock rule for batched callers holding several handles: settle all
+// owned leader flights before Waiting on any follower handle. Cyclic waits
+// are impossible then, because no goroutine waits while another's result
+// depends on it.
+type Flight struct {
+	c      *ResultCache
+	key    string
+	f      *flight
+	leader bool
+}
+
+// featKey is the exact-match single-flight key: the raw bit pattern of the
+// feature vector.
+func featKey(v []float32) string {
+	b := make([]byte, len(v)*4)
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(x))
+	}
+	return string(b)
+}
+
+// ProbeFlight is the single-flight lookup: a hit returns the cached
+// prediction directly (fl == nil); a miss returns a Flight handle that is
+// either a leadership claim (run the model, then Commit) or a ticket to
+// Wait for the identical in-flight request.
+func (c *ResultCache) ProbeFlight(features []float32) (pred []float32, ok bool, fl *Flight, err error) {
+	if len(features) != c.dim {
+		return nil, false, nil, fmt.Errorf("cache: feature width %d, want %d", len(features), c.dim)
+	}
+	key := featKey(features)
+	pred, ok, err = c.lookupKeyed(features, key)
+	if err != nil || ok {
+		return pred, ok, nil, err
+	}
+	c.fmu.Lock()
+	if f, inflight := c.flights[key]; inflight {
+		c.fmu.Unlock()
+		return nil, false, &Flight{c: c, key: key, f: f}, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.fmu.Unlock()
+	return nil, false, &Flight{c: c, key: key, f: f, leader: true}, nil
+}
+
+// Leader reports whether this handle owns the computation.
+func (fl *Flight) Leader() bool { return fl.leader }
+
+// Commit publishes the leader's prediction to all waiting followers and
+// inserts it into the cache. It must be called exactly once, by the leader.
+func (fl *Flight) Commit(features, prediction []float32) error {
+	if !fl.leader {
+		return fmt.Errorf("cache: Commit on a follower flight")
+	}
+	err := fl.c.Insert(features, prediction)
+	fl.f.pred = prediction
+	fl.settle()
+	return err
+}
+
+// Cancel settles a failed leadership: followers receive err from Wait.
+func (fl *Flight) Cancel(err error) {
+	if !fl.leader {
+		return
+	}
+	fl.f.err = err
+	fl.settle()
+}
+
+func (fl *Flight) settle() {
+	fl.c.fmu.Lock()
+	delete(fl.c.flights, fl.key)
+	fl.c.fmu.Unlock()
+	close(fl.f.done)
+}
+
+// Wait blocks until the leader settles and returns its prediction (which
+// must not be mutated) or its cancellation error.
+func (fl *Flight) Wait() ([]float32, error) {
+	<-fl.f.done
+	if fl.f.err != nil {
+		return nil, fl.f.err
+	}
+	fl.c.shared.Add(1)
+	return fl.f.pred, nil
 }
 
 // CachedModel serves a model through a result cache: lookups that hit reuse

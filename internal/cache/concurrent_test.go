@@ -1,0 +1,240 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func newTestCache(t *testing.T, dim int, thresh float64) *ResultCache {
+	t.Helper()
+	rc, err := NewHNSW(dim, thresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rc
+}
+
+func TestProbeFlightLeaderCommitFollowerWait(t *testing.T) {
+	rc := newTestCache(t, 4, 1e-9)
+	feat := []float32{1, 2, 3, 4}
+
+	_, ok, fl, err := rc.ProbeFlight(feat)
+	if err != nil || ok {
+		t.Fatalf("cold probe: ok=%v err=%v", ok, err)
+	}
+	if !fl.Leader() {
+		t.Fatal("first prober must lead")
+	}
+
+	// A concurrent prober of the same features becomes a follower.
+	done := make(chan []float32, 1)
+	probed := make(chan struct{})
+	go func() {
+		_, ok, fl2, err := rc.ProbeFlight(feat)
+		close(probed)
+		if err != nil || ok || fl2.Leader() {
+			done <- nil
+			return
+		}
+		p, err := fl2.Wait()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- p
+	}()
+	<-probed // commit only after the follower joined the flight
+
+	pred := []float32{42}
+	if err := fl.Commit(feat, pred); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-done; len(got) != 1 || got[0] != 42 {
+		t.Fatalf("follower got %v, want [42]", got)
+	}
+
+	// The committed entry now hits directly.
+	p, ok, fl3, err := rc.ProbeFlight(feat)
+	if err != nil || !ok || fl3 != nil {
+		t.Fatalf("post-commit probe: ok=%v fl=%v err=%v", ok, fl3, err)
+	}
+	if p[0] != 42 {
+		t.Fatalf("post-commit pred %v", p)
+	}
+	if c := rc.Counters(); c.Shared != 1 || c.Entries != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestProbeFlightCancelPropagatesError(t *testing.T) {
+	rc := newTestCache(t, 2, 1e-9)
+	feat := []float32{9, 9}
+	_, _, fl, err := rc.ProbeFlight(feat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("model OOM")
+	ready := make(chan error, 1)
+	probed := make(chan struct{})
+	go func() {
+		_, _, fl2, err := rc.ProbeFlight(feat)
+		close(probed)
+		if err != nil {
+			ready <- err
+			return
+		}
+		if fl2.Leader() {
+			ready <- errors.New("second prober should follow, not lead")
+			return
+		}
+		_, err = fl2.Wait()
+		ready <- err
+	}()
+	<-probed // cancel only after the follower joined the flight
+	fl.Cancel(boom)
+	if err := <-ready; !errors.Is(err, boom) {
+		t.Fatalf("follower err = %v, want %v", err, boom)
+	}
+	// A cancelled key is re-probable: the next prober leads again.
+	_, ok, fl3, err := rc.ProbeFlight(feat)
+	if err != nil || ok || !fl3.Leader() {
+		t.Fatalf("re-probe after cancel: ok=%v leader=%v err=%v", ok, fl3 != nil && fl3.Leader(), err)
+	}
+	fl3.Cancel(errors.New("cleanup"))
+}
+
+func TestMaxEntriesStopsAdmission(t *testing.T) {
+	rc := newTestCache(t, 2, 1e-9)
+	rc.SetMaxEntries(2)
+	for i := 0; i < 5; i++ {
+		if err := rc.Insert([]float32{float32(i), 0}, []float32{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rc.Len() != 2 {
+		t.Fatalf("len = %d, want capped at 2", rc.Len())
+	}
+	if c := rc.Counters(); c.Rejected != 3 {
+		t.Fatalf("rejected = %d, want 3", c.Rejected)
+	}
+	// Capped entries still serve.
+	if _, ok, err := rc.Lookup([]float32{0, 0}); err != nil || !ok {
+		t.Fatalf("capped cache lost an admitted entry: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestConcurrentLookupInsertHammer drives concurrent lookups, inserts, and
+// single-flight probes through the RWMutex-split cache. Under -race (the
+// ROADMAP race tier) this asserts that HNSW Search never observes a
+// half-linked node and that flight accounting is sound.
+func TestConcurrentLookupInsertHammer(t *testing.T) {
+	const dim, workers, iters = 8, 8, 300
+	rc := newTestCache(t, dim, 1e-9)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < iters; i++ {
+				vec := make([]float32, dim)
+				for j := range vec {
+					vec[j] = float32(rng.Intn(40)) // overlapping keyspace
+				}
+				switch i % 3 {
+				case 0:
+					if _, _, err := rc.Lookup(vec); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if err := rc.Insert(vec, vec[:1]); err != nil {
+						errs <- err
+						return
+					}
+				default:
+					pred, ok, fl, err := rc.ProbeFlight(vec)
+					if err != nil {
+						errs <- err
+						return
+					}
+					switch {
+					case ok:
+						if len(pred) == 0 {
+							errs <- fmt.Errorf("hit with empty prediction")
+							return
+						}
+					case fl.Leader():
+						if err := fl.Commit(vec, vec[:1]); err != nil {
+							errs <- err
+							return
+						}
+					default:
+						if _, err := fl.Wait(); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Consistency: every cached id has a prediction, and a search over the
+	// final index returns well-formed neighbours.
+	if rc.Len() == 0 {
+		t.Fatal("hammer inserted nothing")
+	}
+	probe := make([]float32, dim)
+	if _, _, err := rc.Lookup(probe); err != nil {
+		t.Fatal(err)
+	}
+	c := rc.Counters()
+	if c.Hits < 0 || c.Misses < 0 || c.Hits+c.Misses == 0 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+// TestConcurrentLookupsDoNotSerialise is a smoke check that many readers
+// can hold the read lock together: all lookups run against a frozen index
+// from parallel goroutines (meaningful under -race).
+func TestConcurrentLookupsParallel(t *testing.T) {
+	const dim = 16
+	rc := newTestCache(t, dim, 0.5)
+	rng := rand.New(rand.NewSource(7))
+	vecs := make([][]float32, 200)
+	for i := range vecs {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		vecs[i] = v
+		if err := rc.Insert(v, []float32{float32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := vecs[(i+w)%len(vecs)]
+				p, ok, err := rc.Lookup(v)
+				if err != nil || !ok || len(p) != 1 {
+					t.Errorf("lookup: ok=%v err=%v", ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

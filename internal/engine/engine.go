@@ -10,6 +10,7 @@ import (
 	"os"
 	"sync"
 
+	"tensorbase/internal/cache"
 	"tensorbase/internal/catalog"
 	"tensorbase/internal/core"
 	"tensorbase/internal/dlruntime"
@@ -35,6 +36,19 @@ type Options struct {
 	MemoryThreshold int64
 	// InferBatch is the micro-batch size for PREDICT (default 256).
 	InferBatch int
+	// ResultCache enables the ANN inference-result cache (Sec. 5/7.2.2)
+	// on the PREDICT path: one HNSW-indexed cache per loaded model, probed
+	// per row before the model runs.
+	ResultCache bool
+	// ResultCacheDistance is the squared-L2 threshold within which a
+	// cached prediction is reused. 0 reuses exact feature matches only.
+	ResultCacheDistance float64
+	// ResultCacheMaxEntries caps each model's cache; once full, new
+	// results are served but no longer admitted. 0 means unbounded.
+	ResultCacheMaxEntries int
+	// DisablePredictPipeline forces PREDICT to pull input batches
+	// serially instead of overlapping scan/decode with model compute.
+	DisablePredictPipeline bool
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +76,14 @@ type DB struct {
 	// Vector indexes (Sec. 5), keyed by (table, column).
 	vmu      sync.Mutex
 	vindexes map[vindexKey]*vectorIndex
+
+	// Per-model inference-result caches (Sec. 5), present when
+	// Options.ResultCache is set.
+	cmu    sync.Mutex
+	caches map[string]*cache.ResultCache
+
+	// Serving-path counters aggregated across every PREDICT.
+	inferStats udf.InferStats
 }
 
 // Open creates or opens the database file at path, restoring the catalog
@@ -81,6 +103,7 @@ func Open(path string, opts Options) (*DB, error) {
 		opt:    core.NewOptimizer(opts.MemoryThreshold),
 		udfs:   udf.NewRegistry(),
 		opts:   opts,
+		caches: make(map[string]*cache.ResultCache),
 	}
 	if err := db.loadCatalog(); err != nil {
 		disk.Close()
@@ -122,12 +145,40 @@ func (db *DB) EnableOffload(rt *dlruntime.Runtime, minFlopsPerByte float64) {
 }
 
 // LoadModel registers a model in the catalog and installs its adaptive
-// inference UDF, making it available to PREDICT.
+// inference UDF, making it available to PREDICT. With Options.ResultCache
+// set, the model also gets an HNSW result cache over its flattened input
+// width, fused into every PREDICT over it.
 func (db *DB) LoadModel(m *nn.Model, accuracy float64) error {
 	if err := db.cat.RegisterModel(m, accuracy, ""); err != nil {
 		return err
 	}
-	return db.udfs.Register(core.NewAdaptiveUDF(m, db.opt, db.pool, db.budget))
+	if err := db.udfs.Register(core.NewAdaptiveUDF(m, db.opt, db.pool, db.budget)); err != nil {
+		return err
+	}
+	if db.opts.ResultCache {
+		dim := 1
+		for _, d := range m.InShape[1:] {
+			dim *= d
+		}
+		rc, err := cache.NewHNSW(dim, db.opts.ResultCacheDistance)
+		if err != nil {
+			return err
+		}
+		rc.SetMaxEntries(db.opts.ResultCacheMaxEntries)
+		db.cmu.Lock()
+		db.caches[m.Name()] = rc
+		db.cmu.Unlock()
+	}
+	return nil
+}
+
+// ResultCacheFor returns the named model's inference-result cache, if
+// result caching is enabled and the model is loaded.
+func (db *DB) ResultCacheFor(model string) (*cache.ResultCache, bool) {
+	db.cmu.Lock()
+	defer db.cmu.Unlock()
+	rc, ok := db.caches[model]
+	return rc, ok
 }
 
 // LoadModelFile loads a TBM1 model file and registers it.
@@ -188,9 +239,20 @@ type Stats struct {
 	DiskWrites    uint64
 	MemReserved   int64
 	MemPeak       int64
+
+	// PREDICT serving-path counters, cumulative across queries.
+	CacheHits       int64 // rows answered from a result cache
+	CacheMisses     int64 // rows that ran the model
+	CacheShared     int64 // rows that joined another request's flight
+	PredictUDFCalls int64 // model batch invocations
+	PredictBatches  int64 // micro-batches processed
+	BatchesAllHit   int64 // batches that skipped the model entirely
+	PipelineFills   int64 // producer finished a batch before it was asked
+	PipelineStalls  int64 // consumer waited on the producer
 }
 
-// Stats returns a snapshot of buffer pool, disk, and memory counters.
+// Stats returns a snapshot of buffer pool, disk, memory, and serving-path
+// counters.
 func (db *DB) Stats() Stats {
 	ps := db.pool.Stats()
 	r, w := db.disk.IOStats()
@@ -202,6 +264,15 @@ func (db *DB) Stats() Stats {
 		DiskWrites:    w,
 		MemReserved:   db.budget.Reserved(),
 		MemPeak:       db.budget.Peak(),
+
+		CacheHits:       db.inferStats.Hits.Load(),
+		CacheMisses:     db.inferStats.Misses.Load(),
+		CacheShared:     db.inferStats.Shared.Load(),
+		PredictUDFCalls: db.inferStats.UDFCalls.Load(),
+		PredictBatches:  db.inferStats.Batches.Load(),
+		BatchesAllHit:   db.inferStats.BatchesAllHit.Load(),
+		PipelineFills:   db.inferStats.PipelineFills.Load(),
+		PipelineStalls:  db.inferStats.PipelineStalls.Load(),
 	}
 }
 

@@ -639,3 +639,205 @@ func TestEnableOffloadServesCorrectly(t *testing.T) {
 		}
 	}
 }
+
+func TestPredictResultCacheServesRepeatQueries(t *testing.T) {
+	db := openDB(t, Options{InferBatch: 16, ResultCache: true, ResultCacheDistance: 1e-9})
+	loadFraud(t, db, 60)
+	q := "SELECT id, PREDICT(Fraud-FC-32, features) FROM txns"
+
+	cold := mustExec(t, db, q)
+	s1 := db.Stats()
+	if s1.CacheMisses != 60 || s1.CacheHits != 0 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/60", s1.CacheHits, s1.CacheMisses)
+	}
+	if s1.PredictUDFCalls == 0 {
+		t.Fatal("cold run must invoke the model")
+	}
+
+	warm := mustExec(t, db, q)
+	s2 := db.Stats()
+	if s2.CacheHits != 60 {
+		t.Fatalf("warm run: hits=%d, want 60", s2.CacheHits)
+	}
+	if s2.PredictUDFCalls != s1.PredictUDFCalls {
+		t.Fatalf("warm run invoked the model (%d -> %d calls): cache failed to skip it",
+			s1.PredictUDFCalls, s2.PredictUDFCalls)
+	}
+	if s2.BatchesAllHit == 0 {
+		t.Fatal("warm run should have all-hit batches")
+	}
+	if len(cold.Rows) != len(warm.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(cold.Rows), len(warm.Rows))
+	}
+	for i := range cold.Rows {
+		cp, wp := cold.Rows[i][1].Vec, warm.Rows[i][1].Vec
+		for j := range cp {
+			if cp[j] != wp[j] {
+				t.Fatalf("row %d: cached prediction differs from cold model output", i)
+			}
+		}
+	}
+
+	rc, ok := db.ResultCacheFor("Fraud-FC-32")
+	if !ok {
+		t.Fatal("model cache missing")
+	}
+	if rc.Len() != 60 {
+		t.Fatalf("cache holds %d entries, want 60", rc.Len())
+	}
+}
+
+func TestPredictCachedMatchesUncached(t *testing.T) {
+	plain := openDB(t, Options{InferBatch: 8})
+	loadFraud(t, plain, 40)
+	cached := openDB(t, Options{InferBatch: 8, ResultCache: true, ResultCacheDistance: 1e-9})
+	loadFraud(t, cached, 40)
+	q := "SELECT id, PREDICT(Fraud-FC-32, features) FROM txns"
+	want := mustExec(t, plain, q)
+	got := mustExec(t, cached, q) // cold: all rows go through miss compaction
+	for i := range want.Rows {
+		wp, gp := want.Rows[i][1].Vec, got.Rows[i][1].Vec
+		if len(wp) != len(gp) {
+			t.Fatalf("row %d width %d vs %d", i, len(wp), len(gp))
+		}
+		for j := range wp {
+			if wp[j] != gp[j] {
+				t.Fatalf("row %d: miss-compacted prediction differs from plain PREDICT", i)
+			}
+		}
+	}
+}
+
+func TestPredictPipelineDisabledBitIdentical(t *testing.T) {
+	piped := openDB(t, Options{InferBatch: 8})
+	loadFraud(t, piped, 40)
+	serial := openDB(t, Options{InferBatch: 8, DisablePredictPipeline: true})
+	loadFraud(t, serial, 40)
+	q := "SELECT id, PREDICT(Fraud-FC-32, features) FROM txns"
+	a := mustExec(t, piped, q)
+	b := mustExec(t, serial, q)
+	for i := range a.Rows {
+		if a.Rows[i][0].Int != b.Rows[i][0].Int {
+			t.Fatalf("row order diverged at %d", i)
+		}
+		ap, bp := a.Rows[i][1].Vec, b.Rows[i][1].Vec
+		for j := range ap {
+			if ap[j] != bp[j] {
+				t.Fatalf("row %d: pipelined and serial PREDICT differ", i)
+			}
+		}
+	}
+}
+
+func TestResultCacheMaxEntriesOption(t *testing.T) {
+	db := openDB(t, Options{InferBatch: 16, ResultCache: true, ResultCacheDistance: 1e-9, ResultCacheMaxEntries: 10})
+	loadFraud(t, db, 30)
+	mustExec(t, db, "SELECT id, PREDICT(Fraud-FC-32, features) FROM txns")
+	rc, ok := db.ResultCacheFor("Fraud-FC-32")
+	if !ok {
+		t.Fatal("model cache missing")
+	}
+	if rc.Len() != 10 {
+		t.Fatalf("cache holds %d entries, want capped at 10", rc.Len())
+	}
+	if rc.Counters().Rejected != 20 {
+		t.Fatalf("rejected = %d, want 20", rc.Counters().Rejected)
+	}
+}
+
+func TestResultCacheRecreatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "e.db")
+	opts := Options{ResultCache: true, ResultCacheDistance: 1e-9}
+	db, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadFraud(t, db, 10)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rc, ok := db2.ResultCacheFor("Fraud-FC-32")
+	if !ok {
+		t.Fatal("reopened engine lost the model's result cache")
+	}
+	if rc.Len() != 0 {
+		t.Fatalf("reopened cache should start cold, has %d entries", rc.Len())
+	}
+	if _, err := db2.Exec("SELECT id, PREDICT(Fraud-FC-32, features) FROM txns"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecProfiledPredictNote(t *testing.T) {
+	db := openDB(t, Options{InferBatch: 16, ResultCache: true, ResultCacheDistance: 1e-9})
+	loadFraud(t, db, 20)
+	_, stats, err := db.ExecProfiled("SELECT id, PREDICT(Fraud-FC-32, features) FROM txns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range stats {
+		if s.Name == "predict" {
+			found = true
+			if !strings.Contains(s.Note, "cache") {
+				t.Fatalf("predict stage note %q missing cache counters", s.Note)
+			}
+			if !strings.Contains(s.Note, "pipelined") {
+				t.Fatalf("predict stage note %q should report the pipelined mode that ran", s.Note)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no predict stage in profile")
+	}
+}
+
+func TestConcurrentCachedPredictQueries(t *testing.T) {
+	db := openDB(t, Options{InferBatch: 8, ResultCache: true, ResultCacheDistance: 1e-9})
+	loadFraud(t, db, 40)
+	q := "SELECT id, PREDICT(Fraud-FC-32, features) FROM txns"
+	want := mustExec(t, db, q)
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res, err := db.Exec(q)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			if len(res.Rows) != len(want.Rows) {
+				errs[w] = fmt.Errorf("got %d rows, want %d", len(res.Rows), len(want.Rows))
+				return
+			}
+			for i := range res.Rows {
+				gp, wp := res.Rows[i][1].Vec, want.Rows[i][1].Vec
+				for j := range gp {
+					if gp[j] != wp[j] {
+						errs[w] = fmt.Errorf("row %d prediction diverged", i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	s := db.Stats()
+	if s.CacheHits+s.CacheShared != int64(workers*40) {
+		t.Fatalf("hits=%d shared=%d, want %d served from cache", s.CacheHits, s.CacheShared, workers*40)
+	}
+}

@@ -69,7 +69,16 @@ func (db *DB) runSelect(st *sql.Select, profile bool) (*Result, []exec.StageStat
 		if !ok {
 			return nil, nil, fmt.Errorf("engine: model %q is not loaded", predict.Model)
 		}
-		infer, err := udf.NewInferOp(op, u, predict.FeatureCol, db.opts.InferBatch)
+		iopts := []udf.InferOption{udf.WithStats(&db.inferStats)}
+		if !db.opts.DisablePredictPipeline {
+			// Producer draws a worker token from the process-wide compute
+			// budget; with none free the operator runs serially.
+			iopts = append(iopts, udf.WithPipeline(nil))
+		}
+		if rc, ok := db.ResultCacheFor(predict.Model); ok {
+			iopts = append(iopts, udf.WithCache(rc))
+		}
+		infer, err := udf.NewInferOp(op, u, predict.FeatureCol, db.opts.InferBatch, iopts...)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -59,18 +59,34 @@ func (i *Instrumented) Next() (table.Tuple, bool, error) {
 // Close implements Operator.
 func (i *Instrumented) Close() error { return i.in.Close() }
 
+// Noter is implemented by operators that can summarise internal counters
+// (cache hit rates, pipeline fill/stall) in one line; EXPLAIN ANALYZE
+// surfaces the note next to the stage's row/time stats.
+type Noter interface {
+	StageNote() string
+}
+
+// Note returns the wrapped operator's stage note, if it provides one.
+func (i *Instrumented) Note() string {
+	if n, ok := i.in.(Noter); ok {
+		return n.StageNote()
+	}
+	return ""
+}
+
 // StageStat is one row of a query profile.
 type StageStat struct {
 	Name    string
 	Rows    int64
 	Elapsed time.Duration
+	Note    string // operator-provided counter summary, may be empty
 }
 
 // Profile drains stats from instrumented stages, outermost first.
 func Profile(stages []*Instrumented) []StageStat {
 	out := make([]StageStat, len(stages))
 	for i, s := range stages {
-		out[i] = StageStat{Name: s.Name(), Rows: s.Rows(), Elapsed: s.Elapsed()}
+		out[i] = StageStat{Name: s.Name(), Rows: s.Rows(), Elapsed: s.Elapsed(), Note: s.Note()}
 	}
 	return out
 }
@@ -88,8 +104,12 @@ func FormatProfile(stats []StageStat) string {
 				self = 0
 			}
 		}
-		fmt.Fprintf(&sb, "%-12s %10d %14s %14s\n",
-			s.Name, s.Rows, s.Elapsed.Round(time.Microsecond), self.Round(time.Microsecond))
+		note := ""
+		if s.Note != "" {
+			note = "  " + s.Note
+		}
+		fmt.Fprintf(&sb, "%-12s %10d %14s %14s%s\n",
+			s.Name, s.Rows, s.Elapsed.Round(time.Microsecond), self.Round(time.Microsecond), note)
 	}
 	return sb.String()
 }

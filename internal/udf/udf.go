@@ -15,10 +15,8 @@ import (
 	"fmt"
 	"sync"
 
-	"tensorbase/internal/exec"
 	"tensorbase/internal/memlimit"
 	"tensorbase/internal/nn"
-	"tensorbase/internal/table"
 	"tensorbase/internal/tensor"
 )
 
@@ -136,121 +134,4 @@ func (r *Registry) Names() []string {
 		out = append(out, n)
 	}
 	return out
-}
-
-// InferOp is a relational operator that runs a UDF over the FloatVec
-// feature column of its input in micro-batches, emitting each input tuple
-// extended with a prediction column. It is how `PREDICT(model, features)`
-// executes inside a query plan.
-type InferOp struct {
-	in       exec.Operator
-	udf      UDF
-	featIdx  int
-	batch    int
-	schema   *table.Schema
-	buffered []table.Tuple
-	preds    *tensor.Tensor
-	pos      int
-	done     bool
-}
-
-// NewInferOp wraps in with UDF inference over featCol, batching batch rows
-// per UDF call. The output schema is the input schema plus a "prediction"
-// FloatVec column.
-func NewInferOp(in exec.Operator, u UDF, featCol string, batch int) (*InferOp, error) {
-	idx := in.Schema().ColIndex(featCol)
-	if idx < 0 {
-		return nil, fmt.Errorf("udf: unknown feature column %q", featCol)
-	}
-	if in.Schema().Cols[idx].Type != table.FloatVec {
-		return nil, fmt.Errorf("udf: feature column %q is %v, want VECTOR", featCol, in.Schema().Cols[idx].Type)
-	}
-	if batch < 1 {
-		return nil, fmt.Errorf("udf: batch size %d < 1", batch)
-	}
-	schema := in.Schema().Concat(table.MustSchema(table.Column{Name: "prediction", Type: table.FloatVec}))
-	return &InferOp{in: in, udf: u, featIdx: idx, batch: batch, schema: schema}, nil
-}
-
-// Schema implements exec.Operator.
-func (o *InferOp) Schema() *table.Schema { return o.schema }
-
-// Open implements exec.Operator.
-func (o *InferOp) Open() error {
-	o.buffered = nil
-	o.preds = nil
-	o.pos = 0
-	o.done = false
-	return o.in.Open()
-}
-
-// fill pulls up to batch tuples and runs the UDF over their features.
-func (o *InferOp) fill() error {
-	o.buffered = o.buffered[:0]
-	var width int
-	var feats []float32
-	for len(o.buffered) < o.batch {
-		t, ok, err := o.in.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			o.done = true
-			break
-		}
-		vec := t[o.featIdx].Vec
-		if len(o.buffered) == 0 {
-			width = len(vec)
-		} else if len(vec) != width {
-			return fmt.Errorf("udf: ragged feature vectors (%d vs %d)", len(vec), width)
-		}
-		feats = append(feats, vec...)
-		o.buffered = append(o.buffered, t)
-	}
-	if len(o.buffered) == 0 {
-		return nil
-	}
-	out, err := o.udf.Apply(tensor.FromSlice(feats, len(o.buffered), width))
-	if err != nil {
-		return err
-	}
-	if out.Dim(0) != len(o.buffered) {
-		return fmt.Errorf("udf: %s returned %d rows for %d inputs", o.udf.Name(), out.Dim(0), len(o.buffered))
-	}
-	o.preds = out
-	o.pos = 0
-	return nil
-}
-
-// Next implements exec.Operator.
-func (o *InferOp) Next() (table.Tuple, bool, error) {
-	for {
-		if o.pos < len(o.buffered) {
-			t := o.buffered[o.pos]
-			width := o.preds.Len() / o.preds.Dim(0)
-			pred := make([]float32, width)
-			copy(pred, o.preds.Data()[o.pos*width:(o.pos+1)*width])
-			o.pos++
-			out := make(table.Tuple, 0, len(t)+1)
-			out = append(out, t...)
-			out = append(out, table.VecVal(pred))
-			return out, true, nil
-		}
-		if o.done {
-			return nil, false, nil
-		}
-		if err := o.fill(); err != nil {
-			return nil, false, err
-		}
-		if len(o.buffered) == 0 {
-			return nil, false, nil
-		}
-	}
-}
-
-// Close implements exec.Operator.
-func (o *InferOp) Close() error {
-	o.buffered = nil
-	o.preds = nil
-	return o.in.Close()
 }
