@@ -11,11 +11,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"tensorbase/internal/engine"
 	"tensorbase/internal/exec"
@@ -47,6 +50,26 @@ func main() {
 
 	fmt.Println("tensorbase — serving deep learning models from a relational database")
 	fmt.Println(`type SQL, or \help`)
+
+	// Ctrl-C during a query cancels that query (the prompt comes back);
+	// Ctrl-C with nothing in flight — or a second one while the cancelled
+	// query is still unwinding — exits the shell.
+	var inflight atomic.Pointer[context.CancelFunc]
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		for range sigc {
+			if cancel := inflight.Swap(nil); cancel != nil {
+				fmt.Fprintln(os.Stderr, "\ncancelling query (^C again to exit)")
+				(*cancel)()
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "\ninterrupt")
+			db.Close()
+			os.Exit(130)
+		}
+	}()
+
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -64,7 +87,11 @@ func main() {
 			}
 			continue
 		}
-		res, err := db.Exec(line)
+		ctx, cancel := context.WithCancel(context.Background())
+		inflight.Store(&cancel)
+		res, err := db.QueryContext(ctx, line)
+		inflight.Store(nil)
+		cancel()
 		if err != nil {
 			fmt.Println("error:", err)
 			continue

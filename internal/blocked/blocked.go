@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"tensorbase/internal/exec"
+	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/memlimit"
 	"tensorbase/internal/parallel"
 	"tensorbase/internal/storage"
@@ -268,7 +269,15 @@ type mulScratch struct {
 // worker count sheds until it does, and a single worker's working set
 // exceeding the budget returns memlimit.ErrOOM.
 func MultiplyStreaming(pool *storage.BufferPool, a, b *Matrix, budget *memlimit.Budget) (*Matrix, error) {
-	return MultiplyStreamingWorkers(pool, a, b, budget, 0)
+	return multiplyStreaming(pool, a, b, budget, 0, nil)
+}
+
+// MultiplyStreamingCancel is MultiplyStreaming observing a cancellation
+// token: every worker checks tok once per k-step (one block multiply), so a
+// cancelled query stops within one block's work, releases its budget
+// tokens, and returns the context's error.
+func MultiplyStreamingCancel(pool *storage.BufferPool, a, b *Matrix, budget *memlimit.Budget, tok *lifecycle.Token) (*Matrix, error) {
+	return multiplyStreaming(pool, a, b, budget, 0, tok)
 }
 
 // MultiplyStreamingWorkers is MultiplyStreaming with an explicit worker
@@ -276,6 +285,10 @@ func MultiplyStreaming(pool *storage.BufferPool, a, b *Matrix, budget *memlimit.
 // (internal/parallel); workers >= 1 forces exactly that many, which
 // benchmark sweeps use to measure scaling.
 func MultiplyStreamingWorkers(pool *storage.BufferPool, a, b *Matrix, budget *memlimit.Budget, workers int) (*Matrix, error) {
+	return multiplyStreaming(pool, a, b, budget, workers, nil)
+}
+
+func multiplyStreaming(pool *storage.BufferPool, a, b *Matrix, budget *memlimit.Budget, workers int, tok *lifecycle.Token) (*Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("blocked: multiply shape mismatch (%d,%d)×(%d,%d)", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
@@ -348,6 +361,9 @@ func MultiplyStreamingWorkers(pool *storage.BufferPool, a, b *Matrix, budget *me
 		clear(accData)
 		ws.acc.Reuse2D(accData, r, c)
 		for k := 0; k < kBlocks; k++ {
+			if err := tok.Err(); err != nil {
+				return err
+			}
 			var err error
 			ws.aT, ws.aScr, err = a.blockInto(rb, k, &ws.a, ws.aT, ws.aScr)
 			if err != nil {
@@ -361,7 +377,7 @@ func MultiplyStreamingWorkers(pool *storage.BufferPool, a, b *Matrix, budget *me
 		}
 		return out.AppendBlock(rb, cb, &ws.acc)
 	}
-	err = parallel.Run(workers, ntasks, task)
+	err = parallel.RunCancel(tok, workers, ntasks, task)
 	releaseExtras()
 	if err != nil {
 		return nil, err
@@ -386,12 +402,22 @@ func MultiplyStreamingWorkers(pool *storage.BufferPool, a, b *Matrix, budget *me
 // paper's rewriting executed on the relational operators; MultiplyStreaming
 // is its co-partitioned optimisation.
 func MultiplyRelational(pool *storage.BufferPool, a, b *Matrix) (*Matrix, error) {
-	return MultiplyRelationalWorkers(pool, a, b, 0)
+	return multiplyRelational(pool, a, b, 0, nil)
+}
+
+// MultiplyRelationalCancel is MultiplyRelational observing a cancellation
+// token, installed on the join and the partitioned aggregate of the plan.
+func MultiplyRelationalCancel(pool *storage.BufferPool, a, b *Matrix, tok *lifecycle.Token) (*Matrix, error) {
+	return multiplyRelational(pool, a, b, 0, tok)
 }
 
 // MultiplyRelationalWorkers is MultiplyRelational with an explicit
 // aggregate worker count (<= 0 sizes from the shared core budget).
 func MultiplyRelationalWorkers(pool *storage.BufferPool, a, b *Matrix, workers int) (*Matrix, error) {
+	return multiplyRelational(pool, a, b, workers, nil)
+}
+
+func multiplyRelational(pool *storage.BufferPool, a, b *Matrix, workers int, tok *lifecycle.Token) (*Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("blocked: multiply shape mismatch (%d,%d)×(%d,%d)", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
@@ -427,6 +453,10 @@ func MultiplyRelationalWorkers(pool *storage.BufferPool, a, b *Matrix, workers i
 	if err != nil {
 		return nil, err
 	}
+	// One token across the plan: the scans stop per tuple, the join build
+	// and aggregate feed loops stop per tuple.
+	exec.SetCancel(join, tok)
+	agg.SetCancel(tok)
 	rows, err := exec.Collect(agg)
 	if err != nil {
 		return nil, err

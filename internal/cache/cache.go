@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"tensorbase/internal/ann"
+	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/nn"
 	"tensorbase/internal/tensor"
 )
@@ -277,6 +278,24 @@ func (fl *Flight) settle() {
 // must not be mutated) or its cancellation error.
 func (fl *Flight) Wait() ([]float32, error) {
 	<-fl.f.done
+	return fl.settled()
+}
+
+// WaitCancel is Wait observing a query-cancellation token: a follower whose
+// query is cancelled while the leader is still computing stops waiting and
+// returns the cancellation cause. The flight itself is untouched — the
+// leader still settles it for any other followers. A nil token behaves
+// exactly like Wait.
+func (fl *Flight) WaitCancel(tok *lifecycle.Token) ([]float32, error) {
+	select {
+	case <-fl.f.done:
+		return fl.settled()
+	case <-tok.Done():
+		return nil, tok.Cause()
+	}
+}
+
+func (fl *Flight) settled() ([]float32, error) {
 	if fl.f.err != nil {
 		return nil, fl.f.err
 	}

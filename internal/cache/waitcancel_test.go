@@ -1,0 +1,97 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tensorbase/internal/lifecycle"
+	"tensorbase/internal/testutil"
+)
+
+// TestFlightWaitCancelUnblocksFollower: a follower whose query is cancelled
+// while the leader is still computing stops waiting immediately; the flight
+// itself survives and serves followers that keep waiting.
+func TestFlightWaitCancelUnblocksFollower(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	rc, err := NewHNSW(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := []float32{1, 2}
+	_, ok, leader, err := rc.ProbeFlight(feat)
+	if err != nil || ok || !leader.Leader() {
+		t.Fatalf("expected leadership, got ok=%v err=%v", ok, err)
+	}
+	_, _, follower, err := rc.ProbeFlight(feat)
+	if err != nil || follower.Leader() {
+		t.Fatalf("expected follower, err=%v", err)
+	}
+	_, _, patient, err := rc.ProbeFlight(feat)
+	if err != nil || patient.Leader() {
+		t.Fatalf("expected second follower, err=%v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	tok, stop := lifecycle.Watch(ctx)
+	defer stop()
+	cancelled := make(chan error, 1)
+	go func() {
+		_, werr := follower.WaitCancel(tok)
+		cancelled <- werr
+	}()
+	cancel()
+	select {
+	case werr := <-cancelled:
+		if !errors.Is(werr, context.Canceled) {
+			t.Fatalf("WaitCancel = %v, want context.Canceled", werr)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled follower still waiting")
+	}
+
+	// The leader settles normally and the patient follower gets the result.
+	if err := leader.Commit(feat, []float32{9}); err != nil {
+		t.Fatal(err)
+	}
+	p, werr := patient.WaitCancel(nil) // nil token: plain Wait semantics
+	if werr != nil || len(p) != 1 || p[0] != 9 {
+		t.Fatalf("patient Wait = %v, %v", p, werr)
+	}
+}
+
+// TestFlightWaitCancelSettledBeforeCancel: a settled flight returns its
+// result even if the token is already cancelled — settle wins the race.
+func TestFlightWaitCancelSettledWins(t *testing.T) {
+	rc, err := NewHNSW(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := []float32{3, 4}
+	_, _, leader, err := rc.ProbeFlight(feat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, follower, err := rc.ProbeFlight(feat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Commit(feat, []float32{7}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tok, stop := lifecycle.Watch(ctx)
+	defer stop()
+	// done is closed and tok is cancelled: select may pick either arm, but
+	// a settled result must never be reported as an error more than
+	// transiently — accept either the value or the cancellation.
+	p, werr := follower.WaitCancel(tok)
+	if werr == nil && (len(p) != 1 || p[0] != 7) {
+		t.Fatalf("WaitCancel = %v", p)
+	}
+	if werr != nil && !errors.Is(werr, context.Canceled) {
+		t.Fatalf("WaitCancel err = %v", werr)
+	}
+}

@@ -5,16 +5,45 @@
 // the PostgreSQL → ConnectorX → TensorFlow/PyTorch path of the paper's
 // baseline, and its measurable per-row encode/copy/decode cost is what makes
 // cross-system transfer the bottleneck for small-model inference (Fig. 2/3).
+//
+// Frames are untrusted input on the receiving side: every frame carries a
+// CRC32-C trailer, and DecodeBatch validates the header against the frame
+// length with overflow-safe arithmetic, so a truncated, padded, or
+// bit-flipped frame is rejected with an error rather than panicking or
+// mis-shaping the tensor. For testing, SetFaults installs a fault injector
+// observed at three points: "connector.encode" (error rules fail the
+// sender), "connector.frame" (corruption rules flip a bit in the encoded
+// frame in transit), and "connector.decode" (error rules fail the receiver).
 package connector
 
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"sync/atomic"
 
+	"tensorbase/internal/fault"
 	"tensorbase/internal/tensor"
 )
+
+// frameCRCSize is the CRC32-C trailer appended to every frame.
+const frameCRCSize = 4
+
+// maxFrameElems caps the decoded element count (1 GiB of float32 payload),
+// bounding allocations driven by a hostile header.
+const maxFrameElems = 1 << 28
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// faults is the package-wide fault injector (nil means no injection). A
+// package-level atomic rather than per-transfer plumbing keeps the injection
+// surface out of the hot-path API.
+var faults atomic.Pointer[fault.Injector]
+
+// SetFaults installs inj for all subsequent encode/transfer/decode calls;
+// nil removes it.
+func SetFaults(inj *fault.Injector) { faults.Store(inj) }
 
 // Stats counts transferred data. All fields are updated atomically.
 type Stats struct {
@@ -29,16 +58,23 @@ func (s *Stats) Snapshot() (rows, batches, bytes int64) {
 }
 
 // EncodeBatch serialises a batch of equal-width float32 rows into a frame:
-// uvarint row count, uvarint width, then row-major little-endian payload.
+// uvarint row count, uvarint width, row-major little-endian payload, and a
+// CRC32-C trailer over everything before it.
 func EncodeBatch(rows [][]float32) ([]byte, error) {
+	if err := faults.Load().Check("connector.encode"); err != nil {
+		return nil, err
+	}
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("connector: empty batch")
 	}
 	width := len(rows[0])
+	if width == 0 {
+		return nil, fmt.Errorf("connector: zero-width rows")
+	}
 	var hdr [2 * binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(rows)))
 	n += binary.PutUvarint(hdr[n:], uint64(width))
-	frame := make([]byte, n+4*len(rows)*width)
+	frame := make([]byte, n+4*len(rows)*width+frameCRCSize)
 	copy(frame, hdr[:n])
 	off := n
 	for i, row := range rows {
@@ -50,29 +86,49 @@ func EncodeBatch(rows [][]float32) ([]byte, error) {
 			off += 4
 		}
 	}
+	binary.LittleEndian.PutUint32(frame[off:], crc32.Checksum(frame[:off], castagnoli))
 	return frame, nil
 }
 
 // DecodeBatch parses a frame produced by EncodeBatch into a fresh
-// (rows, width) tensor — the copy into the receiving system's layout.
+// (rows, width) tensor — the copy into the receiving system's layout. The
+// frame is treated as untrusted: the CRC trailer is verified first, the
+// header is validated against the frame length with overflow-safe
+// arithmetic, and any mismatch returns an error.
 func DecodeBatch(frame []byte) (*tensor.Tensor, error) {
-	rows, n1 := binary.Uvarint(frame)
+	if err := faults.Load().Check("connector.decode"); err != nil {
+		return nil, err
+	}
+	if len(frame) < frameCRCSize+2 {
+		return nil, fmt.Errorf("connector: frame of %d bytes is too short", len(frame))
+	}
+	body := frame[:len(frame)-frameCRCSize]
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(frame[len(body):]); got != want {
+		return nil, fmt.Errorf("connector: frame checksum mismatch (%08x != %08x)", got, want)
+	}
+	rows, n1 := binary.Uvarint(body)
 	if n1 <= 0 {
 		return nil, fmt.Errorf("connector: bad frame header")
 	}
-	width, n2 := binary.Uvarint(frame[n1:])
+	width, n2 := binary.Uvarint(body[n1:])
 	if n2 <= 0 {
 		return nil, fmt.Errorf("connector: bad frame width")
 	}
+	if rows == 0 || width == 0 {
+		return nil, fmt.Errorf("connector: empty frame shape %d×%d", rows, width)
+	}
+	elems := rows * width
+	if width != 0 && elems/width != rows || elems > maxFrameElems {
+		return nil, fmt.Errorf("connector: implausible frame shape %d×%d", rows, width)
+	}
 	off := n1 + n2
-	want := off + 4*int(rows)*int(width)
-	if len(frame) != want {
-		return nil, fmt.Errorf("connector: frame is %d bytes, want %d for %d×%d", len(frame), want, rows, width)
+	if uint64(len(body)-off) != 4*elems {
+		return nil, fmt.Errorf("connector: frame payload is %d bytes, want %d for %d×%d", len(body)-off, 4*elems, rows, width)
 	}
 	t := tensor.New(int(rows), int(width))
 	data := t.Data()
 	for i := range data {
-		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(frame[off:]))
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[off:]))
 		off += 4
 	}
 	return t, nil
@@ -148,6 +204,11 @@ func Transfer(src RowSource, width, batchRows int, stats *Stats) (*tensor.Tensor
 			if err != nil {
 				return err
 			}
+			// In-transit corruption point: a corruption rule flips one bit
+			// in the frame, which the receiver's CRC check must catch.
+			if err := faults.Load().CheckData("connector.frame", frame); err != nil {
+				return err
+			}
 			if stats != nil {
 				stats.Rows.Add(int64(len(batch)))
 				stats.Batches.Add(1)
@@ -185,14 +246,22 @@ func Transfer(src RowSource, width, batchRows int, stats *Stats) (*tensor.Tensor
 	}()
 
 	var parts []*tensor.Tensor
+	var decodeErr error
 	total := 0
 	for frame := range frames {
+		if decodeErr != nil {
+			continue // drain so the sender can finish and close the channel
+		}
 		t, err := DecodeBatch(frame)
 		if err != nil {
-			return nil, err
+			decodeErr = err
+			continue
 		}
 		parts = append(parts, t)
 		total += t.Dim(0)
+	}
+	if decodeErr != nil {
+		return nil, decodeErr
 	}
 	select {
 	case err := <-errc:

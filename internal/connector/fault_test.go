@@ -1,0 +1,61 @@
+package connector
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tensorbase/internal/fault"
+)
+
+func transferRows(n, width int) [][]float32 {
+	rows := make([][]float32, n)
+	for i := range rows {
+		rows[i] = make([]float32, width)
+		for j := range rows[i] {
+			rows[i][j] = float32(i*width + j)
+		}
+	}
+	return rows
+}
+
+func TestTransferSurfacesEncodeFault(t *testing.T) {
+	errBoom := errors.New("encoder out of memory")
+	inj := fault.New()
+	inj.FailAt("connector.encode", errBoom, 2)
+	SetFaults(inj)
+	defer SetFaults(nil)
+
+	_, err := Transfer(NewSliceSource(transferRows(30, 4)), 4, 10, nil)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want injected encode fault", err)
+	}
+}
+
+func TestTransferDetectsCorruptedFrame(t *testing.T) {
+	inj := fault.New()
+	inj.CorruptAt("connector.frame", 2)
+	SetFaults(inj)
+	defer SetFaults(nil)
+
+	_, err := Transfer(NewSliceSource(transferRows(30, 4)), 4, 10, nil)
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("err = %v, want frame checksum mismatch", err)
+	}
+	if inj.Fired("connector.frame") != 1 {
+		t.Fatalf("fired = %d, want 1", inj.Fired("connector.frame"))
+	}
+}
+
+func TestTransferSurfacesDecodeFault(t *testing.T) {
+	errBoom := errors.New("receiver allocation failure")
+	inj := fault.New()
+	inj.FailAt("connector.decode", errBoom, 1)
+	SetFaults(inj)
+	defer SetFaults(nil)
+
+	_, err := Transfer(NewSliceSource(transferRows(30, 4)), 4, 10, nil)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want injected decode fault", err)
+	}
+}

@@ -1,0 +1,67 @@
+package connector
+
+import (
+	"math"
+	"testing"
+)
+
+// mustEncode builds a seed frame, panicking on encoder errors (test setup).
+func mustEncode(rows [][]float32) []byte {
+	frame, err := EncodeBatch(rows)
+	if err != nil {
+		panic(err)
+	}
+	return frame
+}
+
+// FuzzDecodeBatch drives DecodeBatch with arbitrary frames: it must never
+// panic, and any frame it accepts must round-trip — re-encoding the decoded
+// rows yields a frame that decodes to bit-identical values.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1})
+	f.Add(mustEncode([][]float32{{1, 2, 3}}))
+	f.Add(mustEncode([][]float32{{1, 2}, {3, 4}, {5, 6}}))
+	f.Add(mustEncode([][]float32{{float32(math.NaN()), float32(math.Inf(1)), -0}}))
+	big := make([][]float32, 17)
+	for i := range big {
+		big[i] = make([]float32, 33)
+		for j := range big[i] {
+			big[i][j] = float32(i*33 + j)
+		}
+	}
+	f.Add(mustEncode(big))
+	// Seeds a mutator is likely to turn into interesting near-misses.
+	trunc := mustEncode([][]float32{{7, 8}})
+	f.Add(trunc[:len(trunc)-5])
+	f.Add(append(append([]byte(nil), trunc...), 0, 0, 0, 0))
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		got, err := DecodeBatch(frame)
+		if err != nil {
+			return // rejected cleanly
+		}
+		rows := make([][]float32, got.Dim(0))
+		for i := range rows {
+			rows[i] = got.Row(i)
+		}
+		frame2, err := EncodeBatch(rows)
+		if err != nil {
+			t.Fatalf("re-encoding accepted frame: %v", err)
+		}
+		got2, err := DecodeBatch(frame2)
+		if err != nil {
+			t.Fatalf("decoding re-encoded frame: %v", err)
+		}
+		if got2.Dim(0) != got.Dim(0) || got2.Dim(1) != got.Dim(1) {
+			t.Fatalf("round-trip shape %v != %v", got2.Shape(), got.Shape())
+		}
+		a, b := got.Data(), got2.Data()
+		for i := range a {
+			if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+				t.Fatalf("round-trip value %d: %x != %x", i, math.Float32bits(a[i]), math.Float32bits(b[i]))
+			}
+		}
+	})
+}

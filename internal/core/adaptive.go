@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/memlimit"
 	"tensorbase/internal/nn"
 	"tensorbase/internal/storage"
@@ -51,6 +52,13 @@ func (u *AdaptiveUDF) Plan(batch int) (*InferencePlan, error) {
 // input shape when it expects higher-rank input (images stored as flat
 // feature vectors in a table).
 func (u *AdaptiveUDF) Apply(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return u.ApplyCancel(nil, x)
+}
+
+// ApplyCancel implements udf.CancelUDF: the executor observes tok between
+// layers and inside the block-multiply loops, so a cancelled PREDICT batch
+// stops within one block of work.
+func (u *AdaptiveUDF) ApplyCancel(tok *lifecycle.Token, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if want := len(u.model.InShape); want > 2 && x.Rank() == 2 {
 		shape := append([]int(nil), u.model.InShape...)
 		shape[0] = x.Dim(0)
@@ -73,7 +81,7 @@ func (u *AdaptiveUDF) Apply(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := u.ex.Run(plan, x)
+	res, err := u.ex.RunCancel(plan, x, tok)
 	if err != nil {
 		return nil, fmt.Errorf("core: adaptive inference of %s: %w", u.model.Name(), err)
 	}
@@ -81,4 +89,7 @@ func (u *AdaptiveUDF) Apply(x *tensor.Tensor) (*tensor.Tensor, error) {
 }
 
 // Interface conformance.
-var _ udf.UDF = (*AdaptiveUDF)(nil)
+var (
+	_ udf.UDF       = (*AdaptiveUDF)(nil)
+	_ udf.CancelUDF = (*AdaptiveUDF)(nil)
+)

@@ -5,6 +5,7 @@ import (
 
 	"tensorbase/internal/blocked"
 	"tensorbase/internal/dlruntime"
+	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/memlimit"
 	"tensorbase/internal/nn"
 	"tensorbase/internal/storage"
@@ -103,6 +104,14 @@ type value struct {
 // plan that would need an over-budget dense intermediate fails with
 // memlimit.ErrOOM rather than silently materialising it.
 func (e *Executor) Run(plan *InferencePlan, x *tensor.Tensor) (*Result, error) {
+	return e.RunCancel(plan, x, nil)
+}
+
+// RunCancel is Run observing a cancellation token: the executor checks tok
+// between layers and threads it into the relation-centric block multiplies,
+// so a cancelled query abandons the plan within one block of work. A nil
+// token behaves exactly like Run.
+func (e *Executor) RunCancel(plan *InferencePlan, x *tensor.Tensor, tok *lifecycle.Token) (*Result, error) {
 	if plan.AllUDF() {
 		out, err := udf.NewModelUDF(plan.Model, e.Budget).Apply(x)
 		if err != nil {
@@ -128,6 +137,9 @@ func (e *Executor) Run(plan *InferencePlan, x *tensor.Tensor) (*Result, error) {
 	}
 	cur := value{dense: x}
 	for i := 0; i < len(plan.Decisions); {
+		if err := tok.Err(); err != nil {
+			return nil, err
+		}
 		d := plan.Decisions[i]
 		if d.Repr == ReprDLRuntime {
 			// Execute the maximal consecutive offloaded span in one
@@ -147,7 +159,7 @@ func (e *Executor) Run(plan *InferencePlan, x *tensor.Tensor) (*Result, error) {
 		layer := plan.Model.Layers[d.Layer]
 		var err error
 		if d.Repr == ReprRelation {
-			cur, err = e.runRelational(plan, d, layer, cur)
+			cur, err = e.runRelational(plan, d, layer, cur, tok)
 		} else {
 			cur, err = e.runUDF(plan, d, layer, cur)
 		}
@@ -211,7 +223,7 @@ func (e *Executor) runUDF(plan *InferencePlan, d OpDecision, layer nn.Layer, cur
 	return value{dense: out}, nil
 }
 
-func (e *Executor) runRelational(plan *InferencePlan, d OpDecision, layer nn.Layer, cur value) (value, error) {
+func (e *Executor) runRelational(plan *InferencePlan, d OpDecision, layer nn.Layer, cur value, tok *lifecycle.Token) (value, error) {
 	switch l := layer.(type) {
 	case *nn.Linear:
 		in := cur.blk
@@ -226,7 +238,7 @@ func (e *Executor) runRelational(plan *InferencePlan, d OpDecision, layer nn.Lay
 		if !ok {
 			return value{}, fmt.Errorf("weights not prepared")
 		}
-		out, err := blocked.MultiplyStreaming(e.Pool, in, wt, e.Budget)
+		out, err := blocked.MultiplyStreamingCancel(e.Pool, in, wt, e.Budget, tok)
 		if err != nil {
 			return value{}, err
 		}

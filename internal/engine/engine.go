@@ -6,14 +6,19 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"tensorbase/internal/cache"
 	"tensorbase/internal/catalog"
 	"tensorbase/internal/core"
 	"tensorbase/internal/dlruntime"
+	"tensorbase/internal/exec"
+	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/memlimit"
 	"tensorbase/internal/nn"
 	"tensorbase/internal/sql"
@@ -49,6 +54,11 @@ type Options struct {
 	// DisablePredictPipeline forces PREDICT to pull input batches
 	// serially instead of overlapping scan/decode with model compute.
 	DisablePredictPipeline bool
+	// QueryTimeout bounds every statement's execution; a query past the
+	// deadline fails with context.DeadlineExceeded. 0 means no limit.
+	// Contexts passed to ExecContext/QueryContext compose with it (the
+	// earlier deadline wins).
+	QueryTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -84,6 +94,10 @@ type DB struct {
 
 	// Serving-path counters aggregated across every PREDICT.
 	inferStats udf.InferStats
+
+	// panics counts query-level panics contained by Exec (panics inside
+	// UDF invocations are contained deeper and counted in inferStats).
+	panics atomic.Int64
 }
 
 // Open creates or opens the database file at path, restoring the catalog
@@ -249,6 +263,7 @@ type Stats struct {
 	BatchesAllHit   int64 // batches that skipped the model entirely
 	PipelineFills   int64 // producer finished a batch before it was asked
 	PipelineStalls  int64 // consumer waited on the producer
+	Panics          int64 // panics contained as query errors (query + UDF level)
 }
 
 // Stats returns a snapshot of buffer pool, disk, memory, and serving-path
@@ -273,6 +288,7 @@ func (db *DB) Stats() Stats {
 		BatchesAllHit:   db.inferStats.BatchesAllHit.Load(),
 		PipelineFills:   db.inferStats.PipelineFills.Load(),
 		PipelineStalls:  db.inferStats.PipelineStalls.Load(),
+		Panics:          db.panics.Load() + db.inferStats.Panics.Load(),
 	}
 }
 
@@ -284,27 +300,71 @@ type Result struct {
 	RowsAffected int64
 }
 
-// Exec parses and runs one SQL statement.
+// Exec parses and runs one SQL statement without a caller deadline (the
+// Options.QueryTimeout still applies).
 func (db *DB) Exec(sqlText string) (*Result, error) {
+	return db.ExecContext(context.Background(), sqlText)
+}
+
+// Query is Exec under its conventional database/sql name.
+func (db *DB) Query(sqlText string) (*Result, error) {
+	return db.Exec(sqlText)
+}
+
+// QueryContext is ExecContext under its conventional database/sql name.
+func (db *DB) QueryContext(ctx context.Context, sqlText string) (*Result, error) {
+	return db.ExecContext(ctx, sqlText)
+}
+
+// ExecContext parses and runs one SQL statement under ctx. Cancelling the
+// context (or exceeding its deadline, or Options.QueryTimeout) stops the
+// query within one batch of work: operators drop their buffer-pool pins,
+// compute workers drain, memory reservations are released, and the call
+// returns ctx's error (context.Canceled or context.DeadlineExceeded). A
+// panic anywhere in the statement's execution is contained as a query error
+// carrying the panic value and stack; the database remains usable.
+func (db *DB) ExecContext(ctx context.Context, sqlText string) (res *Result, err error) {
+	res, _, err = db.exec(ctx, sqlText, false)
+	return res, err
+}
+
+func (db *DB) exec(ctx context.Context, sqlText string, profile bool) (res *Result, stats []exec.StageStat, err error) {
+	if db.opts.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, db.opts.QueryTimeout)
+		defer cancel()
+	}
+	tok, stop := lifecycle.Watch(ctx)
+	defer stop()
+	defer func() {
+		if perr := lifecycle.AsError(recover()); perr != nil {
+			db.panics.Add(1)
+			res, stats, err = nil, nil, fmt.Errorf("engine: query panicked: %w", perr)
+		}
+	}()
+	if cerr := tok.Err(); cerr != nil {
+		return nil, nil, cerr
+	}
 	st, err := sql.Parse(sqlText)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	switch st := st.(type) {
 	case *sql.CreateTable:
-		return db.execCreate(st)
+		res, err = db.execCreate(st)
 	case *sql.Insert:
-		return db.execInsert(st)
+		res, err = db.execInsert(st, tok)
 	case *sql.Select:
-		return db.execSelect(st)
+		return db.runSelect(st, profile, tok)
 	case *sql.DropTable:
 		if err := db.cat.DropTable(st.Name); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return &Result{}, nil
+		res = &Result{}
 	default:
-		return nil, fmt.Errorf("engine: unsupported statement %T", st)
+		return nil, nil, fmt.Errorf("engine: unsupported statement %T", st)
 	}
+	return res, nil, err
 }
 
 func (db *DB) execCreate(st *sql.CreateTable) (*Result, error) {
@@ -349,7 +409,7 @@ func (db *DB) InsertRows(name string, rows []table.Tuple) (int64, error) {
 	return int64(len(rows)), nil
 }
 
-func (db *DB) execInsert(st *sql.Insert) (*Result, error) {
+func (db *DB) execInsert(st *sql.Insert, tok *lifecycle.Token) (*Result, error) {
 	te, err := db.cat.Table(st.Table)
 	if err != nil {
 		return nil, err
@@ -357,6 +417,9 @@ func (db *DB) execInsert(st *sql.Insert) (*Result, error) {
 	schema := te.Heap.Schema()
 	var inserted int64
 	for ri, row := range st.Rows {
+		if err := tok.Err(); err != nil {
+			return nil, err
+		}
 		if len(row) != schema.Len() {
 			return nil, fmt.Errorf("engine: row %d has %d values, table %q has %d columns", ri, len(row), st.Table, schema.Len())
 		}

@@ -1,20 +1,15 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"tensorbase/internal/exec"
+	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/sql"
 	"tensorbase/internal/table"
 	"tensorbase/internal/udf"
 )
-
-// execSelect compiles and runs a SELECT: heap scan → filter → optional
-// PREDICT inference operator → projection → order → limit.
-func (db *DB) execSelect(st *sql.Select) (*Result, error) {
-	res, _, err := db.runSelect(st, false)
-	return res, err
-}
 
 // ExecProfiled parses and runs a SELECT with per-stage instrumentation
 // (rows and wall time per operator, outermost first) — EXPLAIN ANALYZE.
@@ -23,14 +18,16 @@ func (db *DB) ExecProfiled(sqlText string) (*Result, []exec.StageStat, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	sel, ok := st.(*sql.Select)
-	if !ok {
+	if _, ok := st.(*sql.Select); !ok {
 		return nil, nil, fmt.Errorf("engine: ExecProfiled supports SELECT only, got %T", st)
 	}
-	return db.runSelect(sel, true)
+	return db.exec(context.Background(), sqlText, true)
 }
 
-func (db *DB) runSelect(st *sql.Select, profile bool) (*Result, []exec.StageStat, error) {
+// runSelect compiles and runs a SELECT: heap scan → filter → optional
+// PREDICT inference operator → projection → order → limit. Every
+// cancellation-aware operator in the tree observes tok.
+func (db *DB) runSelect(st *sql.Select, profile bool, tok *lifecycle.Token) (*Result, []exec.StageStat, error) {
 	var stages []*exec.Instrumented
 	wrap := func(name string, op exec.Operator) exec.Operator {
 		if !profile {
@@ -44,7 +41,9 @@ func (db *DB) runSelect(st *sql.Select, profile bool) (*Result, []exec.StageStat
 	if err != nil {
 		return nil, nil, err
 	}
-	op := wrap("scan", exec.NewHeapScan(te.Heap))
+	scan := exec.NewHeapScan(te.Heap)
+	scan.SetCancel(tok)
+	op := wrap("scan", scan)
 
 	if st.Where != nil {
 		pred, err := compileWhere(te.Heap.Schema(), st.Where)
@@ -69,7 +68,7 @@ func (db *DB) runSelect(st *sql.Select, profile bool) (*Result, []exec.StageStat
 		if !ok {
 			return nil, nil, fmt.Errorf("engine: model %q is not loaded", predict.Model)
 		}
-		iopts := []udf.InferOption{udf.WithStats(&db.inferStats)}
+		iopts := []udf.InferOption{udf.WithStats(&db.inferStats), udf.WithCancel(tok)}
 		if !db.opts.DisablePredictPipeline {
 			// Producer draws a worker token from the process-wide compute
 			// budget; with none free the operator runs serially.
@@ -117,6 +116,7 @@ func (db *DB) runSelect(st *sql.Select, profile bool) (*Result, []exec.StageStat
 		if err != nil {
 			return nil, nil, err
 		}
+		srt.SetCancel(tok)
 		op = wrap("sort", srt)
 	}
 	if st.Limit >= 0 {

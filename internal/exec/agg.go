@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/table"
 )
 
@@ -55,6 +56,7 @@ type HashAggregate struct {
 
 	results []table.Tuple
 	pos     int
+	tok     *lifecycle.Token
 }
 
 type aggState struct {
@@ -133,6 +135,9 @@ func NewHashAggregate(in Operator, groupBy []string, specs []AggSpec) (*HashAggr
 // Schema implements Operator.
 func (a *HashAggregate) Schema() *table.Schema { return a.schema }
 
+// SetCancel implements Cancellable: the build loop in Open observes tok.
+func (a *HashAggregate) SetCancel(tok *lifecycle.Token) { a.tok = tok }
+
 // Open implements Operator: it consumes the whole input and builds groups.
 func (a *HashAggregate) Open() error {
 	if err := a.in.Open(); err != nil {
@@ -141,6 +146,9 @@ func (a *HashAggregate) Open() error {
 	groups := make(map[string]*aggState)
 	var order []string
 	for {
+		if err := a.tok.Err(); err != nil {
+			return err
+		}
 		t, ok, err := a.in.Next()
 		if err != nil {
 			return err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/storage"
 	"tensorbase/internal/table"
 )
@@ -27,6 +28,7 @@ type ExternalSort struct {
 	runs   []*table.Scanner
 	merge  mergeHeap
 	opened bool
+	tok    *lifecycle.Token
 }
 
 // NewExternalSort returns an external sort of in by col, spilling runs
@@ -62,6 +64,10 @@ func NewExternalSort(in Operator, col string, desc bool, pool *storage.BufferPoo
 // Schema implements Operator.
 func (s *ExternalSort) Schema() *table.Schema { return s.in.Schema() }
 
+// SetCancel implements Cancellable: the drain-into-runs loop in Open and
+// the merge in Next observe tok.
+func (s *ExternalSort) SetCancel(tok *lifecycle.Token) { s.tok = tok }
+
 // Open implements Operator: it drains the input into sorted spill runs and
 // prepares the merge.
 func (s *ExternalSort) Open() error {
@@ -92,6 +98,9 @@ func (s *ExternalSort) Open() error {
 		return nil
 	}
 	for {
+		if err := s.tok.Err(); err != nil {
+			return err
+		}
 		t, ok, err := s.in.Next()
 		if err != nil {
 			return err
@@ -130,6 +139,9 @@ func (s *ExternalSort) Open() error {
 func (s *ExternalSort) Next() (table.Tuple, bool, error) {
 	if !s.opened {
 		return nil, false, fmt.Errorf("exec: ExternalSort.Next before Open")
+	}
+	if err := s.tok.Err(); err != nil {
+		return nil, false, err
 	}
 	if s.merge.Len() == 0 {
 		return nil, false, nil

@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"tensorbase/internal/fault"
+	"tensorbase/internal/lifecycle"
+	"tensorbase/internal/storage"
+	"tensorbase/internal/table"
+)
+
+func faultySortPool(t *testing.T, frames int) (*storage.BufferPool, *fault.Injector) {
+	t.Helper()
+	d, err := storage.OpenDisk(filepath.Join(t.TempDir(), "fsort.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	inj := fault.New()
+	d.SetFaults(inj)
+	return storage.NewBufferPool(d, frames), inj
+}
+
+func sortInput(n int) (*table.Schema, []table.Tuple) {
+	s := intsSchema()
+	in := make([]table.Tuple, n)
+	for i := range in {
+		in[i] = table.Tuple{table.IntVal(int64(n - i)), table.FloatVal(float64(i))}
+	}
+	return s, in
+}
+
+func TestExternalSortSurfacesSpillWriteFault(t *testing.T) {
+	pool, inj := faultySortPool(t, 8)
+	s, in := sortInput(5000)
+	errIO := errors.New("spill write error")
+	inj.FailAfter("disk.write", errIO, 1)
+
+	ext, err := NewExternalSort(NewMemScan(s, in), "id", false, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext.RunRows = 128 // force spill runs
+	if _, err := Collect(ext); !errors.Is(err, errIO) {
+		t.Fatalf("sort err = %v, want injected spill write fault", err)
+	}
+	if got := pool.Pinned(); got != 0 {
+		t.Fatalf("pinned frames after failed sort = %d, want 0", got)
+	}
+}
+
+func TestExternalSortSurfacesMergeReadFault(t *testing.T) {
+	pool, inj := faultySortPool(t, 4)
+	s, in := sortInput(5000)
+	errIO := errors.New("merge read error")
+
+	ext, err := NewExternalSort(NewMemScan(s, in), "id", false, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext.RunRows = 128
+	if err := ext.Open(); err != nil {
+		t.Fatal(err)
+	}
+	inj.Reset() // fault the merge phase only
+	inj.FailAfter("disk.read", errIO, 1)
+	sawErr := false
+	for {
+		_, ok, err := ext.Next()
+		if err != nil {
+			if !errors.Is(err, errIO) {
+				t.Fatalf("merge err = %v, want injected read fault", err)
+			}
+			sawErr = true
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	if err := ext.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawErr {
+		t.Fatal("merge never missed the pool; shrink frames or grow the input")
+	}
+	if got := pool.Pinned(); got != 0 {
+		t.Fatalf("pinned frames = %d, want 0", got)
+	}
+}
+
+func TestExternalSortCancelledMidSpill(t *testing.T) {
+	pool, _ := faultySortPool(t, 8)
+	s, in := sortInput(5000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: Open must bail out within one tuple
+	tok, stop := lifecycle.Watch(ctx)
+	defer stop()
+
+	ext, err := NewExternalSort(NewMemScan(s, in), "id", false, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext.RunRows = 128
+	ext.SetCancel(tok)
+	if _, err := Collect(ext); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sort err = %v, want context.Canceled", err)
+	}
+	if got := pool.Pinned(); got != 0 {
+		t.Fatalf("pinned frames after cancelled sort = %d, want 0", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/table"
 )
 
@@ -19,6 +20,7 @@ type HashJoin struct {
 	cur               table.Tuple // current probe tuple
 	matches           []table.Tuple
 	matchPos          int
+	tok               *lifecycle.Token
 }
 
 // NewHashJoin joins left and right on equality of Int64 columns
@@ -46,6 +48,10 @@ func NewHashJoin(left, right Operator, leftCol, rightCol string) (*HashJoin, err
 // Schema implements Operator.
 func (j *HashJoin) Schema() *table.Schema { return j.schema }
 
+// SetCancel implements Cancellable: the eager build loop in Open and the
+// probe loop in Next observe tok.
+func (j *HashJoin) SetCancel(tok *lifecycle.Token) { j.tok = tok }
+
 // Open implements Operator: it consumes the right (build) side eagerly.
 func (j *HashJoin) Open() error {
 	if err := j.left.Open(); err != nil {
@@ -56,6 +62,9 @@ func (j *HashJoin) Open() error {
 	}
 	j.built = make(map[int64][]table.Tuple)
 	for {
+		if err := j.tok.Err(); err != nil {
+			return err
+		}
 		t, ok, err := j.right.Next()
 		if err != nil {
 			return err
@@ -75,6 +84,9 @@ func (j *HashJoin) Open() error {
 // Next implements Operator.
 func (j *HashJoin) Next() (table.Tuple, bool, error) {
 	for {
+		if err := j.tok.Err(); err != nil {
+			return nil, false, err
+		}
 		if j.matchPos < len(j.matches) {
 			r := j.matches[j.matchPos]
 			j.matchPos++
@@ -123,6 +135,7 @@ type BandJoin struct {
 	li        int           // current left row
 	lo        int           // left edge of the right-side band
 	bandPos   int           // cursor within the band for the current left row
+	tok       *lifecycle.Token
 }
 
 // NewBandJoin joins left and right where |leftCol - rightCol| <= eps.
@@ -151,6 +164,14 @@ func NewBandJoin(left, right Operator, leftCol, rightCol string, eps float64) (*
 
 // Schema implements Operator.
 func (j *BandJoin) Schema() *table.Schema { return j.schema }
+
+// SetCancel implements Cancellable; the token also reaches both inputs,
+// which Open drains wholesale.
+func (j *BandJoin) SetCancel(tok *lifecycle.Token) {
+	j.tok = tok
+	SetCancel(j.left, tok)
+	SetCancel(j.right, tok)
+}
 
 // Open implements Operator: it materialises and sorts both inputs.
 func (j *BandJoin) Open() error {
@@ -190,6 +211,9 @@ func (j *BandJoin) advanceBand() {
 // Next implements Operator.
 func (j *BandJoin) Next() (table.Tuple, bool, error) {
 	for j.li < len(j.leftRows) {
+		if err := j.tok.Err(); err != nil {
+			return nil, false, err
+		}
 		v := j.leftRows[j.li][j.leftIdx].Float
 		if j.bandPos < len(j.rightRows) && j.rightRows[j.bandPos][j.rightIdx].Float <= v+j.eps {
 			r := j.rightRows[j.bandPos]

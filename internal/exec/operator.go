@@ -8,6 +8,7 @@ package exec
 import (
 	"fmt"
 
+	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/table"
 )
 
@@ -24,19 +25,41 @@ type Operator interface {
 	Close() error
 }
 
-// Collect drains op into a slice, handling Open/Close.
+// Cancellable is implemented by operators whose loops observe a
+// query-cancellation token: scans check per tuple, and the blocking
+// operators (joins, aggregates, sorts) check inside the pipeline-breaking
+// loops in Open. The engine installs one token across every operator of a
+// plan before Open; a nil token means "never cancelled".
+type Cancellable interface {
+	SetCancel(tok *lifecycle.Token)
+}
+
+// SetCancel installs tok on op if it supports cancellation; operators
+// without long-running loops of their own are covered by their inputs.
+func SetCancel(op Operator, tok *lifecycle.Token) {
+	if c, ok := op.(Cancellable); ok {
+		c.SetCancel(tok)
+	}
+}
+
+// Collect drains op into a slice, handling Open/Close. A Close error after
+// a clean iteration is returned — an operator whose teardown fails (e.g. a
+// spill-file flush) must not report success.
 func Collect(op Operator) ([]table.Tuple, error) {
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
-	defer op.Close()
 	var out []table.Tuple
 	for {
 		t, ok, err := op.Next()
 		if err != nil {
+			op.Close()
 			return nil, err
 		}
 		if !ok {
+			if cerr := op.Close(); cerr != nil {
+				return nil, cerr
+			}
 			return out, nil
 		}
 		out = append(out, t)
@@ -48,6 +71,7 @@ type MemScan struct {
 	schema *table.Schema
 	rows   []table.Tuple
 	pos    int
+	tok    *lifecycle.Token
 }
 
 // NewMemScan returns a scan over rows with the given schema.
@@ -61,8 +85,14 @@ func (m *MemScan) Schema() *table.Schema { return m.schema }
 // Open implements Operator.
 func (m *MemScan) Open() error { m.pos = 0; return nil }
 
+// SetCancel implements Cancellable.
+func (m *MemScan) SetCancel(tok *lifecycle.Token) { m.tok = tok }
+
 // Next implements Operator.
 func (m *MemScan) Next() (table.Tuple, bool, error) {
+	if err := m.tok.Err(); err != nil {
+		return nil, false, err
+	}
 	if m.pos >= len(m.rows) {
 		return nil, false, nil
 	}
@@ -78,6 +108,7 @@ func (m *MemScan) Close() error { return nil }
 type HeapScan struct {
 	heap *table.Heap
 	scan *table.Scanner
+	tok  *lifecycle.Token
 }
 
 // NewHeapScan returns a scan over h.
@@ -89,8 +120,14 @@ func (s *HeapScan) Schema() *table.Schema { return s.heap.Schema() }
 // Open implements Operator.
 func (s *HeapScan) Open() error { s.scan = s.heap.Scan(); return nil }
 
+// SetCancel implements Cancellable.
+func (s *HeapScan) SetCancel(tok *lifecycle.Token) { s.tok = tok }
+
 // Next implements Operator.
 func (s *HeapScan) Next() (table.Tuple, bool, error) {
+	if err := s.tok.Err(); err != nil {
+		return nil, false, err
+	}
 	if s.scan == nil {
 		return nil, false, fmt.Errorf("exec: HeapScan.Next before Open")
 	}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/parallel"
 	"tensorbase/internal/table"
 )
@@ -31,6 +32,7 @@ type PartitionedAgg struct {
 
 	results []table.Tuple
 	pos     int
+	tok     *lifecycle.Token
 }
 
 // NewPartitionedAggregate returns an aggregation of in grouped by groupBy,
@@ -52,6 +54,11 @@ func NewPartitionedAggregate(in Operator, groupBy []string, specs []AggSpec, wor
 
 // Schema implements Operator.
 func (p *PartitionedAgg) Schema() *table.Schema { return p.schema }
+
+// SetCancel implements Cancellable: the feed loop and the per-partition
+// aggregates observe tok, so a cancelled query stops routing tuples within
+// one tuple and the partition workers drain out.
+func (p *PartitionedAgg) SetCancel(tok *lifecycle.Token) { p.tok = tok }
 
 // Open implements Operator: it consumes the whole input, routing tuples to
 // partition workers, and materialises the merged result.
@@ -76,6 +83,7 @@ func (p *PartitionedAgg) open(w int) error {
 		if err != nil {
 			return err
 		}
+		agg.SetCancel(p.tok)
 		if err := agg.Open(); err != nil {
 			return err
 		}
@@ -96,6 +104,10 @@ func (p *PartitionedAgg) open(w int) error {
 			return err
 		}
 		aggs[i] = agg
+		// The sub-aggregate keeps draining its channel on cancellation (its
+		// chanScan input returns end-of-stream only when the producer closes
+		// the channel), so the producer never blocks on a dead worker; no
+		// token here, the producer's check stops the stream.
 	}
 	var wg sync.WaitGroup
 	wg.Add(w)
@@ -111,6 +123,10 @@ func (p *PartitionedAgg) open(w int) error {
 	}
 	var produceErr error
 	for {
+		if err := p.tok.Err(); err != nil {
+			produceErr = err
+			break
+		}
 		t, ok, err := p.in.Next()
 		if err != nil {
 			produceErr = err

@@ -1,0 +1,103 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilTokenNeverCancels(t *testing.T) {
+	var tok *Token
+	if tok.Canceled() {
+		t.Fatal("nil token canceled")
+	}
+	if tok.Err() != nil || tok.Cause() != nil {
+		t.Fatal("nil token has error")
+	}
+	if tok.Done() != nil {
+		t.Fatal("nil token has done channel")
+	}
+}
+
+func TestWatchFlagsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tok, stop := Watch(ctx)
+	defer stop()
+	if tok.Canceled() || tok.Err() != nil {
+		t.Fatal("fresh token canceled")
+	}
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for !tok.Canceled() {
+		if time.Now().After(deadline) {
+			t.Fatal("token never observed cancellation")
+		}
+	}
+	if !errors.Is(tok.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", tok.Err())
+	}
+	if !errors.Is(tok.Cause(), context.Canceled) {
+		t.Fatalf("Cause() = %v, want context.Canceled", tok.Cause())
+	}
+}
+
+func TestWatchDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	tok, stop := Watch(ctx)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for !tok.Canceled() {
+		if time.Now().After(deadline) {
+			t.Fatal("token never observed deadline")
+		}
+	}
+	if !errors.Is(tok.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Err() = %v, want DeadlineExceeded", tok.Err())
+	}
+}
+
+func TestWatchAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tok, stop := Watch(ctx)
+	defer stop()
+	if !tok.Canceled() {
+		t.Fatal("token over a dead context not canceled immediately")
+	}
+}
+
+func TestWatchBackgroundNeedsNoGoroutine(t *testing.T) {
+	tok, stop := Watch(context.Background())
+	defer stop()
+	if tok.Canceled() || tok.Err() != nil {
+		t.Fatal("background token canceled")
+	}
+	if tok.Done() != nil {
+		t.Fatal("background context should have nil done channel")
+	}
+	stop()
+	stop() // idempotent
+}
+
+func TestAsError(t *testing.T) {
+	if err := AsError(nil); err != nil {
+		t.Fatalf("AsError(nil) = %v", err)
+	}
+	before := Recovered()
+	err := func() (err error) {
+		defer func() { err = AsError(recover()) }()
+		panic("kaboom")
+	}()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *PanicError", err)
+	}
+	if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError missing value/stack: %+v", pe)
+	}
+	if Recovered() != before+1 {
+		t.Fatalf("Recovered() = %d, want %d", Recovered(), before+1)
+	}
+}

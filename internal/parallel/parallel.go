@@ -21,6 +21,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"tensorbase/internal/lifecycle"
 )
 
 // Budget is a pool of compute tokens. Acquire-style calls never hand out
@@ -174,17 +176,39 @@ func SetDefault(b *Budget) *Budget {
 // tasks balance. The caller is responsible for sizing workers against a
 // Budget (or forcing a count, e.g. in a benchmark sweep); Run itself spawns
 // exactly what it is told. The first task error stops the remaining work
-// (tasks already running complete) and is returned.
+// (tasks already running complete) and is returned. A panicking task does
+// not kill the process: it is recovered, converted to a *lifecycle.PanicError,
+// and reported like any other task error.
 func Run(workers, n int, task func(i int) error) error {
+	return RunCancel(nil, workers, n, task)
+}
+
+// RunCancel is Run with a cancellation token: before each task, every worker
+// checks tok and stops handing out work once the token fires, returning the
+// context's error. A nil token behaves exactly like Run.
+func RunCancel(tok *lifecycle.Token, workers, n int, task func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	if workers > n {
 		workers = n
 	}
+	// runTask isolates the recover so a panic in task(i) aborts only this
+	// pool run, with the offending stack attached.
+	runTask := func(i int) (err error) {
+		defer func() {
+			if perr := lifecycle.AsError(recover()); perr != nil {
+				err = perr
+			}
+		}()
+		return task(i)
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := task(i); err != nil {
+			if err := tok.Err(); err != nil {
+				return err
+			}
+			if err := runTask(i); err != nil {
 				return err
 			}
 		}
@@ -199,11 +223,16 @@ func Run(workers, n int, task func(i int) error) error {
 	)
 	work := func() {
 		for !failed.Load() {
+			if err := tok.Err(); err != nil {
+				errOnce.Do(func() { firstErr = err })
+				failed.Store(true)
+				return
+			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			if err := task(i); err != nil {
+			if err := runTask(i); err != nil {
 				errOnce.Do(func() { firstErr = err })
 				failed.Store(true)
 				return

@@ -43,8 +43,9 @@ func (f *Frame) Page() *Page { return NewPage(f.data[:]) }
 
 // Record returns the record in the given slot without allocating a page
 // wrapper — the zero-alloc read path block-streaming loops use. The slice
-// aliases the frame and is valid only while pinned.
-func (f *Frame) Record(slot int) ([]byte, bool) {
+// aliases the frame and is valid only while pinned. A non-nil error means
+// the slot directory is structurally corrupt (see Page.Record).
+func (f *Frame) Record(slot int) ([]byte, bool, error) {
 	p := Page{buf: f.data[:]}
 	return p.Record(slot)
 }
@@ -115,6 +116,21 @@ func NewBufferPoolWithPolicy(disk *DiskManager, n int, policy Policy) *BufferPoo
 
 // Size returns the number of frames.
 func (p *BufferPool) Size() int { return len(p.frames) }
+
+// Pinned returns the number of frames with a non-zero pin count. A query
+// that finished — successfully, with an error, or cancelled — must leave
+// this at its pre-query value; leak tests assert it returns to zero.
+func (p *BufferPool) Pinned() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // Stats returns a snapshot of pool counters.
 func (p *BufferPool) Stats() PoolStats {
@@ -276,25 +292,31 @@ func (p *BufferPool) victimLocked() (*Frame, error) {
 		if f == nil {
 			return nil, fmt.Errorf("%w (%d frames)", ErrNoFreeFrames, len(p.frames))
 		}
-		p.lruRemoveLocked(f)
 	} else {
 		f = p.clockVictimLocked()
 		if f == nil {
 			return nil, fmt.Errorf("%w (%d frames)", ErrNoFreeFrames, len(p.frames))
 		}
 	}
-	delete(p.table, f.id)
-	p.stats.Evictions++
+	// Write back dirty bytes BEFORE detaching the frame from the LRU list
+	// and page table: if the write fails, the pool's state is untouched —
+	// the page stays resident, dirty, and evictable, instead of the frame
+	// leaking out of both the table and the free list. Write back while
+	// holding the lock; correct first, the pool is not the bottleneck at
+	// our page sizes.
 	if f.dirty {
-		p.stats.DirtyOut++
-		// Write back while holding the lock. Correct first: the pool is
-		// not the bottleneck at our page sizes.
 		if err := p.disk.Write(f.id, f.data[:]); err != nil {
 			return nil, err
 		}
+		p.stats.DirtyOut++
+		f.dirty = false
 	}
+	if p.policy == LRU {
+		p.lruRemoveLocked(f)
+	}
+	delete(p.table, f.id)
+	p.stats.Evictions++
 	f.id = InvalidPageID
-	f.dirty = false
 	return f, nil
 }
 

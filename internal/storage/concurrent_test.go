@@ -23,7 +23,7 @@ func TestConcurrentFetchUnderEviction(t *testing.T) {
 		buf := make([]byte, PageSize)
 		// Stamp every 8 bytes with the page index so a torn read is
 		// detectable anywhere in the page.
-		for off := 0; off+8 <= PageSize; off += 8 {
+		for off := 0; off+8 <= PageSize-checksumSize; off += 8 {
 			binary.LittleEndian.PutUint64(buf[off:], uint64(i)+1)
 		}
 		if err := d.Write(id, buf); err != nil {
@@ -51,7 +51,7 @@ func TestConcurrentFetchUnderEviction(t *testing.T) {
 					return
 				}
 				data := f.Data()
-				for off := 0; off+8 <= PageSize; off += 8 {
+				for off := 0; off+8 <= PageSize-checksumSize; off += 8 {
 					if got := binary.LittleEndian.Uint64(data[off:]); got != uint64(i)+1 {
 						errs <- "torn page read"
 						pool.Unpin(ids[i], false)
@@ -109,7 +109,7 @@ func TestConcurrentFetchClockPolicy(t *testing.T) {
 					failed.Store(err.Error(), true)
 					return
 				}
-				if f.Data()[0] != byte(i+1) || f.Data()[PageSize-1] != byte(i+1) {
+				if f.Data()[0] != byte(i+1) || f.Data()[PageSize-checksumSize-1] != byte(i+1) {
 					failed.Store("torn read", true)
 				}
 				pool.Unpin(ids[i], false)

@@ -4,20 +4,45 @@
 // relation-centric execution path its headline property from the paper —
 // tensor blocks that exceed memory spill to disk through the buffer pool
 // instead of failing with an out-of-memory error.
+//
+// Failure model: every page carries a CRC32-C checksum over its payload,
+// stamped on write and verified on read, so a bit flip on disk surfaces as
+// ErrChecksum instead of silently corrupting a tensor block or record. All
+// I/O errors (including short reads of a page that should exist) are
+// returned to the caller; nothing in this package panics on the state of
+// the disk. The fault points wired through fault.Injector ("disk.read",
+// "disk.read.short", "disk.corrupt", "disk.write", "disk.sync",
+// "disk.alloc") let tests drive those paths deterministically.
 package storage
 
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync"
+
+	"tensorbase/internal/fault"
 )
 
 // PageSize is the fixed page size in bytes. It is sized so that one 64×64
 // float32 tensor block (16 KiB) fits in a single slotted-page record, which
 // keeps the relation-centric block relations one-record-per-block.
 const PageSize = 32768
+
+// checksumSize is the page tail reserved for the disk-level CRC32-C. The
+// slotted-page layout never places records there (InitPage starts the
+// record region at PageSize-checksumSize), so the disk manager owns those
+// bytes.
+const checksumSize = 4
+
+// ErrChecksum is returned when a page read from disk fails checksum
+// verification — on-disk corruption caught before the bytes are used.
+var ErrChecksum = errors.New("storage: page checksum mismatch")
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // PageID identifies a page within a database file.
 type PageID uint32
@@ -33,6 +58,7 @@ type DiskManager struct {
 	numPages uint32
 	writes   uint64
 	reads    uint64
+	faults   *fault.Injector
 }
 
 // OpenDisk opens (creating if necessary) the database file at path.
@@ -53,10 +79,19 @@ func OpenDisk(path string) (*DiskManager, error) {
 	return &DiskManager{file: f, numPages: uint32(st.Size() / PageSize)}, nil
 }
 
-// Allocate appends a zeroed page and returns its id.
+// SetFaults installs a fault injector (nil disables injection). Intended
+// for tests; not synchronised against in-flight I/O.
+func (d *DiskManager) SetFaults(inj *fault.Injector) { d.faults = inj }
+
+// Allocate appends a zeroed page and returns its id. A zeroed page is
+// exempt from checksum verification (it has never carried data), so the
+// page is valid to read back immediately.
 func (d *DiskManager) Allocate() (PageID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.faults.Check("disk.alloc"); err != nil {
+		return InvalidPageID, fmt.Errorf("storage: allocate page %d: %w", d.numPages, err)
+	}
 	id := PageID(d.numPages)
 	var zero [PageSize]byte
 	if _, err := d.file.WriteAt(zero[:], int64(id)*PageSize); err != nil {
@@ -66,7 +101,9 @@ func (d *DiskManager) Allocate() (PageID, error) {
 	return id, nil
 }
 
-// Read fills buf (length PageSize) with page id's contents.
+// Read fills buf (length PageSize) with page id's contents, verifying the
+// page checksum. A short read of a page that should exist is an error, not
+// a silent partial fill.
 func (d *DiskManager) Read(id PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("storage: read buffer is %d bytes, want %d", len(buf), PageSize)
@@ -79,13 +116,37 @@ func (d *DiskManager) Read(id PageID, buf []byte) error {
 	}
 	d.reads++
 	d.mu.Unlock()
-	if _, err := d.file.ReadAt(buf, int64(id)*PageSize); err != nil && !errors.Is(err, io.EOF) {
+	if err := d.faults.Check("disk.read"); err != nil {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	n, err := d.file.ReadAt(buf, int64(id)*PageSize)
+	if ferr := d.faults.Check("disk.read.short"); ferr != nil {
+		// Simulate a truncated file: half a page arrived, the rest is gone.
+		n = PageSize / 2
+		clear(buf[n:])
+		err = io.EOF
+	}
+	if n < PageSize {
+		// The page is inside the file per numPages, so a short read means
+		// the file was truncated underneath us (or the device failed
+		// mid-read). Never hand back partial bytes as a full page.
+		if err == nil || errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("storage: read page %d: %d of %d bytes: %w", id, n, PageSize, err)
+	}
+	if err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	d.faults.CheckData("disk.corrupt", buf) // deterministic bit flips, caught below
+	if !verifyPage(buf) {
+		return fmt.Errorf("%w (page %d)", ErrChecksum, id)
 	}
 	return nil
 }
 
-// Write stores buf (length PageSize) as page id's contents.
+// Write stores buf (length PageSize) as page id's contents, stamping the
+// page checksum into the reserved tail bytes of buf.
 func (d *DiskManager) Write(id PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("storage: write buffer is %d bytes, want %d", len(buf), PageSize)
@@ -98,10 +159,40 @@ func (d *DiskManager) Write(id PageID, buf []byte) error {
 	}
 	d.writes++
 	d.mu.Unlock()
+	if err := d.faults.Check("disk.write"); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	stampPage(buf)
 	if _, err := d.file.WriteAt(buf, int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
 	}
 	return nil
+}
+
+// stampPage computes the payload checksum and stores it in the page tail.
+func stampPage(buf []byte) {
+	sum := crc32.Checksum(buf[:PageSize-checksumSize], castagnoli)
+	buf[PageSize-4] = byte(sum)
+	buf[PageSize-3] = byte(sum >> 8)
+	buf[PageSize-2] = byte(sum >> 16)
+	buf[PageSize-1] = byte(sum >> 24)
+}
+
+// verifyPage checks the stored checksum. An all-zero page (freshly
+// allocated, never written) is valid by definition — the zero check only
+// runs on the mismatch path, so verified reads stay one CRC pass.
+func verifyPage(buf []byte) bool {
+	stored := uint32(buf[PageSize-4]) | uint32(buf[PageSize-3])<<8 |
+		uint32(buf[PageSize-2])<<16 | uint32(buf[PageSize-1])<<24
+	if crc32.Checksum(buf[:PageSize-checksumSize], castagnoli) == stored {
+		return true
+	}
+	for _, b := range buf {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // NumPages returns the number of allocated pages.
@@ -118,13 +209,31 @@ func (d *DiskManager) IOStats() (reads, writes uint64) {
 	return d.reads, d.writes
 }
 
-// Close syncs and closes the underlying file.
+// Sync flushes the file to stable storage.
+func (d *DiskManager) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncLocked()
+}
+
+func (d *DiskManager) syncLocked() error {
+	if err := d.faults.Check("disk.sync"); err != nil {
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	if err := d.file.Sync(); err != nil {
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the underlying file. The file is closed even when
+// the sync fails, and the sync error is reported.
 func (d *DiskManager) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.file.Sync(); err != nil {
+	if err := d.syncLocked(); err != nil {
 		d.file.Close()
-		return fmt.Errorf("storage: sync: %w", err)
+		return err
 	}
 	return d.file.Close()
 }

@@ -6,8 +6,10 @@ import (
 	"fmt"
 )
 
-// Slotted page layout. Records grow from the end of the page toward the
-// header; the slot directory grows from the header toward the records.
+// Slotted page layout. Records grow from the end of the record region toward
+// the header; the slot directory grows from the header toward the records.
+// The last checksumSize bytes of the page are reserved for the disk-level
+// page checksum and never hold record data.
 //
 //	bytes 0..1   uint16 slot count
 //	bytes 2..3   uint16 free-space end (records start here, grows down)
@@ -16,14 +18,29 @@ import (
 //
 // A slot with offset 0 marks a deleted record (0 can never be a valid
 // record offset because the header occupies it).
+//
+// Panic policy: this type panics only on programmer errors (a buffer of the
+// wrong size handed to NewPage). Structural damage in the page bytes
+// themselves — a free-space pointer or slot entry pointing outside the page,
+// which the checksum cannot catch if the page was corrupted before it was
+// written — is untrusted input and is returned as an error wrapping
+// ErrCorruptPage, never a panic.
 
 const (
 	pageHeaderSize = 8
 	slotSize       = 4
+	// recordLimit is the end of the usable record region: the page minus the
+	// disk-level checksum tail.
+	recordLimit = PageSize - checksumSize
 )
 
 // ErrPageFull is returned when a record does not fit in the page.
 var ErrPageFull = errors.New("storage: page full")
+
+// ErrCorruptPage is returned when a page's slot directory or free-space
+// bookkeeping points outside the page — structural corruption that survived
+// (or predated) the disk checksum.
+var ErrCorruptPage = errors.New("storage: corrupt page structure")
 
 // Page is a slotted record page over a PageSize byte buffer.
 type Page struct {
@@ -43,7 +60,7 @@ func NewPage(buf []byte) *Page {
 func InitPage(buf []byte) *Page {
 	p := NewPage(buf)
 	p.setSlotCount(0)
-	p.setFreeEnd(PageSize)
+	p.setFreeEnd(recordLimit)
 	p.SetNext(InvalidPageID)
 	return p
 }
@@ -62,6 +79,13 @@ func (p *Page) SetNext(id PageID) { binary.LittleEndian.PutUint32(p.buf[4:8], ui
 // NumSlots returns the number of slots (including deleted ones).
 func (p *Page) NumSlots() int { return p.slotCount() }
 
+// slotOK reports whether slot i's directory entry lies inside the page.
+// A corrupt slot count can claim more entries than fit before the record
+// region; reading those would walk off the buffer.
+func (p *Page) slotOK(i int) bool {
+	return pageHeaderSize+(i+1)*slotSize <= recordLimit
+}
+
 func (p *Page) slotAt(i int) (off, length int) {
 	base := pageHeaderSize + i*slotSize
 	return int(binary.LittleEndian.Uint16(p.buf[base : base+2])),
@@ -75,9 +99,13 @@ func (p *Page) setSlotAt(i, off, length int) {
 }
 
 // FreeSpace returns the bytes available for one more record (accounting for
-// its slot directory entry). Negative results clamp to zero.
+// its slot directory entry). Negative or corrupt results clamp to zero.
 func (p *Page) FreeSpace() int {
-	free := p.freeEnd() - (pageHeaderSize + p.slotCount()*slotSize) - slotSize
+	end := p.freeEnd()
+	if end > recordLimit {
+		return 0
+	}
+	free := end - (pageHeaderSize + p.slotCount()*slotSize) - slotSize
 	if free < 0 {
 		return 0
 	}
@@ -85,18 +113,23 @@ func (p *Page) FreeSpace() int {
 }
 
 // MaxRecordSize is the largest record that fits in an empty page.
-const MaxRecordSize = PageSize - pageHeaderSize - slotSize
+const MaxRecordSize = recordLimit - pageHeaderSize - slotSize
 
 // Insert stores rec in the page and returns its slot index.
-// It returns ErrPageFull if the record does not fit.
+// It returns ErrPageFull if the record does not fit, and an error wrapping
+// ErrCorruptPage if the page's free-space bookkeeping is out of bounds.
 func (p *Page) Insert(rec []byte) (int, error) {
 	if len(rec) > MaxRecordSize {
 		return 0, fmt.Errorf("storage: record of %d bytes exceeds max %d", len(rec), MaxRecordSize)
 	}
+	end := p.freeEnd()
+	if end < pageHeaderSize || end > recordLimit {
+		return 0, fmt.Errorf("%w: free-space end %d outside [%d,%d]", ErrCorruptPage, end, pageHeaderSize, recordLimit)
+	}
 	if len(rec) > p.FreeSpace() {
 		return 0, ErrPageFull
 	}
-	off := p.freeEnd() - len(rec)
+	off := end - len(rec)
 	copy(p.buf[off:], rec)
 	slot := p.slotCount()
 	p.setSlotAt(slot, off, len(rec))
@@ -107,22 +140,29 @@ func (p *Page) Insert(rec []byte) (int, error) {
 
 // Record returns the record in the given slot. The returned slice aliases
 // the page buffer; callers must copy if they retain it past the pin.
-// It returns false for deleted or out-of-range slots.
-func (p *Page) Record(slot int) ([]byte, bool) {
+// ok is false for deleted or out-of-range slots; a non-nil error (wrapping
+// ErrCorruptPage) means the slot directory points outside the page.
+func (p *Page) Record(slot int) (rec []byte, ok bool, err error) {
 	if slot < 0 || slot >= p.slotCount() {
-		return nil, false
+		return nil, false, nil
+	}
+	if !p.slotOK(slot) {
+		return nil, false, fmt.Errorf("%w: slot %d directory entry beyond page end (slot count %d)", ErrCorruptPage, slot, p.slotCount())
 	}
 	off, length := p.slotAt(slot)
 	if off == 0 {
-		return nil, false // deleted
+		return nil, false, nil // deleted
 	}
-	return p.buf[off : off+length], true
+	if off < pageHeaderSize || off+length > recordLimit {
+		return nil, false, fmt.Errorf("%w: slot %d record bounds [%d,%d) outside page", ErrCorruptPage, slot, off, off+length)
+	}
+	return p.buf[off : off+length], true, nil
 }
 
 // Delete marks the record in slot as deleted. Space is not compacted.
-// It returns false for already-deleted or out-of-range slots.
+// It returns false for already-deleted, out-of-range, or corrupt slots.
 func (p *Page) Delete(slot int) bool {
-	if slot < 0 || slot >= p.slotCount() {
+	if slot < 0 || slot >= p.slotCount() || !p.slotOK(slot) {
 		return false
 	}
 	off, _ := p.slotAt(slot)

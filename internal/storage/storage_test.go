@@ -102,13 +102,13 @@ func TestPageInsertAndRecord(t *testing.T) {
 	if s0 == s1 {
 		t.Fatal("slots must differ")
 	}
-	r, ok := p.Record(s0)
-	if !ok || string(r) != "alpha" {
-		t.Fatalf("Record(s0) = %q, %v", r, ok)
+	r, ok, rerr := p.Record(s0)
+	if rerr != nil || !ok || string(r) != "alpha" {
+		t.Fatalf("Record(s0) = %q, %v, %v", r, ok, rerr)
 	}
-	r, ok = p.Record(s1)
-	if !ok || string(r) != "beta" {
-		t.Fatalf("Record(s1) = %q, %v", r, ok)
+	r, ok, rerr = p.Record(s1)
+	if rerr != nil || !ok || string(r) != "beta" {
+		t.Fatalf("Record(s1) = %q, %v, %v", r, ok, rerr)
 	}
 }
 
@@ -126,7 +126,7 @@ func TestPageFull(t *testing.T) {
 		inserted++
 	}
 	// ~1004 bytes per record incl. its slot entry.
-	want := (PageSize - 8) / 1004
+	want := (PageSize - checksumSize - 8) / 1004
 	if inserted != want {
 		t.Fatalf("inserted %d 1000-byte records, want %d", inserted, want)
 	}
@@ -148,8 +148,8 @@ func TestPageDelete(t *testing.T) {
 	if !p.Delete(s) {
 		t.Fatal("delete failed")
 	}
-	if _, ok := p.Record(s); ok {
-		t.Fatal("deleted record still visible")
+	if _, ok, err := p.Record(s); ok || err != nil {
+		t.Fatalf("deleted record still visible (ok=%v err=%v)", ok, err)
 	}
 	if p.Delete(s) {
 		t.Fatal("double delete must fail")
@@ -186,8 +186,8 @@ func TestPageRoundTripProperty(t *testing.T) {
 			want = append(want, rec)
 		}
 		for i, w := range want {
-			got, ok := p.Record(i)
-			if !ok || !bytes.Equal(got, w) {
+			got, ok, err := p.Record(i)
+			if err != nil || !ok || !bytes.Equal(got, w) {
 				return false
 			}
 		}

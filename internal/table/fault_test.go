@@ -1,0 +1,121 @@
+package table
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"tensorbase/internal/fault"
+	"tensorbase/internal/storage"
+)
+
+// newFaultyHeap returns a heap of n int rows spanning many pages, over a
+// pool small enough that scans must re-read pages from disk, with a fault
+// injector installed and its setup traffic already discounted.
+func newFaultyHeap(t *testing.T, n, frames int) (*Heap, *storage.BufferPool, *fault.Injector) {
+	t.Helper()
+	d, err := storage.OpenDisk(filepath.Join(t.TempDir(), "hf.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	inj := fault.New()
+	d.SetFaults(inj)
+	pool := storage.NewBufferPool(d, frames)
+	// Wide rows (a 64-float vector) so the heap spans far more pages than
+	// the pool has frames — scans and gets must actually hit the disk.
+	h, err := NewHeap(pool, MustSchema(Column{"id", Int64}, Column{"f", FloatVec}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := make([]float32, 64)
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert(Tuple{IntVal(int64(i)), VecVal(vec)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	inj.Reset()
+	return h, pool, inj
+}
+
+func scanAll(h *Heap) (int, error) {
+	sc := h.Scan()
+	count := 0
+	for {
+		_, ok, err := sc.Next()
+		if err != nil {
+			return count, err
+		}
+		if !ok {
+			return count, nil
+		}
+		count++
+	}
+}
+
+func TestHeapScanSurfacesReadFault(t *testing.T) {
+	const n = 5000
+	h, pool, inj := newFaultyHeap(t, n, 4)
+	errIO := errors.New("scan read error")
+	inj.FailAt("disk.read", errIO, 3)
+
+	if _, err := scanAll(h); !errors.Is(err, errIO) {
+		t.Fatalf("scan err = %v, want injected read fault", err)
+	}
+	if got := pool.Pinned(); got != 0 {
+		t.Fatalf("pinned frames after failed scan = %d, want 0", got)
+	}
+	// Healed, the same heap scans completely.
+	inj.Clear("disk.read")
+	count, err := scanAll(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("healed scan saw %d rows, want %d", count, n)
+	}
+}
+
+func TestHeapScanSurfacesBitFlipAsChecksumError(t *testing.T) {
+	h, pool, inj := newFaultyHeap(t, 5000, 4)
+	inj.CorruptAt("disk.corrupt", 2)
+
+	_, err := scanAll(h)
+	if !errors.Is(err, storage.ErrChecksum) {
+		t.Fatalf("scan err = %v, want ErrChecksum", err)
+	}
+	if got := pool.Pinned(); got != 0 {
+		t.Fatalf("pinned frames = %d, want 0", got)
+	}
+}
+
+func TestHeapGetSurfacesReadFault(t *testing.T) {
+	h, pool, inj := newFaultyHeap(t, 5000, 4)
+	rids, err := h.RIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Reset() // RIDs paged through the heap too
+	errIO := errors.New("get read error")
+	inj.FailAfter("disk.read", errIO, 1)
+
+	sawErr := false
+	for _, rid := range rids {
+		if _, err := h.Get(rid); err != nil {
+			if !errors.Is(err, errIO) {
+				t.Fatalf("Get err = %v, want injected read fault", err)
+			}
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("no Get missed the pool; shrink frames or grow the heap")
+	}
+	if got := pool.Pinned(); got != 0 {
+		t.Fatalf("pinned frames = %d, want 0", got)
+	}
+}

@@ -144,7 +144,10 @@ func (h *Heap) GetInto(rid RID, t Tuple, scratch []float32) (Tuple, []float32, e
 		return nil, scratch, err
 	}
 	defer h.pool.Unpin(rid.Page, false)
-	rec, ok := f.Record(rid.Slot)
+	rec, ok, rerr := f.Record(rid.Slot)
+	if rerr != nil {
+		return nil, scratch, fmt.Errorf("table: record at page %d slot %d: %w", rid.Page, rid.Slot, rerr)
+	}
 	if !ok {
 		return nil, scratch, fmt.Errorf("table: no record at page %d slot %d", rid.Page, rid.Slot)
 	}
@@ -166,7 +169,12 @@ func (h *Heap) RIDs() ([]RID, error) {
 		}
 		p := f.Page()
 		for slot := 0; slot < p.NumSlots(); slot++ {
-			if _, ok := p.Record(slot); ok {
+			_, ok, rerr := p.Record(slot)
+			if rerr != nil {
+				h.pool.Unpin(page, false)
+				return nil, fmt.Errorf("table: page %d slot %d: %w", page, slot, rerr)
+			}
+			if ok {
 				out = append(out, RID{Page: page, Slot: slot})
 			}
 		}
@@ -207,7 +215,11 @@ func (s *Scanner) Next() (Tuple, bool, error) {
 		}
 		page := f.Page()
 		for s.slot < page.NumSlots() {
-			rec, ok := page.Record(s.slot)
+			rec, ok, rerr := page.Record(s.slot)
+			if rerr != nil {
+				s.heap.pool.Unpin(s.page, false)
+				return nil, false, fmt.Errorf("table: page %d slot %d: %w", s.page, s.slot, rerr)
+			}
 			s.slot++
 			if !ok {
 				continue // deleted

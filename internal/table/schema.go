@@ -3,6 +3,14 @@
 // usual scalar types it has a first-class float-vector column type, which is
 // how feature vectors and tensor blocks live inside relations — the
 // representation the paper's relation-centric architecture is built on.
+//
+// Panic policy: bytes read back from disk are untrusted input. Decode,
+// DecodeInto, and the heap accessors validate every length and offset they
+// read from a record — truncated fields, overflowing varint lengths, and
+// corrupt slot directories come back as errors, never panics. Panics are
+// reserved for programmer errors (a tuple that does not match its schema at
+// encode time is also an error, but misuse of buffers sized by the caller
+// panics as in package storage).
 package table
 
 import "fmt"

@@ -197,13 +197,16 @@ func measureVecs(s *Schema, rec []byte) (int, error) {
 			off += 8
 		case Text:
 			n, sz := binary.Uvarint(rec[off:])
-			if sz <= 0 || off+sz+int(n) > len(rec) {
+			// Reject n before converting to int: a corrupt uvarint near 2^64
+			// goes negative as an int and would sail through the bounds check
+			// only to blow up the slicing in DecodeInto.
+			if sz <= 0 || n > uint64(len(rec)) || off+sz+int(n) > len(rec) {
 				return 0, truncErr(c.Name)
 			}
 			off += sz + int(n)
 		case FloatVec:
 			n, sz := binary.Uvarint(rec[off:])
-			if sz <= 0 || off+sz+4*int(n) > len(rec) {
+			if sz <= 0 || n > uint64(len(rec))/4 || off+sz+4*int(n) > len(rec) {
 				return 0, truncErr(c.Name)
 			}
 			off += sz + 4*int(n)

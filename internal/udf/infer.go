@@ -24,12 +24,14 @@ package udf
 // cross-query waits deadlock-free.
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"tensorbase/internal/cache"
 	"tensorbase/internal/exec"
+	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/parallel"
 	"tensorbase/internal/table"
 	"tensorbase/internal/tensor"
@@ -57,6 +59,9 @@ type InferStats struct {
 	// consumer waits on the producer (I/O-bound).
 	PipelineFills  atomic.Int64
 	PipelineStalls atomic.Int64
+
+	// Panics counts model/UDF panics contained as query errors.
+	Panics atomic.Int64
 }
 
 // AddTo adds this snapshot's counters into sink.
@@ -73,6 +78,7 @@ func (s *InferStats) AddTo(sink *InferStats) {
 	sink.BatchesAllHit.Add(s.BatchesAllHit.Load())
 	sink.PipelineFills.Add(s.PipelineFills.Load())
 	sink.PipelineStalls.Add(s.PipelineStalls.Load())
+	sink.Panics.Add(s.Panics.Load())
 }
 
 // InferOption configures an InferOp.
@@ -101,6 +107,13 @@ func WithStats(sink *InferStats) InferOption {
 	return func(o *InferOp) { o.sink = sink }
 }
 
+// WithCancel installs the query's cancellation token: the producer, the
+// consumer's batch wait, the UDF invocation, and single-flight waits all
+// observe it, so a cancelled PREDICT stops within one micro-batch.
+func WithCancel(tok *lifecycle.Token) InferOption {
+	return func(o *InferOp) { o.tok = tok }
+}
+
 // InferOp is a relational operator that runs a UDF over the FloatVec
 // feature column of its input in micro-batches, emitting each input tuple
 // extended with a prediction column. It is how `PREDICT(model, features)`
@@ -116,6 +129,7 @@ type InferOp struct {
 	cache    *cache.ResultCache
 	pipeline bool
 	budget   *parallel.Budget
+	tok      *lifecycle.Token
 	stats    InferStats  // per-operator counters (StageNote, tests)
 	sink     *InferStats // optional shared sink, added on Close
 
@@ -172,6 +186,13 @@ func NewInferOp(in exec.Operator, u UDF, featCol string, batch int, opts ...Infe
 // Schema implements exec.Operator.
 func (o *InferOp) Schema() *table.Schema { return o.schema }
 
+// SetCancel implements exec.Cancellable (equivalent to the WithCancel
+// option) and forwards the token to the child operator.
+func (o *InferOp) SetCancel(tok *lifecycle.Token) {
+	o.tok = tok
+	exec.SetCancel(o.in, tok)
+}
+
 // Pipelined reports whether this Open drew a worker token and ran a
 // producer goroutine (false before Open, or when the compute budget had no
 // free token). The flag survives Close so EXPLAIN ANALYZE, which profiles
@@ -216,7 +237,7 @@ func (o *InferOp) Open() error {
 func (o *InferOp) produce() {
 	defer o.wg.Done()
 	for {
-		b := o.pull()
+		b := o.pullSafe()
 		select {
 		case o.batches <- b:
 		default:
@@ -234,11 +255,28 @@ func (o *InferOp) produce() {
 	}
 }
 
+// pullSafe is pull with panic containment: a panic while decoding the child
+// stream (in the producer goroutine, where it would otherwise kill the
+// process) comes back as the batch's error.
+func (o *InferOp) pullSafe() (b *inferBatch) {
+	defer func() {
+		if perr := lifecycle.AsError(recover()); perr != nil {
+			o.stats.Panics.Add(1)
+			b = &inferBatch{err: fmt.Errorf("udf: batch producer: %w", perr)}
+		}
+	}()
+	return o.pull()
+}
+
 // pull reads up to batch tuples from the child and flattens their feature
 // vectors into one dense slice.
 func (o *InferOp) pull() *inferBatch {
 	b := &inferBatch{}
 	for len(b.tuples) < o.batch {
+		if err := o.tok.Err(); err != nil {
+			b.err = err
+			return b
+		}
 		t, ok, err := o.in.Next()
 		if err != nil {
 			b.err = err
@@ -268,24 +306,47 @@ func (o *InferOp) pull() *inferBatch {
 // pipelined mode, or pulled inline.
 func (o *InferOp) nextBatch() *inferBatch {
 	if o.batches == nil {
-		return o.pull()
+		return o.pullSafe()
 	}
 	select {
 	case b := <-o.batches:
 		return b
 	default:
-		// Producer not ready: the consumer stalls on decode/I/O.
+		// Producer not ready: the consumer stalls on decode/I/O. A cancelled
+		// query stops stalling immediately; the producer notices the token on
+		// its next tuple and parks on the quit channel until Close.
 		o.stats.PipelineStalls.Add(1)
-		return <-o.batches
+		select {
+		case b := <-o.batches:
+			return b
+		case <-o.tok.Done():
+			return &inferBatch{err: o.tok.Cause()}
+		}
 	}
 }
 
-// applyUDF runs the model over rows×width features.
-func (o *InferOp) applyUDF(feats []float32, rows, width int) (*tensor.Tensor, error) {
+// applyUDF runs the model over rows×width features. A panic in the UDF (a
+// malformed weight, a bug in a registered function) is contained here as a
+// query error rather than killing the server; the cancellation token is
+// forwarded to UDFs that support it.
+func (o *InferOp) applyUDF(feats []float32, rows, width int) (out *tensor.Tensor, err error) {
 	o.stats.UDFCalls.Add(1)
 	o.stats.UDFRows.Add(int64(rows))
-	out, err := o.udf.Apply(tensor.FromSlice(feats, rows, width))
+	defer func() {
+		if perr := lifecycle.AsError(recover()); perr != nil {
+			o.stats.Panics.Add(1)
+			out, err = nil, fmt.Errorf("udf: %s: %w", o.udf.Name(), perr)
+		}
+	}()
+	out, err = ApplyCancel(o.udf, o.tok, tensor.FromSlice(feats, rows, width))
 	if err != nil {
+		// UDFs that contain their own panics (ModelUDF, OperatorUDF) hand
+		// the *PanicError back as an ordinary error; count it here so the
+		// serving-path stats see every contained panic exactly once.
+		var perr *lifecycle.PanicError
+		if errors.As(err, &perr) {
+			o.stats.Panics.Add(1)
+		}
 		return nil, err
 	}
 	if out.Dim(0) != rows {
@@ -299,6 +360,9 @@ func (o *InferOp) process(b *inferBatch) error {
 	rows := len(b.tuples)
 	if rows == 0 {
 		return nil
+	}
+	if err := o.tok.Err(); err != nil {
+		return err
 	}
 	o.stats.Batches.Add(1)
 	if o.cache == nil {
@@ -381,8 +445,13 @@ func (o *InferOp) processCached(b *inferBatch) error {
 	// flights led by other queries (deadlock rule, cache.Flight).
 	var retryRows []int
 	for k, fl := range joinFls {
-		p, err := fl.Wait()
+		p, err := fl.WaitCancel(o.tok)
 		if err != nil {
+			if cerr := o.tok.Err(); cerr != nil {
+				// Our own query was cancelled while waiting: abandon the
+				// batch. The leader still settles the flight for others.
+				return cerr
+			}
 			// The other query's model run failed (e.g. its memory budget);
 			// fall back to computing these rows ourselves.
 			retryRows = append(retryRows, joinRows[k])

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/memlimit"
 	"tensorbase/internal/nn"
 	"tensorbase/internal/tensor"
@@ -26,6 +27,24 @@ type UDF interface {
 	Name() string
 	// Apply transforms a batch.
 	Apply(in *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// CancelUDF is optionally implemented by UDFs whose execution observes a
+// query-cancellation token (the adaptive inference UDF threads it through
+// the block-multiply loops). Invoke through ApplyCancel, which falls back
+// to plain Apply for UDFs without cancellation support.
+type CancelUDF interface {
+	UDF
+	ApplyCancel(tok *lifecycle.Token, in *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// ApplyCancel applies u to in under tok when u supports cancellation, and
+// plainly otherwise.
+func ApplyCancel(u UDF, tok *lifecycle.Token, in *tensor.Tensor) (*tensor.Tensor, error) {
+	if cu, ok := u.(CancelUDF); ok && tok != nil {
+		return cu.ApplyCancel(tok, in)
+	}
+	return u.Apply(in)
 }
 
 // ModelUDF fuses a whole model forward pass into a single UDF.
@@ -50,18 +69,26 @@ func (u *ModelUDF) Name() string { return "model:" + u.model.Name() }
 func (u *ModelUDF) Model() *nn.Model { return u.model }
 
 // Apply implements UDF: it reserves the largest per-operator footprint
-// (the paper's m·k + k·n + m·n rule) for the duration of the call.
-func (u *ModelUDF) Apply(in *tensor.Tensor) (*tensor.Tensor, error) {
+// (the paper's m·k + k·n + m·n rule) for the duration of the call. A panic
+// inside the forward pass (a bad weight shape, a malformed batch) is
+// contained here: it comes back as a *lifecycle.PanicError query error, the
+// reservation is released, and the database process survives.
+func (u *ModelUDF) Apply(in *tensor.Tensor) (out *tensor.Tensor, err error) {
 	batch := in.Dim(0)
-	peak, err := u.model.MaxOpBytes(batch)
-	if err != nil {
-		return nil, fmt.Errorf("udf: %s: %w", u.Name(), err)
+	peak, merr := u.model.MaxOpBytes(batch)
+	if merr != nil {
+		return nil, fmt.Errorf("udf: %s: %w", u.Name(), merr)
 	}
-	res, err := u.budget.TryReserve(peak)
-	if err != nil {
-		return nil, fmt.Errorf("udf: %s batch %d: %w", u.Name(), batch, err)
+	res, rerr := u.budget.TryReserve(peak)
+	if rerr != nil {
+		return nil, fmt.Errorf("udf: %s batch %d: %w", u.Name(), batch, rerr)
 	}
 	defer res.Close()
+	defer func() {
+		if perr := lifecycle.AsError(recover()); perr != nil {
+			out, err = nil, fmt.Errorf("udf: %s: %w", u.Name(), perr)
+		}
+	}()
 	return u.model.Forward(in), nil
 }
 
@@ -86,14 +113,20 @@ func (u *OperatorUDF) Name() string {
 	return fmt.Sprintf("op:%s[%d]:%s", u.owner, u.index, u.layer.Name())
 }
 
-// Apply implements UDF.
-func (u *OperatorUDF) Apply(in *tensor.Tensor) (*tensor.Tensor, error) {
+// Apply implements UDF. Panics in the operator's forward pass are contained
+// as in ModelUDF.Apply.
+func (u *OperatorUDF) Apply(in *tensor.Tensor) (out *tensor.Tensor, err error) {
 	need := u.layer.MemEstimate(in.Shape())
-	res, err := u.budget.TryReserve(need)
-	if err != nil {
-		return nil, fmt.Errorf("udf: %s: %w", u.Name(), err)
+	res, rerr := u.budget.TryReserve(need)
+	if rerr != nil {
+		return nil, fmt.Errorf("udf: %s: %w", u.Name(), rerr)
 	}
 	defer res.Close()
+	defer func() {
+		if perr := lifecycle.AsError(recover()); perr != nil {
+			out, err = nil, fmt.Errorf("udf: %s: %w", u.Name(), perr)
+		}
+	}()
 	return u.layer.Forward(in), nil
 }
 
