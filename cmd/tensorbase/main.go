@@ -7,6 +7,12 @@
 //	\tables                 list tables
 //	\explain <model> <n>    show the adaptive plan for batch size n
 //	\quit
+//
+// With --serve ADDR the process also exposes /metrics (Prometheus text
+// format), /debug/pprof, and /healthz on ADDR, and keeps serving after
+// stdin closes — pipe SQL in to seed the database, then scrape. With
+// --slow-query D, statements slower than D are logged to stderr with their
+// per-operator span summary.
 package main
 
 import (
@@ -14,6 +20,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -22,6 +30,7 @@ import (
 
 	"tensorbase/internal/engine"
 	"tensorbase/internal/exec"
+	"tensorbase/internal/obs"
 	"tensorbase/internal/table"
 )
 
@@ -32,6 +41,8 @@ func main() {
 	cacheDist := flag.Float64("cache", -1, "enable per-model result caching with this squared-L2 distance threshold (0 = exact repeats only, negative = off)")
 	cacheMax := flag.Int("cache-max", 0, "result cache admission cap in entries (0 = unbounded)")
 	noPipeline := flag.Bool("no-pipeline", false, "disable pipelined PREDICT batching")
+	serve := flag.String("serve", "", "serve /metrics, /debug/pprof, and /healthz on this address (e.g. :9090); keeps serving after stdin closes")
+	slowQuery := flag.Duration("slow-query", 0, "log statements slower than this to stderr with per-operator spans (0 = off)")
 	flag.Parse()
 
 	db, err := engine.Open(*path, engine.Options{
@@ -41,12 +52,25 @@ func main() {
 		ResultCacheDistance:    max(*cacheDist, 0),
 		ResultCacheMaxEntries:  *cacheMax,
 		DisablePredictPipeline: *noPipeline,
+		SlowQueryThreshold:     *slowQuery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tensorbase:", err)
 		os.Exit(1)
 	}
 	defer db.Close()
+
+	if *serve != "" {
+		obs.RegisterRuntime(db.Registry())
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tensorbase: serve:", err)
+			db.Close()
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving /metrics and /debug/pprof on http://%s\n", ln.Addr())
+		go http.Serve(ln, obs.Mux(db.Registry()))
+	}
 
 	fmt.Println("tensorbase — serving deep learning models from a relational database")
 	fmt.Println(`type SQL, or \help`)
@@ -72,10 +96,13 @@ func main() {
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	eof := false
+repl:
 	for {
 		fmt.Print("tb> ")
 		if !sc.Scan() {
-			return
+			eof = true
+			break
 		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
@@ -83,7 +110,7 @@ func main() {
 		}
 		if strings.HasPrefix(line, `\`) {
 			if shellCommand(db, line) {
-				return
+				break repl
 			}
 			continue
 		}
@@ -97,6 +124,12 @@ func main() {
 			continue
 		}
 		printResult(res)
+	}
+	// End of piped input with --serve keeps the export endpoints alive so
+	// the seeded database can be scraped; \quit always exits.
+	if eof && *serve != "" {
+		fmt.Fprintln(os.Stderr, "stdin closed; metrics endpoint still serving (interrupt to exit)")
+		select {}
 	}
 }
 

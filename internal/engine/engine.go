@@ -8,6 +8,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -18,9 +19,12 @@ import (
 	"tensorbase/internal/core"
 	"tensorbase/internal/dlruntime"
 	"tensorbase/internal/exec"
+	"tensorbase/internal/fault"
 	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/memlimit"
 	"tensorbase/internal/nn"
+	"tensorbase/internal/obs"
+	"tensorbase/internal/parallel"
 	"tensorbase/internal/sql"
 	"tensorbase/internal/storage"
 	"tensorbase/internal/table"
@@ -59,6 +63,15 @@ type Options struct {
 	// Contexts passed to ExecContext/QueryContext compose with it (the
 	// earlier deadline wins).
 	QueryTimeout time.Duration
+	// SlowQueryThreshold enables the slow-query log: any statement whose
+	// wall time crosses it produces exactly one log line carrying the
+	// statement, its latency, row count, and per-operator span summary.
+	// SELECTs are instrumented whenever the threshold is set (two clock
+	// reads per operator call), so the log line has real spans; leave it 0
+	// on latency-critical deployments that do not want that overhead.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog is where slow-query lines go (default os.Stderr).
+	SlowQueryLog io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +111,22 @@ type DB struct {
 	// panics counts query-level panics contained by Exec (panics inside
 	// UDF invocations are contained deeper and counted in inferStats).
 	panics atomic.Int64
+
+	// Observability: the metrics registry unifying every component's
+	// counters (exported via DB.Metrics and /metrics), the slow-query log,
+	// and the handles pushed on the query path.
+	reg           *obs.Registry
+	slow          *obs.SlowLog
+	mQueries      *obs.Counter
+	mQueryErrors  *obs.Counter
+	mSlowQueries  *obs.Counter
+	mVindexStale  *obs.Counter
+	mQueryLatency *obs.Histogram
+
+	// gen is the committed catalog generation (see persist.go).
+	gen uint64
+	// faults injects crashes into catalog persistence (tests only).
+	faults *fault.Injector
 }
 
 // Open creates or opens the database file at path, restoring the catalog
@@ -118,6 +147,15 @@ func Open(path string, opts Options) (*DB, error) {
 		udfs:   udf.NewRegistry(),
 		opts:   opts,
 		caches: make(map[string]*cache.ResultCache),
+		reg:    obs.NewRegistry(),
+	}
+	db.registerMetrics()
+	if opts.SlowQueryThreshold > 0 {
+		w := opts.SlowQueryLog
+		if w == nil {
+			w = os.Stderr
+		}
+		db.slow = obs.NewSlowLog(w, opts.SlowQueryThreshold, db.mSlowQueries)
 	}
 	if err := db.loadCatalog(); err != nil {
 		disk.Close()
@@ -125,6 +163,72 @@ func Open(path string, opts Options) (*DB, error) {
 	}
 	return db, nil
 }
+
+// registerMetrics builds the engine's metric set: pushed metrics for the
+// query path, and pull-model (func) metrics absorbing the counters the
+// storage, cache, udf, and parallel packages already keep. The hot paths
+// pay nothing — func metrics are read at scrape time only.
+func (db *DB) registerMetrics() {
+	r := db.reg
+	db.mQueries = r.Counter("tensorbase_queries_total", "SQL statements executed")
+	db.mQueryErrors = r.Counter("tensorbase_query_errors_total", "SQL statements that returned an error")
+	db.mSlowQueries = r.Counter("tensorbase_slow_queries_total", "statements that crossed SlowQueryThreshold")
+	db.mVindexStale = r.Counter("tensorbase_vindex_stale_queries_total", "nearest-neighbour lookups served by a vector index missing newer rows")
+	db.mQueryLatency = r.Histogram("tensorbase_query_seconds", "statement wall time", obs.LatencyBuckets)
+
+	r.CounterFunc("tensorbase_pool_hits_total", "buffer pool page hits", func() float64 { return float64(db.pool.Stats().Hits) })
+	r.CounterFunc("tensorbase_pool_misses_total", "buffer pool page misses", func() float64 { return float64(db.pool.Stats().Misses) })
+	r.CounterFunc("tensorbase_pool_evictions_total", "buffer pool evictions", func() float64 { return float64(db.pool.Stats().Evictions) })
+	r.CounterFunc("tensorbase_pool_dirty_writebacks_total", "evictions that wrote a dirty page back", func() float64 { return float64(db.pool.Stats().DirtyOut) })
+	r.GaugeFunc("tensorbase_pool_pinned_frames", "buffer frames currently pinned", func() float64 { return float64(db.pool.Pinned()) })
+	r.CounterFunc("tensorbase_disk_reads_total", "pages read from disk", func() float64 { r, _ := db.disk.IOStats(); return float64(r) })
+	r.CounterFunc("tensorbase_disk_writes_total", "pages written to disk", func() float64 { _, w := db.disk.IOStats(); return float64(w) })
+	r.GaugeFunc("tensorbase_mem_reserved_bytes", "whole-tensor memory currently reserved", func() float64 { return float64(db.budget.Reserved()) })
+	r.GaugeFunc("tensorbase_mem_peak_bytes", "peak whole-tensor memory reservation", func() float64 { return float64(db.budget.Peak()) })
+
+	r.CounterFunc("tensorbase_cache_hits_total", "PREDICT rows answered from a result cache", func() float64 { return float64(db.inferStats.Hits.Load()) })
+	r.CounterFunc("tensorbase_cache_misses_total", "PREDICT rows that ran the model", func() float64 { return float64(db.inferStats.Misses.Load()) })
+	r.CounterFunc("tensorbase_cache_shared_total", "PREDICT rows that joined another request's flight", func() float64 { return float64(db.inferStats.Shared.Load()) })
+	r.CounterFunc("tensorbase_cache_rejected_total", "result-cache inserts rejected by the admission cap", func() float64 {
+		var n int64
+		db.cmu.Lock()
+		for _, rc := range db.caches {
+			n += rc.Counters().Rejected
+		}
+		db.cmu.Unlock()
+		return float64(n)
+	})
+	r.GaugeFunc("tensorbase_cache_entries", "entries across all result caches", func() float64 {
+		var n int
+		db.cmu.Lock()
+		for _, rc := range db.caches {
+			n += rc.Len()
+		}
+		db.cmu.Unlock()
+		return float64(n)
+	})
+	r.CounterFunc("tensorbase_predict_udf_calls_total", "model batch invocations", func() float64 { return float64(db.inferStats.UDFCalls.Load()) })
+	r.CounterFunc("tensorbase_predict_batches_total", "PREDICT micro-batches processed", func() float64 { return float64(db.inferStats.Batches.Load()) })
+	r.CounterFunc("tensorbase_predict_batches_allhit_total", "batches that skipped the model entirely", func() float64 { return float64(db.inferStats.BatchesAllHit.Load()) })
+	r.CounterFunc("tensorbase_pipeline_fills_total", "producer finished a batch before it was asked", func() float64 { return float64(db.inferStats.PipelineFills.Load()) })
+	r.CounterFunc("tensorbase_pipeline_stalls_total", "consumer waits on the batch producer", func() float64 { return float64(db.inferStats.PipelineStalls.Load()) })
+	r.CounterFunc("tensorbase_panics_total", "panics contained as query errors", func() float64 { return float64(db.panics.Load() + db.inferStats.Panics.Load()) })
+
+	r.GaugeFunc("tensorbase_compute_tokens_total", "process-wide compute token budget", func() float64 { return float64(parallel.Default().Total()) })
+	r.GaugeFunc("tensorbase_compute_tokens_in_use", "compute tokens currently held", func() float64 { return float64(parallel.Default().InUse()) })
+	r.GaugeFunc("tensorbase_compute_tokens_highwater", "peak compute tokens simultaneously held", func() float64 { return float64(parallel.Default().HighWater()) })
+}
+
+// Registry exposes the metrics registry (the export surface mounts it).
+func (db *DB) Registry() *obs.Registry { return db.reg }
+
+// Metrics returns a point-in-time snapshot of every registered metric —
+// the programmatic twin of the /metrics endpoint.
+func (db *DB) Metrics() obs.Snapshot { return db.reg.Snapshot() }
+
+// SetFaults installs a fault injector on catalog persistence (the
+// "persist.*" points; see persist.go). Tests only.
+func (db *DB) SetFaults(inj *fault.Injector) { db.faults = inj }
 
 // Close persists the catalog, flushes dirty pages, and closes the database.
 func (db *DB) Close() error {
@@ -328,7 +432,38 @@ func (db *DB) ExecContext(ctx context.Context, sqlText string) (res *Result, err
 	return res, err
 }
 
-func (db *DB) exec(ctx context.Context, sqlText string, profile bool) (res *Result, stats []exec.StageStat, err error) {
+// exec wraps execInner with statement-level observability: wall time into
+// the latency histogram, query/error counters, and the slow-query log.
+// With a slow-query threshold configured, SELECTs are instrumented even
+// outside EXPLAIN ANALYZE so a slow statement's log line carries real
+// per-operator spans.
+func (db *DB) exec(ctx context.Context, sqlText string, profile bool) (*Result, []exec.StageStat, error) {
+	start := time.Now()
+	res, stats, err := db.execInner(ctx, sqlText, profile || db.slow != nil)
+	elapsed := time.Since(start)
+	db.mQueries.Inc()
+	db.mQueryLatency.Observe(elapsed)
+	if err != nil {
+		db.mQueryErrors.Inc()
+	}
+	if db.slow != nil && elapsed >= db.slow.Threshold() {
+		var rows int64
+		if res != nil {
+			if res.Schema != nil {
+				rows = int64(len(res.Rows))
+			} else {
+				rows = res.RowsAffected
+			}
+		}
+		db.slow.Observe(sqlText, elapsed, rows, exec.SummarizeProfile(stats))
+	}
+	if !profile {
+		stats = nil
+	}
+	return res, stats, err
+}
+
+func (db *DB) execInner(ctx context.Context, sqlText string, profile bool) (res *Result, stats []exec.StageStat, err error) {
 	if db.opts.QueryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, db.opts.QueryTimeout)

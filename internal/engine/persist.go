@@ -16,12 +16,52 @@ import (
 // models are written as TBM1 files into a <db>.models/ directory. Page data
 // itself lives in the database file, so a reopened engine sees every table
 // and model that was present at the last clean Close.
+//
+// Durability contract: a crash at ANY point during saveCatalog leaves the
+// database openable with either the previous catalog or the new one, never
+// a hybrid. The save is generation-structured:
+//
+//  1. Model files are written under generation-unique names
+//     (g<gen>-m<idx>.tbm) via tmp + fsync + rename, so files referenced by
+//     the committed meta are never truncated or overwritten in place.
+//  2. The models directory is fsynced so the renames are durable.
+//  3. The meta file is written via tmp + fsync + rename + parent-dir fsync;
+//     the rename is the commit point.
+//  4. Only after the commit are previous-generation model files deleted.
+//
+// Every step carries a fault point ("persist.*") so tests can kill the save
+// mid-way and assert the old-or-new invariant.
+
+// Fault points exercised by the persistence crash tests, in save order.
+const (
+	fpModelCreate   = "persist.model.create"
+	fpModelWrite    = "persist.model.write"
+	fpModelSync     = "persist.model.sync"
+	fpModelRename   = "persist.model.rename"
+	fpModelsDirSync = "persist.modelsdir.sync"
+	fpMetaWrite     = "persist.meta.write"
+	fpMetaSync      = "persist.meta.sync"
+	fpMetaRename    = "persist.meta.rename"
+	fpMetaDirSync   = "persist.metadir.sync"
+)
+
+// PersistFaultPoints lists every fault point in saveCatalog, in the order
+// they are visited — the crash test iterates it so a new step cannot be
+// added without being covered.
+var PersistFaultPoints = []string{
+	fpModelCreate, fpModelWrite, fpModelSync, fpModelRename,
+	fpModelsDirSync, fpMetaWrite, fpMetaSync, fpMetaRename, fpMetaDirSync,
+}
 
 // metaFile is the serialised catalog.
 type metaFile struct {
-	Version int         `json:"version"`
-	Tables  []metaTable `json:"tables"`
-	Models  []metaModel `json:"models"`
+	Version int `json:"version"`
+	// Generation increments on every committed save; model files carry it
+	// in their names so a new save never touches files the previous
+	// committed meta references.
+	Generation uint64      `json:"generation"`
+	Tables     []metaTable `json:"tables"`
+	Models     []metaModel `json:"models"`
 }
 
 type metaTable struct {
@@ -47,9 +87,60 @@ func (db *DB) metaPath() string { return db.path + ".meta" }
 
 func (db *DB) modelsDir() string { return db.path + ".models" }
 
-// saveCatalog serialises the catalog next to the database file.
+// syncDir fsyncs a directory so renames inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("engine: syncing dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("engine: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// saveModelDurable writes one model file via tmp + fsync + rename. A
+// failure (or injected crash) at any step leaves at most a *.tmp leftover;
+// the final name never holds partial bytes.
+func (db *DB) saveModelDurable(file string, m *nn.Model) error {
+	tmp := file + ".tmp"
+	if err := db.faults.Check(fpModelCreate); err != nil {
+		return err
+	}
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("engine: creating %s: %w", tmp, err)
+	}
+	err = db.faults.Check(fpModelWrite)
+	if err == nil {
+		err = nn.Save(f, m)
+	}
+	if err == nil {
+		if err = db.faults.Check(fpModelSync); err == nil {
+			err = f.Sync()
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("engine: writing %s: %w", tmp, err)
+	}
+	if err := db.faults.Check(fpModelRename); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, file); err != nil {
+		return fmt.Errorf("engine: committing %s: %w", file, err)
+	}
+	return nil
+}
+
+// saveCatalog serialises the catalog next to the database file. See the
+// package comment for the crash-safety protocol.
 func (db *DB) saveCatalog() error {
-	meta := metaFile{Version: 1}
+	newGen := db.gen + 1
+	meta := metaFile{Version: 1, Generation: newGen}
 	for _, name := range db.cat.Tables() {
 		te, err := db.cat.Table(name)
 		if err != nil {
@@ -75,16 +166,8 @@ func (db *DB) saveCatalog() error {
 			if err != nil {
 				return err
 			}
-			file := filepath.Join(db.modelsDir(), fmt.Sprintf("m%04d.tbm", i))
-			f, err := os.Create(file)
-			if err != nil {
-				return fmt.Errorf("engine: saving model %s: %w", name, err)
-			}
-			err = nn.Save(f, entry.Versions[0].Model)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-			if err != nil {
+			file := filepath.Join(db.modelsDir(), fmt.Sprintf("g%06d-m%04d.tbm", newGen, i))
+			if err := db.saveModelDurable(file, entry.Versions[0].Model); err != nil {
 				return fmt.Errorf("engine: saving model %s: %w", name, err)
 			}
 			meta.Models = append(meta.Models, metaModel{
@@ -93,16 +176,72 @@ func (db *DB) saveCatalog() error {
 				Accuracy: entry.Versions[0].Accuracy,
 			})
 		}
+		if err := db.faults.Check(fpModelsDirSync); err != nil {
+			return err
+		}
+		if err := syncDir(db.modelsDir()); err != nil {
+			return err
+		}
 	}
 	raw, err := json.MarshalIndent(&meta, "", "  ")
 	if err != nil {
 		return err
 	}
 	tmp := db.metaPath() + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	f, err := os.Create(tmp)
+	if err != nil {
 		return fmt.Errorf("engine: writing catalog: %w", err)
 	}
-	return os.Rename(tmp, db.metaPath())
+	err = db.faults.Check(fpMetaWrite)
+	if err == nil {
+		_, err = f.Write(raw)
+	}
+	if err == nil {
+		if err = db.faults.Check(fpMetaSync); err == nil {
+			err = f.Sync()
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("engine: writing catalog: %w", err)
+	}
+	if err := db.faults.Check(fpMetaRename); err != nil {
+		return err
+	}
+	// Commit point: after this rename the new catalog is the catalog.
+	if err := os.Rename(tmp, db.metaPath()); err != nil {
+		return fmt.Errorf("engine: committing catalog: %w", err)
+	}
+	if err := db.faults.Check(fpMetaDirSync); err != nil {
+		return err
+	}
+	if err := syncDir(filepath.Dir(db.metaPath())); err != nil {
+		return err
+	}
+	db.gen = newGen
+	db.gcModelFiles(meta)
+	return nil
+}
+
+// gcModelFiles removes model files (and tmp leftovers) that the
+// just-committed meta does not reference. Best-effort: a failure here
+// leaves garbage, never corruption.
+func (db *DB) gcModelFiles(meta metaFile) {
+	live := make(map[string]bool, len(meta.Models))
+	for _, m := range meta.Models {
+		live[filepath.Base(m.File)] = true
+	}
+	entries, err := os.ReadDir(db.modelsDir())
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && !live[e.Name()] {
+			os.Remove(filepath.Join(db.modelsDir(), e.Name()))
+		}
+	}
 }
 
 // loadCatalog restores tables and models from a previous Close. A missing
@@ -122,6 +261,7 @@ func (db *DB) loadCatalog() error {
 	if meta.Version != 1 {
 		return fmt.Errorf("engine: unsupported catalog version %d", meta.Version)
 	}
+	db.gen = meta.Generation
 	for _, mt := range meta.Tables {
 		cols := make([]table.Column, len(mt.Cols))
 		for i, c := range mt.Cols {

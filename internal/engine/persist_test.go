@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tensorbase/internal/fault"
+	"tensorbase/internal/nn"
+)
+
+var errCrash = errors.New("simulated crash")
+
+// seedCrashDB creates the "state A" database at path: one table with rows
+// rows and one loaded model, committed by a clean Close.
+func seedCrashDB(t *testing.T, path string, rows int) {
+	t.Helper()
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE items (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO items VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.LoadModel(nn.FraudFC(rand.New(rand.NewSource(1)), 8), 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mutateToStateB reopens path and grows it to "state B": more rows and a
+// second model. It does NOT close the database; the caller decides how.
+func mutateToStateB(t *testing.T, path string, extraRows int) *DB {
+	t.Helper()
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < extraRows; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO items VALUES (%d)", 1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.LoadModel(nn.FraudFC(rand.New(rand.NewSource(2)), 16), 0.8); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestSaveCatalogCrashSafety is the regression test for the non-durable
+// saveCatalog: it kills the save at every fault point in the protocol and
+// asserts a reopen sees either the old catalog or the new one — never a
+// corrupt hybrid, never a truncated model file. (The old code truncated
+// committed model files in place and renamed without syncing, so a crash
+// between model write and meta rename left the committed meta pointing at
+// garbage.)
+func TestSaveCatalogCrashSafety(t *testing.T) {
+	const rowsA, extra = 16, 10
+	for _, point := range PersistFaultPoints {
+		t.Run(point, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "c.db")
+			seedCrashDB(t, path, rowsA)
+			db := mutateToStateB(t, path, extra)
+
+			inj := fault.New()
+			inj.FailAt(point, errCrash, 1)
+			db.SetFaults(inj)
+			err := db.Close()
+			if inj.Fired(point) == 0 {
+				t.Fatalf("fault point %s never visited during save", point)
+			}
+			if err == nil {
+				t.Fatalf("Close with a crash at %s must report an error", point)
+			}
+
+			// Reopen: the database must come back, with state A or state B.
+			re, err := Open(path, Options{})
+			if err != nil {
+				t.Fatalf("reopen after crash at %s: %v", point, err)
+			}
+			defer re.Close()
+			te, err := re.Catalog().Table("items")
+			if err != nil {
+				t.Fatalf("table lost after crash at %s: %v", point, err)
+			}
+			count := te.Heap.Count()
+			models := re.Catalog().Models()
+			oldOK := count == rowsA && len(models) == 1
+			newOK := count == rowsA+extra && len(models) == 2
+			if !oldOK && !newOK {
+				t.Fatalf("hybrid catalog after crash at %s: rows=%d models=%v", point, count, models)
+			}
+			// The restored heap must actually scan. Row DATA is not
+			// transactional (pages flush independently of the catalog
+			// commit; there is no WAL), so an old catalog may legitimately
+			// scan rows inserted after its commit — but never fewer than
+			// it records, and never garbage.
+			res, err := re.Exec("SELECT x FROM items")
+			if err != nil {
+				t.Fatalf("query after crash at %s: %v", point, err)
+			}
+			if got := int64(len(res.Rows)); got < count || got > rowsA+extra {
+				t.Fatalf("scan after crash at %s: %d rows, catalog says %d", point, got, count)
+			}
+			// Every model the committed meta references was loadable (Open
+			// would have failed otherwise) and answers a plan request.
+			for _, m := range models {
+				if _, err := re.ExplainPredict(m, 4); err != nil {
+					t.Fatalf("model %s unusable after crash at %s: %v", m, point, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSaveCatalogGCsOldGenerations asserts that committed saves clean up
+// previous-generation model files and tmp leftovers, and that generations
+// advance across reopens.
+func TestSaveCatalogGCsOldGenerations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.db")
+	seedCrashDB(t, path, 4) // commits generation 1
+
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.gen != 1 {
+		t.Fatalf("loaded generation = %d, want 1", db.gen)
+	}
+	if err := db.Close(); err != nil { // commits generation 2
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(path + ".models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("tmp leftover after clean save: %s", e.Name())
+		}
+		if !strings.HasPrefix(e.Name(), "g000002-") {
+			t.Fatalf("stale generation file not GCed: %s", e.Name())
+		}
+	}
+	re, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Catalog().Models(); len(got) != 1 {
+		t.Fatalf("models after GC = %v", got)
+	}
+}
+
+// TestSaveCatalogAbortLeavesCommittedFilesIntact pins the core invariant
+// the old code violated: a save that dies mid-way must not have modified
+// any file the committed catalog references.
+func TestSaveCatalogAbortLeavesCommittedFilesIntact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "i.db")
+	seedCrashDB(t, path, 4)
+
+	// Record the committed model file bytes.
+	entries, err := os.ReadDir(path + ".models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := make(map[string][]byte)
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(path+".models", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed[e.Name()] = b
+	}
+	if len(committed) == 0 {
+		t.Fatal("no committed model files")
+	}
+
+	db := mutateToStateB(t, path, 2)
+	inj := fault.New()
+	inj.FailAt(fpMetaRename, errCrash, 1) // die right before the commit point
+	db.SetFaults(inj)
+	if err := db.Close(); err == nil {
+		t.Fatal("crash before meta rename must fail the save")
+	}
+
+	for name, want := range committed {
+		got, err := os.ReadFile(filepath.Join(path+".models", name))
+		if err != nil {
+			t.Fatalf("committed model file %s gone after aborted save: %v", name, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("committed model file %s modified by aborted save", name)
+		}
+	}
+}

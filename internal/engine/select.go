@@ -33,7 +33,9 @@ func (db *DB) runSelect(st *sql.Select, profile bool, tok *lifecycle.Token) (*Re
 		if !profile {
 			return op
 		}
-		ins := exec.Instrument(name, op)
+		// Each stage samples buffer-pool fetch deltas across its
+		// Open..Close window (subtree-inclusive, like wall time).
+		ins := exec.Instrument(name, op).WithPool(db.pool)
 		stages = append(stages, ins)
 		return ins
 	}
@@ -44,6 +46,13 @@ func (db *DB) runSelect(st *sql.Select, profile bool, tok *lifecycle.Token) (*Re
 	scan := exec.NewHeapScan(te.Heap)
 	scan.SetCancel(tok)
 	op := wrap("scan", scan)
+	if profile {
+		// Surface observability warnings (e.g. a stale vector index over
+		// this table) on the scan stage of the profile.
+		for _, w := range db.staleVindexWarnings(st.From) {
+			stages[0].AddNote(w)
+		}
+	}
 
 	if st.Where != nil {
 		pred, err := compileWhere(te.Heap.Schema(), st.Where)

@@ -19,6 +19,10 @@ type vectorIndex struct {
 	dim   int
 	// rids maps the ANN-internal id to the indexed row's RID.
 	rids []table.RID
+	// builtRows is the heap row count when the index was built. Rows
+	// inserted later are not indexed; a mismatch against the live count
+	// marks the index stale (detected per query, never served silently).
+	builtRows int64
 }
 
 // vindexKey identifies an index by table and column.
@@ -90,8 +94,31 @@ func (db *DB) CreateVectorIndex(tableName, column string) (int, error) {
 	if n == 0 {
 		return 0, fmt.Errorf("engine: cannot index empty table %q", tableName)
 	}
+	vi.builtRows = int64(n)
 	db.vindexMap()[vindexKey{tableName, column}] = vi
 	return n, nil
+}
+
+// staleVindexWarnings returns one warning per vector index on tableName
+// whose table has grown (or shrunk) since the index was built. EXPLAIN
+// ANALYZE attaches them to the scan stage.
+func (db *DB) staleVindexWarnings(tableName string) []string {
+	te, err := db.cat.Table(tableName)
+	if err != nil {
+		return nil
+	}
+	live := te.Heap.Count()
+	var warns []string
+	db.vmu.Lock()
+	for key, vi := range db.vindexes {
+		if key.table == tableName && vi.builtRows != live {
+			warns = append(warns, fmt.Sprintf(
+				"warning: vector index %s.%s is stale (built over %d rows, table now has %d; rebuild to refresh)",
+				key.table, key.column, vi.builtRows, live))
+		}
+	}
+	db.vmu.Unlock()
+	return warns
 }
 
 // Nearest returns the k rows of tableName whose indexed column is closest
@@ -109,6 +136,13 @@ func (db *DB) Nearest(tableName, column string, query []float32, k int) ([]table
 	te, err := db.cat.Table(tableName)
 	if err != nil {
 		return nil, nil, err
+	}
+	// A table that changed since the index build is served anyway (the
+	// indexed rows are still correct nearest-neighbour candidates among
+	// themselves) but never silently: the stale-query metric counts it,
+	// and EXPLAIN ANALYZE over the table carries a warning.
+	if live := te.Heap.Count(); live != vi.builtRows {
+		db.mVindexStale.Inc()
 	}
 	res, err := vi.index.Search(query, k)
 	if err != nil {

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStaleVectorIndexDetected is the regression test for Nearest silently
+// serving from an index missing rows inserted after the build: staleness
+// must surface as a metric and as an EXPLAIN ANALYZE warning, and a
+// rebuild must clear both.
+func TestStaleVectorIndexDetected(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE docs (id INT, emb VECTOR)")
+	mustExec(t, db, "INSERT INTO docs VALUES (1, [0, 0]), (2, [10, 0]), (3, [0, 10])")
+	if _, err := db.CreateVectorIndex("docs", "emb"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh index: no staleness signal.
+	if _, _, err := db.Nearest("docs", "emb", []float32{1, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.Metrics().Counter("tensorbase_vindex_stale_queries_total"); n != 0 {
+		t.Fatalf("fresh index reported %d stale queries", n)
+	}
+	if w := db.staleVindexWarnings("docs"); len(w) != 0 {
+		t.Fatalf("fresh index produced warnings: %v", w)
+	}
+
+	// Insert after the build: the index is now stale. Lookups still serve
+	// (indexed rows remain valid candidates) but must be counted.
+	mustExec(t, db, "INSERT INTO docs VALUES (4, [1, 1])")
+	rows, _, err := db.Nearest("docs", "emb", []float32{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("stale index returned %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r[0].Int == 4 {
+			t.Fatal("unindexed row 4 cannot be served by the stale index")
+		}
+	}
+	if n := db.Metrics().Counter("tensorbase_vindex_stale_queries_total"); n != 1 {
+		t.Fatalf("stale queries metric = %d, want 1", n)
+	}
+
+	// EXPLAIN ANALYZE over the table carries the warning on the scan stage.
+	_, stats, err := db.ExecProfiled("SELECT id FROM docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range stats {
+		if s.Name == "scan" && strings.Contains(s.Note, "stale") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("profile missing stale-index warning: %+v", stats)
+	}
+
+	// Rebuild clears the staleness (metric keeps its history).
+	if _, err := db.CreateVectorIndex("docs", "emb"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Nearest("docs", "emb", []float32{1, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.Metrics().Counter("tensorbase_vindex_stale_queries_total"); n != 1 {
+		t.Fatalf("rebuilt index still counted stale: %d", n)
+	}
+	if w := db.staleVindexWarnings("docs"); len(w) != 0 {
+		t.Fatalf("rebuilt index produced warnings: %v", w)
+	}
+}

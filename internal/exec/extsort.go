@@ -29,6 +29,12 @@ type ExternalSort struct {
 	merge  mergeHeap
 	opened bool
 	tok    *lifecycle.Token
+
+	// Spill accounting for profiles: runs written and the pages they
+	// occupy (bytes through the buffer pool). Survives Close so EXPLAIN
+	// ANALYZE, which drains stats after the plan is torn down, sees them.
+	spillRuns  int64
+	spillBytes int64
 }
 
 // NewExternalSort returns an external sort of in by col, spilling runs
@@ -78,6 +84,7 @@ func (s *ExternalSort) Open() error {
 		return err
 	}
 	s.runs = nil
+	s.spillRuns, s.spillBytes = 0, 0
 	buf := make([]table.Tuple, 0, s.RunRows)
 	flush := func() error {
 		if len(buf) == 0 {
@@ -93,6 +100,8 @@ func (s *ExternalSort) Open() error {
 				return err
 			}
 		}
+		s.spillRuns++
+		s.spillBytes += int64(run.LastPage()-run.FirstPage()+1) * storage.PageSize
 		s.runs = append(s.runs, run.Scan())
 		buf = buf[:0]
 		return nil
@@ -167,6 +176,20 @@ func (s *ExternalSort) Close() error {
 	s.merge.items = nil
 	s.opened = false
 	return s.in.Close()
+}
+
+// ReportStage implements StageReporter: spill volume for the profile span.
+func (s *ExternalSort) ReportStage(st *StageStat) {
+	st.SpillRuns = s.spillRuns
+	st.SpillBytes = s.spillBytes
+}
+
+// StageNote implements Noter.
+func (s *ExternalSort) StageNote() string {
+	if s.spillRuns == 0 {
+		return ""
+	}
+	return fmt.Sprintf("external sort: %d runs, %d spill bytes", s.spillRuns, s.spillBytes)
 }
 
 type mergeItem struct {

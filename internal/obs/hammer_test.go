@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentMetricsHammer mutates counters, gauges, and histograms from
+// many goroutines while the registry is scraped (WritePrometheus) and
+// snapshotted concurrently — the satellite race test for the /metrics
+// surface. Run under -race via the obs entry in the race tier.
+func TestConcurrentMetricsHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "")
+	g := r.Gauge("hammer_gauge", "")
+	h := r.Histogram("hammer_seconds", "", LatencyBuckets)
+	var pulled int64 = 0
+	r.CounterFunc("hammer_pulled_total", "", func() float64 { return float64(pulled) })
+
+	const (
+		writers = 8
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Scrapers: render and snapshot in a loop until the writers finish.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	// A registrar racing get-or-create against the scrapers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perG; i++ {
+			r.Counter("hammer_total", "").Inc()
+		}
+	}()
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := c.Value(); got != (writers+1)*perG {
+		t.Fatalf("counter = %d, want %d", got, (writers+1)*perG)
+	}
+	if got := h.Count(); got != writers*perG {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perG)
+	}
+	s := r.Snapshot()
+	if s.Counter("hammer_total") != (writers+1)*perG {
+		t.Fatalf("snapshot counter = %d", s.Counter("hammer_total"))
+	}
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// Handler serves the registry in Prometheus text format at any path.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Mux returns the engine's debug mux: /metrics (Prometheus text),
+// /debug/pprof/* (the standard Go profiler endpoints, on this mux rather
+// than http.DefaultServeMux), and /healthz.
+func Mux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// RegisterRuntime adds process-level gauges (goroutines, heap) to r.
+// runtime.ReadMemStats stops the world briefly, but only at scrape time.
+func RegisterRuntime(r *Registry) {
+	r.GaugeFunc("go_goroutines", "number of live goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_heap_alloc_bytes", "bytes of allocated heap objects", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+}

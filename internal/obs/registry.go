@@ -1,0 +1,325 @@
+// Package obs is the engine's observability subsystem: an allocation-free
+// metrics registry (atomic counters, gauges, and fixed-bucket latency
+// histograms), a slow-query log, and an HTTP export surface (Prometheus
+// text format plus pprof).
+//
+// The registry follows a pull model for the engine's pre-existing
+// per-component counters: the storage, cache, udf, and parallel packages
+// keep their own atomics, and the engine registers closures
+// (CounterFunc/GaugeFunc) that read them at scrape time. The hot paths
+// therefore pay nothing new; only metrics owned directly by the engine
+// (query counts, the latency histogram) are pushed, and those are one or
+// two atomic adds per query. Metric handles are resolved once at
+// registration — Observe/Inc/Add never touch a map or take a lock.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use, but counters are normally created through Registry.Counter so they
+// render on /metrics.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the counter contract; Add does not
+// enforce it, scrapers do).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// LatencyBuckets is the default histogram bucketing for query latencies:
+// 100µs to 10s, roughly 2.5× per step. Durations above the last bound land
+// in the implicit +Inf bucket.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram. Buckets are chosen at
+// construction and never reallocated, so Observe is a bucket search plus
+// three atomic adds — safe to call from any number of goroutines with no
+// coordination.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds, in seconds
+	counts []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
+	sum    atomic.Int64   // total observed time in nanoseconds
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records a duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	// Linear scan: bucket counts are small (≤ ~20) and the slice is hot in
+	// cache; this beats binary search at these sizes and allocates nothing.
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// snapshot returns a consistent-enough copy for rendering (each bucket is
+// individually atomic; cross-bucket skew is acceptable for monitoring).
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    time.Duration(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds in seconds; Counts has one extra +Inf slot
+	Counts []int64
+	Count  int64
+	Sum    time.Duration
+}
+
+// metric kinds, which decide the Prometheus TYPE line and the snapshot map
+// a metric lands in.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+type entry struct {
+	name, help string
+	kind       kind
+	counter    *Counter
+	gauge      *Gauge
+	fn         func() float64
+	hist       *Histogram
+}
+
+// Registry holds named metrics and renders them. Registration takes a lock;
+// the returned handles are lock-free. Re-registering a name returns the
+// existing metric (so independent components can share a counter), but
+// re-registering under a different kind panics — that is a programming
+// error, not a runtime condition.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*entry
+	ordered []*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*entry)}
+}
+
+func (r *Registry) register(name, help string, k kind, build func() *entry) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[name]; ok {
+		if e.kind != k {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+		}
+		return e
+	}
+	e := build()
+	e.name, e.help, e.kind = name, help, k
+	r.byName[name] = e
+	r.ordered = append(r.ordered, e)
+	return e
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, func() *entry {
+		return &entry{counter: &Counter{}}
+	}).counter
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, func() *entry {
+		return &entry{gauge: &Gauge{}}
+	}).gauge
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the pull-model absorption of counters owned by other packages.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindCounterFunc, func() *entry {
+		return &entry{fn: fn}
+	})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGaugeFunc, func() *entry {
+		return &entry{fn: fn}
+	})
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds (in seconds) on first use.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.register(name, help, kindHistogram, func() *entry {
+		return &entry{hist: newHistogram(bounds)}
+	}).hist
+}
+
+// entries returns a stable copy of the registration list.
+func (r *Registry) entries() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*entry, len(r.ordered))
+	copy(out, r.ordered)
+	return out
+}
+
+// Snapshot is a point-in-time view of every registered metric, the
+// programmatic twin of the /metrics endpoint (DB.Metrics returns one).
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Counter returns a snapshotted counter value (0 if absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns a snapshotted gauge value (0 if absent).
+func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
+
+// Snapshot captures every metric. Func metrics are evaluated here, outside
+// the registry lock, so a slow provider cannot block registration.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, e := range r.entries() {
+		switch e.kind {
+		case kindCounter:
+			s.Counters[e.name] = e.counter.Value()
+		case kindCounterFunc:
+			s.Counters[e.name] = int64(e.fn())
+		case kindGauge:
+			s.Gauges[e.name] = float64(e.gauge.Value())
+		case kindGaugeFunc:
+			s.Gauges[e.name] = e.fn()
+		case kindHistogram:
+			s.Histograms[e.name] = e.hist.snapshot()
+		}
+	}
+	return s
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, e := range r.entries() {
+		typ := "counter"
+		switch e.kind {
+		case kindGauge, kindGaugeFunc:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, typ); err != nil {
+			return err
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.counter.Value())
+		case kindCounterFunc, kindGaugeFunc:
+			_, err = fmt.Fprintf(w, "%s %s\n", e.name, formatFloat(e.fn()))
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.gauge.Value())
+		case kindHistogram:
+			err = writeHistogram(w, e.name, e.hist.snapshot())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, s HistogramSnapshot) error {
+	cum := int64(0)
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Counts[len(s.Bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(s.Sum.Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	return err
+}
+
+// formatFloat renders a float the way Prometheus clients expect: no
+// exponent for common magnitudes, no trailing zeros.
+func formatFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return strings.TrimSuffix(s, ".0")
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+	// Re-registration returns the same metric.
+	if r.Counter("c_total", "again") != c {
+		t.Fatal("re-registered counter is a different instance")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // bucket 0 (≤1ms)
+	h.Observe(5 * time.Millisecond)   // bucket 1 (≤10ms)
+	h.Observe(50 * time.Millisecond)  // bucket 2 (≤100ms)
+	h.Observe(2 * time.Second)        // +Inf bucket
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	s := h.snapshot()
+	want := []int64{1, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Sum < 2*time.Second {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries_total", "").Add(3)
+	r.Gauge("inflight", "").Set(2)
+	r.CounterFunc("pulled_total", "", func() float64 { return 42 })
+	r.GaugeFunc("pulled_gauge", "", func() float64 { return 1.5 })
+	r.Histogram("h_seconds", "", []float64{1}).Observe(time.Second / 2)
+
+	s := r.Snapshot()
+	if s.Counter("queries_total") != 3 {
+		t.Fatalf("counter snapshot = %d", s.Counter("queries_total"))
+	}
+	if s.Counter("pulled_total") != 42 {
+		t.Fatalf("counter func snapshot = %d", s.Counter("pulled_total"))
+	}
+	if s.Gauge("inflight") != 2 || s.Gauge("pulled_gauge") != 1.5 {
+		t.Fatalf("gauge snapshots = %v %v", s.Gauge("inflight"), s.Gauge("pulled_gauge"))
+	}
+	if hs, ok := s.Histograms["h_seconds"]; !ok || hs.Count != 1 {
+		t.Fatalf("histogram snapshot = %+v ok=%v", s.Histograms["h_seconds"], ok)
+	}
+	if s.Counter("missing") != 0 || s.Gauge("missing") != 0 {
+		t.Fatal("missing metrics must read as zero")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tb_queries_total", "queries executed").Add(7)
+	r.GaugeFunc("tb_tokens_in_use", "compute tokens held", func() float64 { return 3 })
+	h := r.Histogram("tb_query_seconds", "query latency", []float64{0.01, 0.1})
+	h.Observe(5 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+	h.Observe(5 * time.Second)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP tb_queries_total queries executed",
+		"# TYPE tb_queries_total counter",
+		"tb_queries_total 7",
+		"# TYPE tb_tokens_in_use gauge",
+		"tb_tokens_in_use 3",
+		"# TYPE tb_query_seconds histogram",
+		`tb_query_seconds_bucket{le="0.01"} 1`,
+		`tb_query_seconds_bucket{le="0.1"} 2`,
+		`tb_query_seconds_bucket{le="+Inf"} 3`,
+		"tb_query_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

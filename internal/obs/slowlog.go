@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxStmtLen bounds how much of a statement one slow-query line carries.
+const maxStmtLen = 512
+
+// SlowLog writes one line per query whose wall time crosses a threshold.
+// It is safe for concurrent use; lines are written atomically with respect
+// to each other. A nil *SlowLog is valid and records nothing, so callers
+// hold a possibly-nil log and pay one nil check per query.
+type SlowLog struct {
+	mu        sync.Mutex
+	w         io.Writer
+	threshold time.Duration
+	counter   *Counter // optional: incremented once per logged query
+}
+
+// NewSlowLog returns a log that writes queries slower than threshold to w,
+// bumping counter (if non-nil) once per line. A non-positive threshold or
+// nil writer disables the log (returns nil).
+func NewSlowLog(w io.Writer, threshold time.Duration, counter *Counter) *SlowLog {
+	if w == nil || threshold <= 0 {
+		return nil
+	}
+	return &SlowLog{w: w, threshold: threshold, counter: counter}
+}
+
+// Threshold returns the configured threshold (0 for a nil log).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Observe logs the query if elapsed crossed the threshold, returning
+// whether a line was written. summary is the statement's span summary
+// (per-operator rows/times); it may be empty for non-SELECT statements.
+func (l *SlowLog) Observe(query string, elapsed time.Duration, rows int64, summary string) bool {
+	if l == nil || elapsed < l.threshold {
+		return false
+	}
+	if l.counter != nil {
+		l.counter.Inc()
+	}
+	stmt := strings.Join(strings.Fields(query), " ")
+	if len(stmt) > maxStmtLen {
+		stmt = stmt[:maxStmtLen] + "…"
+	}
+	line := fmt.Sprintf("slow-query elapsed=%s rows=%d stmt=%q", elapsed.Round(time.Microsecond), rows, stmt)
+	if summary != "" {
+		line += " spans=[" + summary + "]"
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintln(l.w, line)
+	return true
+}

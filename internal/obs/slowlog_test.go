@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThreshold(t *testing.T) {
+	var sb strings.Builder
+	r := NewRegistry()
+	c := r.Counter("slow_total", "")
+	l := NewSlowLog(&sb, 10*time.Millisecond, c)
+
+	if l.Observe("SELECT fast", 2*time.Millisecond, 1, "") {
+		t.Fatal("fast query must not be logged")
+	}
+	if !l.Observe("SELECT  x\n FROM t", 50*time.Millisecond, 7, "scan 7r 40ms") {
+		t.Fatal("slow query must be logged")
+	}
+	out := sb.String()
+	if n := strings.Count(out, "slow-query"); n != 1 {
+		t.Fatalf("want exactly one slow-query line, got %d:\n%s", n, out)
+	}
+	for _, want := range []string{`stmt="SELECT x FROM t"`, "rows=7", "spans=[scan 7r 40ms]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("line missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value() != 1 {
+		t.Fatalf("slow counter = %d, want 1", c.Value())
+	}
+}
+
+func TestSlowLogDisabled(t *testing.T) {
+	if NewSlowLog(nil, time.Second, nil) != nil {
+		t.Fatal("nil writer must disable the log")
+	}
+	var sb strings.Builder
+	if NewSlowLog(&sb, 0, nil) != nil {
+		t.Fatal("zero threshold must disable the log")
+	}
+	var l *SlowLog
+	if l.Observe("q", time.Hour, 0, "") { // nil receiver is a no-op
+		t.Fatal("nil log must not report logging")
+	}
+	if l.Threshold() != 0 {
+		t.Fatal("nil log threshold must be 0")
+	}
+}
+
+func TestSlowLogTruncatesStatement(t *testing.T) {
+	var sb strings.Builder
+	l := NewSlowLog(&sb, time.Nanosecond, nil)
+	long := strings.Repeat("x", 2*maxStmtLen)
+	l.Observe("SELECT "+long, time.Second, 0, "")
+	if len(sb.String()) > maxStmtLen+200 {
+		t.Fatalf("line not truncated: %d bytes", len(sb.String()))
+	}
+	if !strings.Contains(sb.String(), "…") {
+		t.Fatal("truncated statement must carry an ellipsis")
+	}
+}

@@ -538,6 +538,14 @@ func (o *InferOp) Next() (table.Tuple, bool, error) {
 	}
 }
 
+// ReportStage implements exec.StageReporter: structured cache-probe
+// outcomes for the profile span (hits/misses/shared per input row).
+func (o *InferOp) ReportStage(s *exec.StageStat) {
+	s.CacheHits = o.stats.Hits.Load()
+	s.CacheMisses = o.stats.Misses.Load()
+	s.CacheShared = o.stats.Shared.Load()
+}
+
 // StageNote implements exec.Noter: a one-line cache/pipeline summary for
 // EXPLAIN ANALYZE.
 func (o *InferOp) StageNote() string {
