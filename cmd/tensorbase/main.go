@@ -8,11 +8,13 @@
 //	\explain <model> <n>    show the adaptive plan for batch size n
 //	\quit
 //
-// With --serve ADDR the process also exposes /metrics (Prometheus text
-// format), /debug/pprof, and /healthz on ADDR, and keeps serving after
-// stdin closes — pipe SQL in to seed the database, then scrape. With
-// --slow-query D, statements slower than D are logged to stderr with their
-// per-operator span summary.
+// With --serve ADDR the process also exposes a session-based SQL endpoint
+// (POST /query, JSON in/out; see internal/server), /metrics (Prometheus
+// text format), /debug/pprof, and /healthz on ADDR, and keeps serving after
+// stdin closes — pipe SQL in to seed the database, then query over HTTP.
+// --demo seeds a feature table and model so PREDICT works out of the box.
+// With --slow-query D, statements slower than D are logged to stderr with
+// their per-operator span summary.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -28,9 +31,12 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"tensorbase/internal/data"
 	"tensorbase/internal/engine"
 	"tensorbase/internal/exec"
+	"tensorbase/internal/nn"
 	"tensorbase/internal/obs"
+	"tensorbase/internal/server"
 	"tensorbase/internal/table"
 )
 
@@ -41,7 +47,11 @@ func main() {
 	cacheDist := flag.Float64("cache", -1, "enable per-model result caching with this squared-L2 distance threshold (0 = exact repeats only, negative = off)")
 	cacheMax := flag.Int("cache-max", 0, "result cache admission cap in entries (0 = unbounded)")
 	noPipeline := flag.Bool("no-pipeline", false, "disable pipelined PREDICT batching")
-	serve := flag.String("serve", "", "serve /metrics, /debug/pprof, and /healthz on this address (e.g. :9090); keeps serving after stdin closes")
+	noCoalesce := flag.Bool("no-coalesce", false, "disable cross-query PREDICT coalescing")
+	coalesceWindow := flag.Duration("coalesce-window", 0, "how long a PREDICT leader waits for other queries to join its model invocation (0 = default)")
+	serve := flag.String("serve", "", "serve SQL-over-HTTP (/query), /metrics, /debug/pprof, and /healthz on this address (e.g. :9090); keeps serving after stdin closes")
+	maxSessions := flag.Int("max-sessions", 0, "SQL-over-HTTP session cap (0 = default)")
+	demo := flag.Bool("demo", false, `seed a demo feature table ("txns") and model ("Fraud-FC-32") so PREDICT works out of the box`)
 	slowQuery := flag.Duration("slow-query", 0, "log statements slower than this to stderr with per-operator spans (0 = off)")
 	flag.Parse()
 
@@ -52,6 +62,8 @@ func main() {
 		ResultCacheDistance:    max(*cacheDist, 0),
 		ResultCacheMaxEntries:  *cacheMax,
 		DisablePredictPipeline: *noPipeline,
+		DisablePredictCoalesce: *noCoalesce,
+		PredictCoalesceWindow:  *coalesceWindow,
 		SlowQueryThreshold:     *slowQuery,
 	})
 	if err != nil {
@@ -60,16 +72,29 @@ func main() {
 	}
 	defer db.Close()
 
+	if *demo {
+		if err := seedDemo(db); err != nil {
+			fmt.Fprintln(os.Stderr, "tensorbase: demo seed:", err)
+			db.Close()
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, `demo: seeded table "txns" (4096 rows) and model "Fraud-FC-32"`)
+	}
+
 	if *serve != "" {
 		obs.RegisterRuntime(db.Registry())
+		srv := server.New(db, server.Options{MaxSessions: *maxSessions})
+		defer srv.Close()
+		mux := obs.Mux(db.Registry())
+		srv.Attach(mux)
 		ln, err := net.Listen("tcp", *serve)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tensorbase: serve:", err)
 			db.Close()
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "serving /metrics and /debug/pprof on http://%s\n", ln.Addr())
-		go http.Serve(ln, obs.Mux(db.Registry()))
+		fmt.Fprintf(os.Stderr, "serving /query, /metrics, and /debug/pprof on http://%s\n", ln.Addr())
+		go http.Serve(ln, mux)
 	}
 
 	fmt.Println("tensorbase — serving deep learning models from a relational database")
@@ -131,6 +156,30 @@ repl:
 		fmt.Fprintln(os.Stderr, "stdin closed; metrics endpoint still serving (interrupt to exit)")
 		select {}
 	}
+}
+
+// seedDemo creates a fraud feature table and loads a small trained
+// classifier, so a --serve deployment can take PREDICT queries immediately
+// (the CI smoke test drives this). The table is large enough that a full
+// scan spans many PREDICT micro-batches, giving concurrent queries a
+// realistic chance to coalesce.
+func seedDemo(db *engine.DB) error {
+	d := data.Fraud(1, 4096)
+	rows, schema, err := d.FeatureRows()
+	if err != nil {
+		return err
+	}
+	if _, err := db.CreateTable("txns", schema); err != nil {
+		return err
+	}
+	if _, err := db.InsertRows("txns", rows); err != nil {
+		return err
+	}
+	m := nn.FraudFC(rand.New(rand.NewSource(2)), 32)
+	if _, err := nn.Train(m, d.X, d.Labels, nn.TrainConfig{Epochs: 3, BatchSize: 32, LR: 0.05, Seed: 3}); err != nil {
+		return err
+	}
+	return db.LoadModel(m, 0.9)
 }
 
 // shellCommand handles backslash commands; it returns true to exit.

@@ -84,8 +84,9 @@ func (c *Catalog) Table(name string) (*TableEntry, error) {
 	return t, nil
 }
 
-// DropTable removes the named table from the catalog (heap pages are not
-// reclaimed).
+// DropTable removes the named table from the catalog. Storage reclamation
+// is the engine's job: it walks the heap's page chain and hands every page
+// to the disk free list before calling this.
 func (c *Catalog) DropTable(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -21,6 +21,7 @@ import (
 	"tensorbase/internal/exec"
 	"tensorbase/internal/fault"
 	"tensorbase/internal/lifecycle"
+	"tensorbase/internal/lockmgr"
 	"tensorbase/internal/memlimit"
 	"tensorbase/internal/nn"
 	"tensorbase/internal/obs"
@@ -58,6 +59,15 @@ type Options struct {
 	// DisablePredictPipeline forces PREDICT to pull input batches
 	// serially instead of overlapping scan/decode with model compute.
 	DisablePredictPipeline bool
+	// PredictCoalesceWindow is how long a PREDICT leading a cross-query
+	// batch waits for concurrent PREDICTs over the same model to join its
+	// model invocation (default 500µs). The window only opens when at
+	// least two PREDICTs over the model are in flight, so it adds no
+	// latency to single-query workloads.
+	PredictCoalesceWindow time.Duration
+	// DisablePredictCoalesce turns cross-query invocation coalescing off:
+	// every PREDICT pays its own model calls.
+	DisablePredictCoalesce bool
 	// QueryTimeout bounds every statement's execution; a query past the
 	// deadline fails with context.DeadlineExceeded. 0 means no limit.
 	// Contexts passed to ExecContext/QueryContext compose with it (the
@@ -84,8 +94,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// DB is an open database instance. It is not safe for concurrent DDL;
-// queries over distinct tables may run concurrently.
+// DB is an open database instance. It is safe for concurrent use,
+// including DDL: every statement acquires statement-scoped table locks
+// (shared for SELECT/PREDICT, exclusive for INSERT) and CREATE/DROP take
+// the catalog DDL latch, so queries over distinct tables run concurrently
+// while a DROP waits out in-flight scans of its table.
 type DB struct {
 	path   string
 	disk   *storage.DiskManager
@@ -96,14 +109,21 @@ type DB struct {
 	udfs   *udf.Registry
 	opts   Options
 
+	// locks serializes conflicting statements (see internal/lockmgr):
+	// per-table reader/writer locks plus the catalog DDL latch, acquired
+	// per statement in deterministic order.
+	locks *lockmgr.Manager
+
 	// Vector indexes (Sec. 5), keyed by (table, column).
 	vmu      sync.Mutex
 	vindexes map[vindexKey]*vectorIndex
 
 	// Per-model inference-result caches (Sec. 5), present when
-	// Options.ResultCache is set.
-	cmu    sync.Mutex
-	caches map[string]*cache.ResultCache
+	// Options.ResultCache is set, and per-model cross-query invocation
+	// coalescers (present unless DisablePredictCoalesce).
+	cmu        sync.Mutex
+	caches     map[string]*cache.ResultCache
+	coalescers map[string]*udf.Coalescer
 
 	// Serving-path counters aggregated across every PREDICT.
 	inferStats udf.InferStats
@@ -144,10 +164,12 @@ func Open(path string, opts Options) (*DB, error) {
 		cat:    catalog.New(),
 		budget: memlimit.NewBudget(opts.MemoryBudget),
 		opt:    core.NewOptimizer(opts.MemoryThreshold),
-		udfs:   udf.NewRegistry(),
-		opts:   opts,
-		caches: make(map[string]*cache.ResultCache),
-		reg:    obs.NewRegistry(),
+		udfs:       udf.NewRegistry(),
+		opts:       opts,
+		locks:      lockmgr.New(),
+		caches:     make(map[string]*cache.ResultCache),
+		coalescers: make(map[string]*udf.Coalescer),
+		reg:        obs.NewRegistry(),
 	}
 	db.registerMetrics()
 	if opts.SlowQueryThreshold > 0 {
@@ -214,6 +236,19 @@ func (db *DB) registerMetrics() {
 	r.CounterFunc("tensorbase_pipeline_stalls_total", "consumer waits on the batch producer", func() float64 { return float64(db.inferStats.PipelineStalls.Load()) })
 	r.CounterFunc("tensorbase_panics_total", "panics contained as query errors", func() float64 { return float64(db.panics.Load() + db.inferStats.Panics.Load()) })
 
+	r.CounterFunc("tensorbase_predict_coalesced_total", "PREDICT rows that rode another query's model invocation", func() float64 { return float64(db.coalesceStats().CoalescedRows) })
+	r.CounterFunc("tensorbase_coalesce_invocations_total", "model invocations made through the cross-query coalescer", func() float64 { return float64(db.coalesceStats().Invocations) })
+	r.CounterFunc("tensorbase_coalesce_multi_total", "coalesced invocations shared by two or more queries", func() float64 { return float64(db.coalesceStats().MultiInvocations) })
+	r.CounterFunc("tensorbase_coalesce_participants_total", "sum of participants across coalesced invocations (occupancy numerator)", func() float64 { return float64(db.coalesceStats().Participants) })
+
+	r.CounterFunc("tensorbase_lock_acquisitions_total", "statement lock sets acquired", func() float64 { return float64(db.locks.Stats().Acquired) })
+	r.CounterFunc("tensorbase_lock_waits_total", "lock acquisitions that had to block", func() float64 { return float64(db.locks.Stats().Waits) })
+	r.CounterFunc("tensorbase_lock_cancelled_total", "lock waits abandoned by cancelled statements", func() float64 { return float64(db.locks.Stats().Cancelled) })
+
+	r.CounterFunc("tensorbase_disk_page_frees_total", "heap pages handed to the storage free list", func() float64 { f, _, _ := db.disk.FreeStats(); return float64(f) })
+	r.CounterFunc("tensorbase_disk_page_reuses_total", "allocations served from the free list", func() float64 { _, ru, _ := db.disk.FreeStats(); return float64(ru) })
+	r.GaugeFunc("tensorbase_disk_free_pages", "pages currently on the free list", func() float64 { _, _, n := db.disk.FreeStats(); return float64(n) })
+
 	r.GaugeFunc("tensorbase_compute_tokens_total", "process-wide compute token budget", func() float64 { return float64(parallel.Default().Total()) })
 	r.GaugeFunc("tensorbase_compute_tokens_in_use", "compute tokens currently held", func() float64 { return float64(parallel.Default().InUse()) })
 	r.GaugeFunc("tensorbase_compute_tokens_highwater", "peak compute tokens simultaneously held", func() float64 { return float64(parallel.Default().HighWater()) })
@@ -230,11 +265,35 @@ func (db *DB) Metrics() obs.Snapshot { return db.reg.Snapshot() }
 // "persist.*" points; see persist.go). Tests only.
 func (db *DB) SetFaults(inj *fault.Injector) { db.faults = inj }
 
-// Close persists the catalog, flushes dirty pages, and closes the database.
+// Close flushes dirty pages, commits the catalog, and closes the database.
+//
+// Ordering matters: page data must reach the file (and be synced) BEFORE
+// the catalog commit that names those pages. Committing first would let a
+// crash between the commit and the flush leave a catalog referencing page
+// contents that never made it to disk. The meta-file rename inside
+// saveCatalog is the sole commit point; if the flush or sync fails, the
+// previous catalog generation stays committed.
 func (db *DB) Close() error {
-	err := db.saveCatalog()
-	if ferr := db.pool.FlushAll(); err == nil {
-		err = ferr
+	// Quiesce: the DDL latch first (no table can appear or vanish under
+	// us), then an exclusive lock on every table — waits out in-flight
+	// statements and blocks new ones for the duration. Same DDL-then-tables
+	// order every statement uses, so this cannot deadlock against them.
+	if ddl, lerr := db.locks.Acquire(nil, lockmgr.Request{DDL: true}); lerr == nil {
+		defer ddl.Release()
+	}
+	tls := make([]lockmgr.TableLock, 0)
+	for _, name := range db.cat.Tables() {
+		tls = append(tls, lockmgr.TableLock{Table: name, Mode: lockmgr.Exclusive})
+	}
+	if held, lerr := db.locks.Acquire(nil, lockmgr.Request{Tables: tls}); lerr == nil {
+		defer held.Release()
+	}
+	err := db.pool.FlushAll()
+	if err == nil {
+		err = db.disk.Sync()
+	}
+	if err == nil {
+		err = db.saveCatalog()
 	}
 	if cerr := db.disk.Close(); err == nil {
 		err = cerr
@@ -287,7 +346,37 @@ func (db *DB) LoadModel(m *nn.Model, accuracy float64) error {
 		db.caches[m.Name()] = rc
 		db.cmu.Unlock()
 	}
+	if !db.opts.DisablePredictCoalesce {
+		db.cmu.Lock()
+		db.coalescers[m.Name()] = udf.NewCoalescer(db.opts.PredictCoalesceWindow, 0)
+		db.cmu.Unlock()
+	}
 	return nil
+}
+
+// coalescerFor returns the named model's cross-query invocation coalescer,
+// unless coalescing is disabled or the model is not loaded.
+func (db *DB) coalescerFor(model string) (*udf.Coalescer, bool) {
+	db.cmu.Lock()
+	defer db.cmu.Unlock()
+	co, ok := db.coalescers[model]
+	return co, ok
+}
+
+// coalesceStats sums coalescing counters across every loaded model.
+func (db *DB) coalesceStats() udf.CoalesceStats {
+	var sum udf.CoalesceStats
+	db.cmu.Lock()
+	for _, co := range db.coalescers {
+		st := co.Stats()
+		sum.Invocations += st.Invocations
+		sum.MultiInvocations += st.MultiInvocations
+		sum.Rows += st.Rows
+		sum.CoalescedRows += st.CoalescedRows
+		sum.Participants += st.Participants
+	}
+	db.cmu.Unlock()
+	return sum
 }
 
 // ResultCacheFor returns the named model's inference-result cache, if
@@ -368,6 +457,11 @@ type Stats struct {
 	PipelineFills   int64 // producer finished a batch before it was asked
 	PipelineStalls  int64 // consumer waited on the producer
 	Panics          int64 // panics contained as query errors (query + UDF level)
+
+	// Cross-query coalescing (summed over all models).
+	CoalescedRows        int64 // rows that rode another query's invocation
+	CoalesceInvocations  int64 // model invocations made through the coalescer
+	CoalesceMultiBatches int64 // invocations shared by ≥2 queries
 }
 
 // Stats returns a snapshot of buffer pool, disk, memory, and serving-path
@@ -375,6 +469,7 @@ type Stats struct {
 func (db *DB) Stats() Stats {
 	ps := db.pool.Stats()
 	r, w := db.disk.IOStats()
+	cs := db.coalesceStats()
 	return Stats{
 		PoolHits:      ps.Hits,
 		PoolMisses:    ps.Misses,
@@ -393,6 +488,10 @@ func (db *DB) Stats() Stats {
 		PipelineFills:   db.inferStats.PipelineFills.Load(),
 		PipelineStalls:  db.inferStats.PipelineStalls.Load(),
 		Panics:          db.panics.Load() + db.inferStats.Panics.Load(),
+
+		CoalescedRows:        cs.CoalescedRows,
+		CoalesceInvocations:  cs.Invocations,
+		CoalesceMultiBatches: cs.MultiInvocations,
 	}
 }
 
@@ -484,6 +583,15 @@ func (db *DB) execInner(ctx context.Context, sqlText string, profile bool) (res 
 	if err != nil {
 		return nil, nil, err
 	}
+	// Statement-scoped locking: everything the statement touches is
+	// acquired up front in deterministic order (DDL latch, then tables by
+	// name) and held to the end of the statement, so conflicting
+	// statements serialize and the set as a whole cannot deadlock.
+	held, err := db.locks.Acquire(tok, lockRequest(st))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer held.Release()
 	switch st := st.(type) {
 	case *sql.CreateTable:
 		res, err = db.execCreate(st)
@@ -492,14 +600,64 @@ func (db *DB) execInner(ctx context.Context, sqlText string, profile bool) (res 
 	case *sql.Select:
 		return db.runSelect(st, profile, tok)
 	case *sql.DropTable:
-		if err := db.cat.DropTable(st.Name); err != nil {
-			return nil, nil, err
-		}
-		res = &Result{}
+		res, err = db.execDrop(st.Name)
 	default:
 		return nil, nil, fmt.Errorf("engine: unsupported statement %T", st)
 	}
 	return res, nil, err
+}
+
+// lockRequest maps a parsed statement to the locks it must hold: SELECT
+// (with or without PREDICT) reads its table, INSERT writes its table, and
+// CREATE/DROP take the catalog DDL latch — DROP also locks its table
+// exclusively so reclamation never races an in-flight scan.
+func lockRequest(st sql.Statement) lockmgr.Request {
+	switch st := st.(type) {
+	case *sql.Select:
+		return lockmgr.Request{Tables: []lockmgr.TableLock{{Table: st.From, Mode: lockmgr.Shared}}}
+	case *sql.Insert:
+		return lockmgr.Request{Tables: []lockmgr.TableLock{{Table: st.Table, Mode: lockmgr.Exclusive}}}
+	case *sql.CreateTable:
+		return lockmgr.Request{DDL: true}
+	case *sql.DropTable:
+		return lockmgr.Request{DDL: true, Tables: []lockmgr.TableLock{{Table: st.Name, Mode: lockmgr.Exclusive}}}
+	}
+	return lockmgr.Request{}
+}
+
+// execDrop removes a table and reclaims its storage. The caller holds the
+// DDL latch and the table's exclusive lock, so no scan or insert is inside
+// the heap. Order: capture the page chain, drop the catalog entry, prune
+// vector indexes over the table (a recreated table must never serve the
+// old table's ANN rows), then hand every heap page to the free list. A
+// failure while freeing leaks the remaining pages — a leak, never
+// corruption, and strictly better than the pre-free-list behaviour of
+// leaking the whole chain.
+func (db *DB) execDrop(name string) (*Result, error) {
+	te, err := db.cat.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	pages, err := te.Heap.Pages()
+	if err != nil {
+		return nil, fmt.Errorf("engine: walking %q page chain: %w", name, err)
+	}
+	if err := db.cat.DropTable(name); err != nil {
+		return nil, err
+	}
+	db.vmu.Lock()
+	for key := range db.vindexes {
+		if key.table == name {
+			delete(db.vindexes, key)
+		}
+	}
+	db.vmu.Unlock()
+	for _, id := range pages {
+		if err := db.pool.FreePage(id); err != nil {
+			return nil, fmt.Errorf("engine: reclaiming %q pages: %w", name, err)
+		}
+	}
+	return &Result{}, nil
 }
 
 func (db *DB) execCreate(st *sql.CreateTable) (*Result, error) {
@@ -518,8 +676,13 @@ func (db *DB) execCreate(st *sql.CreateTable) (*Result, error) {
 }
 
 // CreateTable registers a table programmatically (the API twin of
-// CREATE TABLE).
+// CREATE TABLE). Like the statement, it runs under the catalog DDL latch.
 func (db *DB) CreateTable(name string, schema *table.Schema) (*table.Heap, error) {
+	held, err := db.locks.Acquire(nil, lockmgr.Request{DDL: true})
+	if err != nil {
+		return nil, err
+	}
+	defer held.Release()
 	heap, err := table.NewHeap(db.pool, schema)
 	if err != nil {
 		return nil, err
@@ -530,8 +693,16 @@ func (db *DB) CreateTable(name string, schema *table.Schema) (*table.Heap, error
 	return heap, nil
 }
 
-// InsertRows bulk-inserts tuples into a named table.
+// InsertRows bulk-inserts tuples into a named table under the table's
+// exclusive lock (the API twin of INSERT).
 func (db *DB) InsertRows(name string, rows []table.Tuple) (int64, error) {
+	held, err := db.locks.Acquire(nil, lockmgr.Request{
+		Tables: []lockmgr.TableLock{{Table: name, Mode: lockmgr.Exclusive}},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer held.Release()
 	te, err := db.cat.Table(name)
 	if err != nil {
 		return 0, err

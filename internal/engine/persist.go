@@ -62,6 +62,11 @@ type metaFile struct {
 	Generation uint64      `json:"generation"`
 	Tables     []metaTable `json:"tables"`
 	Models     []metaModel `json:"models"`
+	// FreePages is the storage free list (pages reclaimed by DROP TABLE),
+	// committed atomically with the table set at the meta rename: a crash
+	// can lose a free (a leak) but can never free a page a committed table
+	// still references.
+	FreePages []uint32 `json:"free_pages,omitempty"`
 }
 
 type metaTable struct {
@@ -156,6 +161,9 @@ func (db *DB) saveCatalog() error {
 			mt.Cols = append(mt.Cols, metaColumn{Name: c.Name, Type: uint8(c.Type)})
 		}
 		meta.Tables = append(meta.Tables, mt)
+	}
+	for _, id := range db.disk.FreeList() {
+		meta.FreePages = append(meta.FreePages, uint32(id))
 	}
 	if names := db.cat.Models(); len(names) > 0 {
 		if err := os.MkdirAll(db.modelsDir(), 0o755); err != nil {
@@ -262,6 +270,15 @@ func (db *DB) loadCatalog() error {
 		return fmt.Errorf("engine: unsupported catalog version %d", meta.Version)
 	}
 	db.gen = meta.Generation
+	if len(meta.FreePages) > 0 {
+		free := make([]storage.PageID, len(meta.FreePages))
+		for i, id := range meta.FreePages {
+			free[i] = storage.PageID(id)
+		}
+		if err := db.disk.RestoreFreeList(free); err != nil {
+			return fmt.Errorf("engine: restoring free list: %w", err)
+		}
+	}
 	for _, mt := range meta.Tables {
 		cols := make([]table.Column, len(mt.Cols))
 		for i, c := range mt.Cols {

@@ -86,6 +86,11 @@ func (db *DB) runSelect(st *sql.Select, profile bool, tok *lifecycle.Token) (*Re
 		if rc, ok := db.ResultCacheFor(predict.Model); ok {
 			iopts = append(iopts, udf.WithCache(rc))
 		}
+		if co, ok := db.coalescerFor(predict.Model); ok {
+			// Concurrent PREDICTs over the same model merge their
+			// cache-miss rows into shared model invocations.
+			iopts = append(iopts, udf.WithCoalescer(co))
+		}
 		infer, err := udf.NewInferOp(op, u, predict.FeatureCol, db.opts.InferBatch, iopts...)
 		if err != nil {
 			return nil, nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tensorbase/internal/ann"
+	"tensorbase/internal/lockmgr"
 	"tensorbase/internal/table"
 )
 
@@ -42,8 +43,16 @@ func (db *DB) vindexMap() map[vindexKey]*vectorIndex {
 
 // CreateVectorIndex builds an HNSW index over the FloatVec column of a
 // table's current rows. Rows inserted later are not indexed automatically;
-// rebuild to refresh.
+// rebuild to refresh. The build holds the table's shared lock, so it sees
+// a consistent heap (inserts wait, scans proceed).
 func (db *DB) CreateVectorIndex(tableName, column string) (int, error) {
+	held, err := db.locks.Acquire(nil, lockmgr.Request{
+		Tables: []lockmgr.TableLock{{Table: tableName, Mode: lockmgr.Shared}},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer held.Release()
 	te, err := db.cat.Table(tableName)
 	if err != nil {
 		return 0, err
@@ -122,8 +131,16 @@ func (db *DB) staleVindexWarnings(tableName string) []string {
 }
 
 // Nearest returns the k rows of tableName whose indexed column is closest
-// to query, nearest first, with squared distances.
+// to query, nearest first, with squared distances. It reads the heap under
+// the table's shared lock, so it cannot race a DROP's page reclamation.
 func (db *DB) Nearest(tableName, column string, query []float32, k int) ([]table.Tuple, []float64, error) {
+	held, err := db.locks.Acquire(nil, lockmgr.Request{
+		Tables: []lockmgr.TableLock{{Table: tableName, Mode: lockmgr.Shared}},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer held.Release()
 	db.vmu.Lock()
 	vi, ok := db.vindexes[vindexKey{tableName, column}]
 	db.vmu.Unlock()

@@ -1,0 +1,352 @@
+// Package lockmgr is the engine's statement-scoped concurrency-control
+// layer: a lock manager handing out per-table reader/writer locks plus one
+// catalog-wide DDL latch. It is what turns "not safe for concurrent DDL"
+// into a guarantee — every SQL statement acquires its full lock set before
+// touching any table, readers share, writers and DDL exclude, and a DROP
+// can safely reclaim a heap's pages because nothing else can hold them.
+//
+// Design points:
+//
+//   - Statement scoped, not transaction scoped: the engine has autocommit
+//     statements only, so a lock set lives exactly as long as one
+//     statement. There is no lock upgrade anywhere, which is what makes
+//     the deadlock-freedom argument below airtight.
+//
+//   - Deterministic acquisition order: the DDL latch first, then tables in
+//     sorted name order. Every statement acquires its entire set up front
+//     through Manager.Acquire, so two statements can only ever wait on each
+//     other in one direction — cyclic waits are impossible.
+//
+//   - Cancellation-aware waits: acquisition observes the statement's
+//     lifecycle.Token, so a statement blocked behind a long writer still
+//     honours its context deadline or a client disconnect. A cancelled
+//     waiter removes itself from the queue (or releases the lock if the
+//     grant raced the cancellation) and returns the context's error.
+//
+//   - Fair FIFO granting: a lock with waiters grants strictly in arrival
+//     order (consecutive readers are granted together), so a stream of
+//     readers cannot starve a writer and vice versa.
+//
+// The manager tracks per-table locks in a reference-counted map: entries
+// exist only while held or waited on, so dropping and recreating tables
+// does not leak lock state.
+package lockmgr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tensorbase/internal/lifecycle"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+const (
+	// Shared is the reader mode: any number of holders.
+	Shared Mode = iota
+	// Exclusive is the writer mode: a single holder, no readers.
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "exclusive"
+	}
+	return "shared"
+}
+
+// TableLock names one table and the mode to take on it.
+type TableLock struct {
+	Table string
+	Mode  Mode
+}
+
+// Request is a statement's full lock set, acquired atomically-in-order by
+// Manager.Acquire.
+type Request struct {
+	// DDL takes the catalog DDL latch exclusively (CREATE/DROP). The
+	// latch serialises catalog shape changes against each other; table
+	// data access is protected by the per-table locks.
+	DDL bool
+	// Tables are the per-table locks to take. Acquire sorts them by name;
+	// duplicate names collapse to the strongest requested mode.
+	Tables []TableLock
+}
+
+// Stats are the manager's cumulative counters.
+type Stats struct {
+	Acquired  int64 // lock sets successfully acquired
+	Waits     int64 // individual lock acquisitions that had to block
+	Cancelled int64 // acquisitions abandoned by a cancelled statement
+}
+
+// Manager hands out lock sets. The zero value is not usable; call New.
+type Manager struct {
+	mu     sync.Mutex
+	tables map[string]*lock
+	ddl    *lock
+
+	acquired  atomic.Int64
+	waits     atomic.Int64
+	cancelled atomic.Int64
+}
+
+// New returns an empty lock manager.
+func New() *Manager {
+	return &Manager{
+		tables: make(map[string]*lock),
+		ddl:    newLock(),
+	}
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Acquired:  m.acquired.Load(),
+		Waits:     m.waits.Load(),
+		Cancelled: m.cancelled.Load(),
+	}
+}
+
+// Held is an acquired lock set. Release returns every lock; it is
+// idempotent.
+type Held struct {
+	m        *Manager
+	ddl      bool
+	tables   []TableLock // sorted, deduplicated
+	released bool
+}
+
+// Acquire takes req's full lock set in the canonical order (DDL latch,
+// then tables sorted by name), blocking as needed. A nil token never
+// cancels; otherwise a token that fires while any lock in the set is still
+// being waited on aborts the acquisition, releases everything taken so
+// far, and returns the context's error.
+func (m *Manager) Acquire(tok *lifecycle.Token, req Request) (*Held, error) {
+	tables := normalize(req.Tables)
+	h := &Held{m: m, ddl: req.DDL, tables: tables[:0]}
+	if req.DDL {
+		if err := m.acquireOne(m.ddl, Exclusive, tok); err != nil {
+			m.cancelled.Add(1)
+			return nil, err
+		}
+	}
+	for _, tl := range tables {
+		l := m.ref(tl.Table)
+		if err := m.acquireOne(l, tl.Mode, tok); err != nil {
+			m.unref(tl.Table)
+			h.Release()
+			m.cancelled.Add(1)
+			return nil, err
+		}
+		h.tables = append(h.tables, tl)
+	}
+	m.acquired.Add(1)
+	return h, nil
+}
+
+// Release returns every lock in the set. Safe to call more than once.
+func (h *Held) Release() {
+	if h == nil || h.released {
+		return
+	}
+	h.released = true
+	// Release in reverse acquisition order (tables, then the DDL latch).
+	for i := len(h.tables) - 1; i >= 0; i-- {
+		tl := h.tables[i]
+		h.m.mu.Lock()
+		l := h.m.tables[tl.Table]
+		h.m.mu.Unlock()
+		if l == nil {
+			panic(fmt.Sprintf("lockmgr: release of untracked table %q", tl.Table))
+		}
+		l.release(tl.Mode)
+		h.m.unref(tl.Table)
+	}
+	if h.ddl {
+		h.m.ddl.release(Exclusive)
+	}
+}
+
+// normalize sorts the table set by name and collapses duplicates to the
+// strongest mode, producing the canonical acquisition order.
+func normalize(in []TableLock) []TableLock {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]TableLock, 0, len(in))
+	byName := make(map[string]int, len(in))
+	for _, tl := range in {
+		if i, dup := byName[tl.Table]; dup {
+			if tl.Mode == Exclusive {
+				out[i].Mode = Exclusive
+			}
+			continue
+		}
+		byName[tl.Table] = len(out)
+		out = append(out, tl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	for i, tl := range out {
+		byName[tl.Table] = i
+	}
+	return out
+}
+
+// ref returns the named table's lock, creating it (refcounted) on demand.
+func (m *Manager) ref(name string) *lock {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.tables[name]
+	if !ok {
+		l = newLock()
+		m.tables[name] = l
+	}
+	l.refs++
+	return l
+}
+
+// unref drops one reference to the named table's lock, deleting idle
+// entries so dropped tables do not accumulate lock state.
+func (m *Manager) unref(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := m.tables[name]
+	if l == nil {
+		return
+	}
+	l.refs--
+	if l.refs <= 0 {
+		delete(m.tables, name)
+	}
+}
+
+// acquireOne blocks until one lock is granted or tok fires.
+func (m *Manager) acquireOne(l *lock, mode Mode, tok *lifecycle.Token) error {
+	w := l.enqueue(mode)
+	if w == nil {
+		return nil // granted immediately
+	}
+	m.waits.Add(1)
+	select {
+	case <-w.granted:
+		return nil
+	case <-tok.Done():
+		if l.abandon(w) {
+			// The grant raced the cancellation: we own the lock, give it
+			// back so queued waiters behind us make progress.
+			l.release(mode)
+		}
+		return tok.Cause()
+	}
+}
+
+// lock is one cancellation-aware FIFO reader/writer lock.
+type lock struct {
+	mu      sync.Mutex
+	readers int
+	writer  bool
+	queue   []*waiter
+	// refs counts holders + waiters + in-progress acquisitions, managed
+	// by Manager under its own mutex.
+	refs int
+}
+
+type waiter struct {
+	mode    Mode
+	granted chan struct{}
+	// done records that the grant happened; read back by abandon under
+	// the lock's mutex to disambiguate a cancel/grant race.
+	done bool
+}
+
+func newLock() *lock { return &lock{} }
+
+// grantable reports whether mode can be granted right now.
+func (l *lock) grantable(mode Mode) bool {
+	if mode == Exclusive {
+		return !l.writer && l.readers == 0
+	}
+	return !l.writer
+}
+
+// enqueue grants immediately (returning nil) when the lock is free and no
+// one is queued ahead, else appends a waiter.
+func (l *lock) enqueue(mode Mode) *waiter {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.queue) == 0 && l.grantable(mode) {
+		l.take(mode)
+		return nil
+	}
+	w := &waiter{mode: mode, granted: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	return w
+}
+
+func (l *lock) take(mode Mode) {
+	if mode == Exclusive {
+		l.writer = true
+	} else {
+		l.readers++
+	}
+}
+
+// release returns one grant and promotes queued waiters FIFO.
+func (l *lock) release(mode Mode) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if mode == Exclusive {
+		if !l.writer {
+			panic("lockmgr: exclusive release of a lock not held exclusively")
+		}
+		l.writer = false
+	} else {
+		if l.readers <= 0 {
+			panic("lockmgr: shared release of a lock with no readers")
+		}
+		l.readers--
+	}
+	l.promote()
+}
+
+// promote grants from the head of the queue while possible: one writer, or
+// a maximal run of consecutive readers. Called with l.mu held.
+func (l *lock) promote() {
+	for len(l.queue) > 0 {
+		w := l.queue[0]
+		if !l.grantable(w.mode) {
+			return
+		}
+		l.take(w.mode)
+		w.done = true
+		close(w.granted)
+		l.queue = l.queue[1:]
+		if w.mode == Exclusive {
+			return
+		}
+	}
+}
+
+// abandon removes a cancelled waiter from the queue. It returns true when
+// the waiter had already been granted (the caller then owns the lock and
+// must release it).
+func (l *lock) abandon(w *waiter) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if w.done {
+		return true
+	}
+	for i, q := range l.queue {
+		if q == w {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			break
+		}
+	}
+	// Removing a queued writer can unblock readers queued behind it.
+	l.promote()
+	return false
+}

@@ -1,0 +1,268 @@
+package lockmgr
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tensorbase/internal/lifecycle"
+)
+
+func acquire(t *testing.T, m *Manager, req Request) *Held {
+	t.Helper()
+	h, err := m.Acquire(nil, req)
+	if err != nil {
+		t.Fatalf("acquire %+v: %v", req, err)
+	}
+	return h
+}
+
+func sharedReq(tables ...string) Request {
+	var r Request
+	for _, tn := range tables {
+		r.Tables = append(r.Tables, TableLock{Table: tn, Mode: Shared})
+	}
+	return r
+}
+
+func exclusiveReq(tables ...string) Request {
+	var r Request
+	for _, tn := range tables {
+		r.Tables = append(r.Tables, TableLock{Table: tn, Mode: Exclusive})
+	}
+	return r
+}
+
+// tryAcquire reports whether req can be acquired without blocking past the
+// given grace period.
+func tryAcquire(m *Manager, req Request, grace time.Duration) (*Held, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	tok, stop := lifecycle.Watch(ctx)
+	defer stop()
+	h, err := m.Acquire(tok, req)
+	return h, err == nil
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := New()
+	h1 := acquire(t, m, sharedReq("t"))
+	h2 := acquire(t, m, sharedReq("t"))
+	h1.Release()
+	h2.Release()
+}
+
+func TestExclusiveExcludes(t *testing.T) {
+	m := New()
+	h := acquire(t, m, exclusiveReq("t"))
+	if _, ok := tryAcquire(m, sharedReq("t"), 20*time.Millisecond); ok {
+		t.Fatal("shared acquired while exclusive held")
+	}
+	if _, ok := tryAcquire(m, exclusiveReq("t"), 20*time.Millisecond); ok {
+		t.Fatal("second exclusive acquired while exclusive held")
+	}
+	// A different table is independent.
+	h2, ok := tryAcquire(m, exclusiveReq("u"), time.Second)
+	if !ok {
+		t.Fatal("independent table blocked")
+	}
+	h2.Release()
+	h.Release()
+	h3, ok := tryAcquire(m, exclusiveReq("t"), time.Second)
+	if !ok {
+		t.Fatal("exclusive not granted after release")
+	}
+	h3.Release()
+}
+
+func TestSharedBlocksExclusive(t *testing.T) {
+	m := New()
+	h := acquire(t, m, sharedReq("t"))
+	if _, ok := tryAcquire(m, exclusiveReq("t"), 20*time.Millisecond); ok {
+		t.Fatal("exclusive acquired while shared held")
+	}
+	h.Release()
+}
+
+func TestDDLLatchSerialisesDDL(t *testing.T) {
+	m := New()
+	h := acquire(t, m, Request{DDL: true})
+	if _, ok := tryAcquire(m, Request{DDL: true}, 20*time.Millisecond); ok {
+		t.Fatal("two DDL latches granted")
+	}
+	// The latch does not block plain table access.
+	h2, ok := tryAcquire(m, sharedReq("t"), time.Second)
+	if !ok {
+		t.Fatal("table lock blocked by DDL latch")
+	}
+	h2.Release()
+	h.Release()
+}
+
+func TestCancelledWaiterReturnsContextError(t *testing.T) {
+	m := New()
+	h := acquire(t, m, exclusiveReq("t"))
+	defer h.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	tok, stop := lifecycle.Watch(ctx)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(tok, sharedReq("t"))
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+	if m.Stats().Cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", m.Stats().Cancelled)
+	}
+}
+
+func TestCancelledWriterUnblocksQueuedReaders(t *testing.T) {
+	m := New()
+	h := acquire(t, m, sharedReq("t"))
+	// Queue a writer behind the reader, then a reader behind the writer.
+	ctx, cancel := context.WithCancel(context.Background())
+	tok, stop := lifecycle.Watch(ctx)
+	defer stop()
+	werr := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(tok, exclusiveReq("t"))
+		werr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	rdone := make(chan *Held, 1)
+	go func() {
+		h2, err := m.Acquire(nil, sharedReq("t"))
+		if err != nil {
+			panic(err)
+		}
+		rdone <- h2
+	}()
+	// FIFO: the queued reader must wait behind the queued writer.
+	select {
+	case <-rdone:
+		t.Fatal("reader jumped the queued writer")
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	if err := <-werr; err == nil {
+		t.Fatal("cancelled writer acquired")
+	}
+	select {
+	case h2 := <-rdone:
+		h2.Release()
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader still blocked after writer cancelled")
+	}
+	h.Release()
+}
+
+func TestDuplicateTablesCollapseToStrongestMode(t *testing.T) {
+	m := New()
+	h := acquire(t, m, Request{Tables: []TableLock{
+		{Table: "t", Mode: Shared},
+		{Table: "t", Mode: Exclusive},
+	}})
+	if _, ok := tryAcquire(m, sharedReq("t"), 20*time.Millisecond); ok {
+		t.Fatal("duplicate set did not hold exclusively")
+	}
+	h.Release()
+	h2, ok := tryAcquire(m, exclusiveReq("t"), time.Second)
+	if !ok {
+		t.Fatal("lock not fully released after duplicate-set release")
+	}
+	h2.Release()
+}
+
+func TestReleaseIsIdempotent(t *testing.T) {
+	m := New()
+	h := acquire(t, m, Request{DDL: true, Tables: []TableLock{{Table: "t", Mode: Exclusive}}})
+	h.Release()
+	h.Release()
+	h2 := acquire(t, m, Request{DDL: true, Tables: []TableLock{{Table: "t", Mode: Exclusive}}})
+	h2.Release()
+}
+
+func TestLockMapDoesNotLeak(t *testing.T) {
+	m := New()
+	for i := 0; i < 100; i++ {
+		h := acquire(t, m, exclusiveReq("t", "u", "v"))
+		h.Release()
+	}
+	m.mu.Lock()
+	n := len(m.tables)
+	m.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d lock entries leaked", n)
+	}
+}
+
+// TestHammerMixedModes drives shared/exclusive/DDL acquisitions (some of
+// them cancelled mid-wait) across goroutines under -race, asserting mutual
+// exclusion with a plain int only ever touched under the exclusive lock.
+func TestHammerMixedModes(t *testing.T) {
+	m := New()
+	var (
+		wg      sync.WaitGroup
+		val     int // guarded by t's exclusive lock
+		readers atomic.Int64
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch (g + i) % 4 {
+				case 0: // writer
+					h := acquire(t, m, exclusiveReq("t"))
+					if r := readers.Load(); r != 0 {
+						panic("writer saw live readers")
+					}
+					val++
+					h.Release()
+				case 1, 2: // reader
+					h := acquire(t, m, sharedReq("t"))
+					readers.Add(1)
+					_ = val
+					readers.Add(-1)
+					h.Release()
+				case 3: // DDL + table, sometimes cancelled
+					ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%3)*100*time.Microsecond)
+					tok, stop := lifecycle.Watch(ctx)
+					h, err := m.Acquire(tok, Request{DDL: true, Tables: []TableLock{{Table: "t", Mode: Exclusive}}})
+					if err == nil {
+						if r := readers.Load(); r != 0 {
+							panic("DDL writer saw live readers")
+						}
+						val++
+						h.Release()
+					}
+					stop()
+					cancel()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// All locks must be released and the map empty.
+	m.mu.Lock()
+	n := len(m.tables)
+	m.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d lock entries leaked after hammer", n)
+	}
+	if got := m.Stats().Acquired; got == 0 {
+		t.Fatal("no acquisitions recorded")
+	}
+}

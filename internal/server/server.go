@@ -1,0 +1,309 @@
+// Package server exposes the engine over HTTP as a session-based SQL
+// endpoint — the multi-session serving front end the lock manager exists
+// for. Each client holds a session (an opaque id minted by the server);
+// statements within one session execute in order, while statements from
+// different sessions run concurrently against the engine, which serializes
+// only what actually conflicts (see internal/lockmgr).
+//
+// Protocol: POST /query with a JSON body
+//
+//	{"session": "<id or empty>", "sql": "SELECT ..."}
+//
+// An empty session id mints a new session; every response echoes the id to
+// use next. Responses carry either result rows
+//
+//	{"session": "...", "seq": 3, "columns": ["a"], "rows": [[1]], "rows_affected": 0}
+//
+// or a statement error ({"session": "...", "error": "..."}, HTTP 400).
+// Unknown sessions get 404 (they may have been idle-reaped); a full session
+// table gets 503.
+//
+// Admission control: the server caps concurrently executing statements with
+// a semaphore sized from the process compute budget, so a burst of HTTP
+// clients queues at the door instead of oversubscribing the executor.
+// Waiting respects client disconnects.
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tensorbase/internal/engine"
+	"tensorbase/internal/obs"
+	"tensorbase/internal/parallel"
+	"tensorbase/internal/table"
+)
+
+// Options configures the SQL server.
+type Options struct {
+	// MaxSessions caps live sessions; a mint past the cap gets 503
+	// (default 64).
+	MaxSessions int
+	// MaxInflight caps concurrently executing statements (default
+	// max(8, 4 × the process compute-token budget)).
+	MaxInflight int
+	// IdleTimeout reaps sessions with no statement for this long
+	// (default 5 minutes).
+	IdleTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 64
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 4 * parallel.Default().Total()
+		if o.MaxInflight < 8 {
+			o.MaxInflight = 8
+		}
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 5 * time.Minute
+	}
+	return o
+}
+
+// Server is the session-based SQL-over-HTTP front end.
+type Server struct {
+	db   *engine.DB
+	opts Options
+
+	inflight chan struct{} // admission semaphore
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	closed   bool
+
+	stopJanitor chan struct{}
+	janitorWG   sync.WaitGroup
+
+	queries  atomic.Int64
+	errors   atomic.Int64
+	rejected atomic.Int64
+	minted   atomic.Int64
+	reaped   atomic.Int64
+}
+
+// session is one client's serialized statement stream.
+type session struct {
+	id string
+	mu sync.Mutex // statements within a session run in order
+
+	lastUsed atomic.Int64 // unix nanos
+	seq      atomic.Int64 // statements executed
+}
+
+// New builds a server over db and registers its metrics in the engine's
+// registry. Call Close when done to stop the idle-session janitor.
+func New(db *engine.DB, opts Options) *Server {
+	s := &Server{
+		db:          db,
+		opts:        opts.withDefaults(),
+		sessions:    make(map[string]*session),
+		stopJanitor: make(chan struct{}),
+	}
+	s.inflight = make(chan struct{}, s.opts.MaxInflight)
+	s.registerMetrics(db.Registry())
+	s.janitorWG.Add(1)
+	go s.janitor()
+	return s
+}
+
+func (s *Server) registerMetrics(r *obs.Registry) {
+	r.CounterFunc("tensorbase_http_queries_total", "statements received over /query", func() float64 { return float64(s.queries.Load()) })
+	r.CounterFunc("tensorbase_http_query_errors_total", "statements over /query that returned an error", func() float64 { return float64(s.errors.Load()) })
+	r.CounterFunc("tensorbase_http_sessions_minted_total", "sessions created", func() float64 { return float64(s.minted.Load()) })
+	r.CounterFunc("tensorbase_http_sessions_rejected_total", "session mints refused by the MaxSessions cap", func() float64 { return float64(s.rejected.Load()) })
+	r.CounterFunc("tensorbase_http_sessions_reaped_total", "idle sessions reclaimed by the janitor", func() float64 { return float64(s.reaped.Load()) })
+	r.GaugeFunc("tensorbase_http_sessions", "live sessions", func() float64 {
+		s.mu.Lock()
+		n := len(s.sessions)
+		s.mu.Unlock()
+		return float64(n)
+	})
+	r.GaugeFunc("tensorbase_http_inflight", "statements currently executing over HTTP", func() float64 { return float64(len(s.inflight)) })
+}
+
+// Attach mounts the server's endpoints on mux.
+func (s *Server) Attach(mux *http.ServeMux) {
+	mux.Handle("/query", s)
+}
+
+// Close stops the idle janitor. In-flight requests finish normally.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopJanitor)
+	s.janitorWG.Wait()
+}
+
+// janitor reaps sessions idle past Options.IdleTimeout.
+func (s *Server) janitor() {
+	defer s.janitorWG.Done()
+	tick := time.NewTicker(s.opts.IdleTimeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopJanitor:
+			return
+		case now := <-tick.C:
+			cutoff := now.Add(-s.opts.IdleTimeout).UnixNano()
+			s.mu.Lock()
+			for id, sess := range s.sessions {
+				if sess.lastUsed.Load() < cutoff {
+					delete(s.sessions, id)
+					s.reaped.Add(1)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// queryRequest is the /query body.
+type queryRequest struct {
+	Session string `json:"session"`
+	SQL     string `json:"sql"`
+}
+
+// queryResponse is the /query reply.
+type queryResponse struct {
+	Session      string   `json:"session"`
+	Seq          int64    `json:"seq,omitempty"`
+	Columns      []string `json:"columns,omitempty"`
+	Rows         [][]any  `json:"rows,omitempty"`
+	RowsAffected int64    `json:"rows_affected,omitempty"`
+	Error        string   `json:"error,omitempty"`
+}
+
+// ServeHTTP handles POST /query.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, queryResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, queryResponse{Error: "empty sql"})
+		return
+	}
+
+	sess, status, err := s.session(req.Session)
+	if err != nil {
+		writeJSON(w, status, queryResponse{Session: req.Session, Error: err.Error()})
+		return
+	}
+
+	// Admission: wait for an execution slot, give up if the client does.
+	select {
+	case s.inflight <- struct{}{}:
+		defer func() { <-s.inflight }()
+	case <-r.Context().Done():
+		return
+	}
+
+	// Statements within one session execute in order; the engine's lock
+	// manager handles cross-session conflicts.
+	sess.mu.Lock()
+	res, qerr := s.db.QueryContext(r.Context(), req.SQL)
+	seq := sess.seq.Add(1)
+	sess.mu.Unlock()
+	sess.lastUsed.Store(time.Now().UnixNano())
+	s.queries.Add(1)
+
+	if qerr != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, queryResponse{Session: sess.id, Seq: seq, Error: qerr.Error()})
+		return
+	}
+	resp := queryResponse{Session: sess.id, Seq: seq, RowsAffected: res.RowsAffected}
+	if res.Schema != nil {
+		for _, c := range res.Schema.Cols {
+			resp.Columns = append(resp.Columns, c.Name)
+		}
+		resp.Rows = make([][]any, len(res.Rows))
+		for i, row := range res.Rows {
+			out := make([]any, len(row))
+			for j, v := range row {
+				out[j] = jsonValue(v)
+			}
+			resp.Rows[i] = out
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// session resolves (or mints) the request's session.
+func (s *Server) session(id string) (*session, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == "" {
+		if len(s.sessions) >= s.opts.MaxSessions {
+			s.rejected.Add(1)
+			return nil, http.StatusServiceUnavailable, fmt.Errorf("server: session table full (%d live)", len(s.sessions))
+		}
+		sess := &session{id: mintID()}
+		sess.lastUsed.Store(time.Now().UnixNano())
+		s.sessions[sess.id] = sess
+		s.minted.Add(1)
+		return sess, 0, nil
+	}
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("server: unknown session %q (expired?)", id)
+	}
+	sess.lastUsed.Store(time.Now().UnixNano())
+	return sess, 0, nil
+}
+
+// Sessions reports the number of live sessions.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+func mintID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: session id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// jsonValue converts an engine value to its JSON representation.
+func jsonValue(v table.Value) any {
+	switch v.Type {
+	case table.Int64:
+		return v.Int
+	case table.Float64:
+		return v.Float
+	case table.Text:
+		return v.Str
+	case table.FloatVec:
+		return v.Vec
+	default:
+		return v.String()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, resp queryResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+}

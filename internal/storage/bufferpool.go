@@ -362,6 +362,43 @@ func (p *BufferPool) Unpin(id PageID, dirty bool) error {
 	return nil
 }
 
+// Discard drops page id from the pool without writing it back, even if
+// dirty — the page's contents are being abandoned (its table was dropped).
+// Discarding a pinned page is an error: a pin means someone is still
+// reading it, which the caller's locking was supposed to exclude. A
+// non-resident page is a no-op.
+func (p *BufferPool) Discard(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.table[id]
+	if !ok {
+		return nil
+	}
+	if f.pins > 0 {
+		return fmt.Errorf("storage: discard of pinned page %d (%d pins)", id, f.pins)
+	}
+	if p.policy == LRU {
+		p.lruRemoveLocked(f)
+	}
+	delete(p.table, id)
+	f.id = InvalidPageID
+	f.dirty = false
+	f.loadErr = nil
+	p.free = append(p.free, f)
+	return nil
+}
+
+// FreePage discards page id from the pool and returns it to the disk
+// manager's free list — the reclamation step DROP TABLE runs over a heap's
+// page chain. The frame is discarded first so a later reuse of the id can
+// never collide with a stale resident copy.
+func (p *BufferPool) FreePage(id PageID) error {
+	if err := p.Discard(id); err != nil {
+		return err
+	}
+	return p.disk.Free(id)
+}
+
 // FlushAll writes every dirty resident page back to disk.
 func (p *BufferPool) FlushAll() error {
 	p.mu.Lock()

@@ -12,7 +12,7 @@
 // returned to the caller; nothing in this package panics on the state of
 // the disk. The fault points wired through fault.Injector ("disk.read",
 // "disk.read.short", "disk.corrupt", "disk.write", "disk.sync",
-// "disk.alloc") let tests drive those paths deterministically.
+// "disk.alloc", "disk.free") let tests drive those paths deterministically.
 package storage
 
 import (
@@ -52,12 +52,24 @@ const InvalidPageID = PageID(^uint32(0))
 
 // DiskManager reads and writes fixed-size pages of a database file.
 // It is safe for concurrent use.
+//
+// Freed pages (DROP TABLE reclaiming a heap's chain) go on a free list that
+// Allocate consults before growing the file, so dropped tables stop leaking
+// disk space. The list itself lives in memory; the engine persists it in
+// the catalog meta file (FreeList / RestoreFreeList), which commits it
+// atomically with the table set it must stay consistent with.
 type DiskManager struct {
 	mu       sync.Mutex
 	file     *os.File
 	numPages uint32
 	writes   uint64
 	reads    uint64
+	frees    uint64
+	reuses   uint64
+	// freeList holds reclaimable page ids; freeSet mirrors it for O(1)
+	// double-free detection.
+	freeList []PageID
+	freeSet  map[PageID]struct{}
 	faults   *fault.Injector
 }
 
@@ -76,14 +88,19 @@ func OpenDisk(path string) (*DiskManager, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: %s size %d is not a multiple of the page size", path, st.Size())
 	}
-	return &DiskManager{file: f, numPages: uint32(st.Size() / PageSize)}, nil
+	return &DiskManager{
+		file:     f,
+		numPages: uint32(st.Size() / PageSize),
+		freeSet:  make(map[PageID]struct{}),
+	}, nil
 }
 
 // SetFaults installs a fault injector (nil disables injection). Intended
 // for tests; not synchronised against in-flight I/O.
 func (d *DiskManager) SetFaults(inj *fault.Injector) { d.faults = inj }
 
-// Allocate appends a zeroed page and returns its id. A zeroed page is
+// Allocate returns a zeroed page: a reclaimed one from the free list when
+// available, else a fresh page appended to the file. A zeroed page is
 // exempt from checksum verification (it has never carried data), so the
 // page is valid to read back immediately.
 func (d *DiskManager) Allocate() (PageID, error) {
@@ -92,13 +109,88 @@ func (d *DiskManager) Allocate() (PageID, error) {
 	if err := d.faults.Check("disk.alloc"); err != nil {
 		return InvalidPageID, fmt.Errorf("storage: allocate page %d: %w", d.numPages, err)
 	}
-	id := PageID(d.numPages)
 	var zero [PageSize]byte
+	if n := len(d.freeList); n > 0 {
+		id := d.freeList[n-1]
+		// Zero the reused page before handing it out so its stale bytes
+		// (and stale checksum) can never be read back as live data. Only
+		// on success is the page actually taken off the list.
+		if _, err := d.file.WriteAt(zero[:], int64(id)*PageSize); err != nil {
+			return InvalidPageID, fmt.Errorf("storage: reallocate page %d: %w", id, err)
+		}
+		d.freeList = d.freeList[:n-1]
+		delete(d.freeSet, id)
+		d.reuses++
+		return id, nil
+	}
+	id := PageID(d.numPages)
 	if _, err := d.file.WriteAt(zero[:], int64(id)*PageSize); err != nil {
 		return InvalidPageID, fmt.Errorf("storage: allocate page %d: %w", id, err)
 	}
 	d.numPages++
 	return id, nil
+}
+
+// Free returns page id to the free list for reuse by a later Allocate.
+// Freeing a page beyond the file or freeing it twice is an error — both
+// indicate a corrupted page chain in the caller. The fault point
+// "disk.free" lets tests fail the path deterministically.
+func (d *DiskManager) Free(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.faults.Check("disk.free"); err != nil {
+		return fmt.Errorf("storage: free page %d: %w", id, err)
+	}
+	if uint32(id) >= d.numPages {
+		return fmt.Errorf("storage: free of page %d beyond end (%d pages)", id, d.numPages)
+	}
+	if _, dup := d.freeSet[id]; dup {
+		return fmt.Errorf("storage: double free of page %d", id)
+	}
+	d.freeList = append(d.freeList, id)
+	d.freeSet[id] = struct{}{}
+	d.frees++
+	return nil
+}
+
+// FreeList returns a snapshot of the reclaimable page ids (for the engine
+// to persist alongside the catalog).
+func (d *DiskManager) FreeList() []PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]PageID, len(d.freeList))
+	copy(out, d.freeList)
+	return out
+}
+
+// RestoreFreeList installs a persisted free list on a freshly opened disk,
+// replacing the current one. Out-of-range or duplicate ids are rejected.
+func (d *DiskManager) RestoreFreeList(ids []PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	list := make([]PageID, 0, len(ids))
+	set := make(map[PageID]struct{}, len(ids))
+	for _, id := range ids {
+		if uint32(id) >= d.numPages {
+			return fmt.Errorf("storage: free list references page %d beyond end (%d pages)", id, d.numPages)
+		}
+		if _, dup := set[id]; dup {
+			return fmt.Errorf("storage: free list lists page %d twice", id)
+		}
+		list = append(list, id)
+		set[id] = struct{}{}
+	}
+	d.freeList = list
+	d.freeSet = set
+	return nil
+}
+
+// FreeStats returns cumulative frees and free-list reuses, plus the
+// current free-list length.
+func (d *DiskManager) FreeStats() (frees, reuses uint64, free int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.frees, d.reuses, len(d.freeList)
 }
 
 // Read fills buf (length PageSize) with page id's contents, verifying the
@@ -113,6 +205,10 @@ func (d *DiskManager) Read(id PageID, buf []byte) error {
 		n := d.numPages
 		d.mu.Unlock()
 		return fmt.Errorf("storage: read of page %d beyond end (%d pages)", id, n)
+	}
+	if _, freed := d.freeSet[id]; freed {
+		d.mu.Unlock()
+		return fmt.Errorf("storage: read of freed page %d", id)
 	}
 	d.reads++
 	d.mu.Unlock()
@@ -156,6 +252,10 @@ func (d *DiskManager) Write(id PageID, buf []byte) error {
 		n := d.numPages
 		d.mu.Unlock()
 		return fmt.Errorf("storage: write of page %d beyond end (%d pages)", id, n)
+	}
+	if _, freed := d.freeSet[id]; freed {
+		d.mu.Unlock()
+		return fmt.Errorf("storage: write of freed page %d", id)
 	}
 	d.writes++
 	d.mu.Unlock()

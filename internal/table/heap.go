@@ -187,6 +187,33 @@ func (h *Heap) RIDs() ([]RID, error) {
 	return out, nil
 }
 
+// Pages returns the heap's page chain in order, head first. DROP TABLE
+// uses it to hand every page back to the storage free list.
+func (h *Heap) Pages() ([]storage.PageID, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var out []storage.PageID
+	seen := make(map[storage.PageID]struct{})
+	page := h.first
+	for page != storage.InvalidPageID {
+		if _, dup := seen[page]; dup {
+			return nil, fmt.Errorf("table: page chain cycles at page %d", page)
+		}
+		seen[page] = struct{}{}
+		out = append(out, page)
+		f, err := h.pool.Fetch(page)
+		if err != nil {
+			return nil, err
+		}
+		next := f.Page().Next()
+		if err := h.pool.Unpin(page, false); err != nil {
+			return nil, err
+		}
+		page = next
+	}
+	return out, nil
+}
+
 // Scanner iterates the heap front to back. It pins one page at a time, so
 // scans of arbitrarily large heaps run in constant memory — the property
 // the relation-centric execution path relies on.

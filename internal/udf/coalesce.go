@@ -1,0 +1,252 @@
+package udf
+
+// Cross-query dynamic micro-batching (the serving-path generalisation of
+// the cache's single-flight protocol): when several PREDICT statements over
+// the same model are in flight at once, their cache-miss feature rows are
+// coalesced into shared model invocations instead of each query paying a
+// model call per micro-batch. One Coalescer exists per loaded model; every
+// InferOp over that model registers with it (Enter/Leave) and routes its
+// model invocations through Submit.
+//
+// Protocol: the first submitter of a window becomes the batch leader. It
+// parks for at most the batching window (or until the batch fills), letting
+// concurrent submitters append their rows, then runs the model ONCE over
+// the combined feature matrix and publishes each participant's slice of the
+// output. Followers just wait. Model outputs are row-independent (every
+// layer is row-wise), so a coalesced invocation is bit-identical to the
+// per-query invocations it replaces.
+//
+// The window only ever opens when at least two operators are registered:
+// a lone PREDICT query takes a zero-overhead direct path, so coalescing
+// costs nothing until there is actually someone to coalesce with.
+//
+// Failure containment mirrors the single-flight rule: a leader whose
+// invocation fails (or whose query is cancelled mid-window) settles the
+// batch with the error, and each follower falls back to invoking the model
+// over its own rows — one query's failure never fails another query.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tensorbase/internal/lifecycle"
+	"tensorbase/internal/tensor"
+)
+
+// DefaultCoalesceWindow is how long a batch leader waits for concurrent
+// queries to join its model invocation.
+const DefaultCoalesceWindow = 500 * time.Microsecond
+
+// DefaultCoalesceMaxRows caps the combined row count of one coalesced
+// invocation; a batch that fills seals (and runs) immediately.
+const DefaultCoalesceMaxRows = 4096
+
+// applyFunc runs the model over a dense rows×width feature matrix.
+type applyFunc func(feats []float32, rows, width int) (*tensor.Tensor, error)
+
+// CoalesceStats is a snapshot of a Coalescer's cumulative counters.
+type CoalesceStats struct {
+	Invocations      int64 // model invocations made through Submit
+	MultiInvocations int64 // invocations shared by ≥2 queries
+	Rows             int64 // feature rows served through Submit
+	CoalescedRows    int64 // rows that rode another query's invocation
+	Participants     int64 // sum of participants across invocations (occupancy numerator)
+}
+
+// Coalescer merges concurrent model invocations for one model. Safe for
+// concurrent use by any number of InferOps.
+type Coalescer struct {
+	window  time.Duration
+	maxRows int
+
+	mu      sync.Mutex
+	active  int // InferOps currently open on this model
+	pending *coBatch
+
+	invocations      atomic.Int64
+	multiInvocations atomic.Int64
+	rows             atomic.Int64
+	coalescedRows    atomic.Int64
+	participants     atomic.Int64
+}
+
+// NewCoalescer returns a coalescer with the given batching window and
+// combined-row cap; zero values take the defaults.
+func NewCoalescer(window time.Duration, maxRows int) *Coalescer {
+	if window <= 0 {
+		window = DefaultCoalesceWindow
+	}
+	if maxRows <= 0 {
+		maxRows = DefaultCoalesceMaxRows
+	}
+	return &Coalescer{window: window, maxRows: maxRows}
+}
+
+// Enter registers an operator: while two or more are registered, batching
+// windows open. Pair with Leave.
+func (c *Coalescer) Enter() {
+	c.mu.Lock()
+	c.active++
+	c.mu.Unlock()
+}
+
+// Leave unregisters an operator.
+func (c *Coalescer) Leave() {
+	c.mu.Lock()
+	c.active--
+	c.mu.Unlock()
+}
+
+// Stats returns the cumulative counters.
+func (c *Coalescer) Stats() CoalesceStats {
+	return CoalesceStats{
+		Invocations:      c.invocations.Load(),
+		MultiInvocations: c.multiInvocations.Load(),
+		Rows:             c.rows.Load(),
+		CoalescedRows:    c.coalescedRows.Load(),
+		Participants:     c.participants.Load(),
+	}
+}
+
+// coBatch is one coalesced invocation being assembled and run.
+type coBatch struct {
+	width int
+	feats []float32
+	rows  int
+	parts int
+
+	full chan struct{} // closed when the row cap seals the batch
+	done chan struct{} // closed when the leader settles (preds or err)
+
+	preds []float32
+	predW int
+	err   error
+}
+
+// Submit serves one dense rows×width feature matrix through the model,
+// coalescing with concurrent submissions for the same model when possible.
+// It returns the caller's rows' predictions (a read-only view that may
+// alias a shared output buffer) and the prediction width. The caller's
+// cancellation token bounds every wait.
+func (c *Coalescer) Submit(tok *lifecycle.Token, feats []float32, rows, width int, apply applyFunc) ([]float32, int, error) {
+	if rows <= 0 {
+		return nil, 0, nil
+	}
+	c.mu.Lock()
+	if b := c.pending; b != nil && b.width == width && b.rows+rows <= c.maxRows {
+		// Join the open batch as a follower.
+		off := b.rows
+		b.feats = append(b.feats, feats...)
+		b.rows += rows
+		b.parts++
+		if b.rows+minJoinRows > c.maxRows {
+			// Effectively full: seal now so the leader runs immediately.
+			c.pending = nil
+			close(b.full)
+		}
+		c.mu.Unlock()
+		return c.waitFollower(tok, b, off, feats, rows, width, apply)
+	}
+	if c.active < 2 || c.pending != nil {
+		// Nobody to coalesce with (or an incompatible batch is pending):
+		// run directly.
+		c.mu.Unlock()
+		return c.applyCounted(feats, rows, width, 1, apply)
+	}
+	// Open a batch and lead it.
+	b := &coBatch{
+		width: width,
+		feats: append(make([]float32, 0, len(feats)*2), feats...),
+		rows:  rows,
+		parts: 1,
+		full:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	c.pending = b
+	c.mu.Unlock()
+
+	timer := time.NewTimer(c.window)
+	cancelled := false
+	select {
+	case <-b.full:
+	case <-timer.C:
+	case <-tok.Done():
+		// Done() closing precedes the token's atomic flag flip, so read the
+		// cause straight from the context rather than through Err().
+		cancelled = true
+	}
+	timer.Stop()
+
+	// Seal: after this no submitter can join.
+	c.mu.Lock()
+	if c.pending == b {
+		c.pending = nil
+	}
+	total, parts := b.rows, b.parts
+	c.mu.Unlock()
+
+	if err := tok.Err(); !cancelled && err != nil {
+		cancelled = true
+	}
+	if cancelled {
+		err := tok.Cause()
+		// Cancelled mid-window. Settle with the error; followers (whose
+		// queries are still live) recompute their own rows.
+		b.err = err
+		close(b.done)
+		return nil, 0, err
+	}
+	preds, predW, err := c.applyCounted(b.feats, total, width, parts, apply)
+	if err != nil {
+		b.err = err
+		close(b.done)
+		return nil, 0, err
+	}
+	c.coalescedRows.Add(int64(total - rows))
+	b.preds, b.predW = preds, predW
+	close(b.done)
+	return preds[: rows*predW : rows*predW], predW, nil
+}
+
+// minJoinRows is the smallest join worth leaving room for; a batch within
+// this margin of the cap seals immediately.
+const minJoinRows = 1
+
+// waitFollower waits for the leader to settle and carves out this
+// submitter's slice of the shared output. On a settled error it falls back
+// to a direct invocation over its own rows.
+func (c *Coalescer) waitFollower(tok *lifecycle.Token, b *coBatch, off int, feats []float32, rows, width int, apply applyFunc) ([]float32, int, error) {
+	select {
+	case <-b.done:
+	case <-tok.Done():
+		// Our query is done waiting; the leader still computes our rows,
+		// we just never read them.
+		return nil, 0, tok.Cause()
+	}
+	if b.err != nil {
+		if err := tok.Err(); err != nil {
+			return nil, 0, err
+		}
+		// The leader's query failed or was cancelled; ours is fine — run
+		// our own rows.
+		return c.applyCounted(feats, rows, width, 1, apply)
+	}
+	w := b.predW
+	return b.preds[off*w : (off+rows)*w : (off+rows)*w], w, nil
+}
+
+// applyCounted runs apply and records the invocation-level counters.
+func (c *Coalescer) applyCounted(feats []float32, rows, width, parts int, apply applyFunc) ([]float32, int, error) {
+	out, err := apply(feats, rows, width)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.invocations.Add(1)
+	c.participants.Add(int64(parts))
+	if parts >= 2 {
+		c.multiInvocations.Add(1)
+	}
+	c.rows.Add(int64(rows))
+	return out.Data(), out.Len() / rows, nil
+}

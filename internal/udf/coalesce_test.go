@@ -1,0 +1,315 @@
+package udf
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tensorbase/internal/lifecycle"
+	"tensorbase/internal/tensor"
+)
+
+// countingApply returns an applyFunc that doubles every feature and counts
+// invocations and total rows.
+func countingApply(calls, rows *atomic.Int64) applyFunc {
+	return func(feats []float32, r, w int) (*tensor.Tensor, error) {
+		calls.Add(1)
+		rows.Add(int64(r))
+		out := make([]float32, len(feats))
+		for i, f := range feats {
+			out[i] = 2 * f
+		}
+		return tensor.FromSlice(out, r, w), nil
+	}
+}
+
+func TestCoalesceSoloDirect(t *testing.T) {
+	c := NewCoalescer(time.Second, 0)
+	c.Enter()
+	defer c.Leave()
+	var calls, rows atomic.Int64
+	start := time.Now()
+	preds, w, err := c.Submit(nil, []float32{1, 2}, 1, 2, countingApply(&calls, &rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A lone operator must not wait out the (huge) window.
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("solo submit waited %v; want direct path", d)
+	}
+	if w != 2 || preds[0] != 2 || preds[1] != 4 {
+		t.Fatalf("preds = %v width %d", preds, w)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d", calls.Load())
+	}
+	st := c.Stats()
+	if st.Invocations != 1 || st.MultiInvocations != 0 || st.CoalescedRows != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCoalesceTwoQueriesShareInvocation(t *testing.T) {
+	c := NewCoalescer(time.Second, 0) // window long enough to be deterministic
+	c.Enter()
+	c.Enter()
+	defer c.Leave()
+	defer c.Leave()
+	var calls, rowsRun atomic.Int64
+	apply := countingApply(&calls, &rowsRun)
+
+	var wg sync.WaitGroup
+	type res struct {
+		preds []float32
+		w     int
+		err   error
+	}
+	out := make([]res, 2)
+	feats := [][]float32{{1, 2, 3, 4}, {10, 20}} // 2 rows and 1 row, width 2
+	rows := []int{2, 1}
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			defer wg.Done()
+			// Stagger so goroutine 0 reliably leads.
+			if i == 1 {
+				time.Sleep(50 * time.Millisecond)
+			}
+			p, w, err := c.Submit(nil, feats[i], rows[i], 2, apply)
+			out[i] = res{p, w, err}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range out {
+		if r.err != nil {
+			t.Fatalf("submit %d: %v", i, r.err)
+		}
+		if r.w != 2 {
+			t.Fatalf("submit %d width = %d", i, r.w)
+		}
+	}
+	if got := out[0].preds; got[0] != 2 || got[3] != 8 {
+		t.Fatalf("leader preds = %v", got)
+	}
+	if got := out[1].preds; len(got) != 2 || got[0] != 20 || got[1] != 40 {
+		t.Fatalf("follower preds = %v", got)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("model ran %d times, want 1 coalesced invocation", calls.Load())
+	}
+	if rowsRun.Load() != 3 {
+		t.Fatalf("model saw %d rows, want 3", rowsRun.Load())
+	}
+	st := c.Stats()
+	if st.Invocations != 1 || st.MultiInvocations != 1 || st.Participants != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.CoalescedRows != 1 {
+		t.Fatalf("coalesced rows = %d, want 1 (the follower's row)", st.CoalescedRows)
+	}
+}
+
+func TestCoalesceWidthMismatchRunsSeparately(t *testing.T) {
+	c := NewCoalescer(200*time.Millisecond, 0)
+	c.Enter()
+	c.Enter()
+	defer c.Leave()
+	defer c.Leave()
+	var calls, rowsRun atomic.Int64
+	apply := countingApply(&calls, &rowsRun)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, _, errs[0] = c.Submit(nil, []float32{1, 2}, 1, 2, apply)
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(30 * time.Millisecond)
+		_, _, errs[1] = c.Submit(nil, []float32{1, 2, 3}, 1, 3, apply)
+	}()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("model ran %d times, want 2 (incompatible widths)", calls.Load())
+	}
+	if c.Stats().MultiInvocations != 0 {
+		t.Fatal("width-mismatched submissions must not coalesce")
+	}
+}
+
+func TestCoalesceMaxRowsSealsBatch(t *testing.T) {
+	c := NewCoalescer(time.Second, 3)
+	c.Enter()
+	c.Enter()
+	defer c.Leave()
+	defer c.Leave()
+	var calls, rowsRun atomic.Int64
+	apply := countingApply(&calls, &rowsRun)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	start := time.Now()
+	go func() {
+		defer wg.Done()
+		if _, _, err := c.Submit(nil, []float32{1, 2}, 2, 1, apply); err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(50 * time.Millisecond)
+		if _, _, err := c.Submit(nil, []float32{3}, 1, 1, apply); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+	// The join filled the batch to the cap, so the leader must have run well
+	// before its one-second window expired.
+	if d := time.Since(start); d > 600*time.Millisecond {
+		t.Fatalf("full batch still waited %v", d)
+	}
+	if calls.Load() != 1 || rowsRun.Load() != 3 {
+		t.Fatalf("calls=%d rows=%d, want one 3-row invocation", calls.Load(), rowsRun.Load())
+	}
+}
+
+func TestCoalesceLeaderFailureFollowerFallsBack(t *testing.T) {
+	c := NewCoalescer(300*time.Millisecond, 0)
+	c.Enter()
+	c.Enter()
+	defer c.Leave()
+	defer c.Leave()
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	apply := func(feats []float32, r, w int) (*tensor.Tensor, error) {
+		// First (coalesced) invocation fails; the follower's solo retry
+		// succeeds.
+		if calls.Add(1) == 1 {
+			return nil, boom
+		}
+		out := make([]float32, len(feats))
+		copy(out, feats)
+		return tensor.FromSlice(out, r, w), nil
+	}
+
+	var wg sync.WaitGroup
+	var leadErr, followErr error
+	var followPreds []float32
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, _, leadErr = c.Submit(nil, []float32{1}, 1, 1, apply)
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(50 * time.Millisecond)
+		followPreds, _, followErr = c.Submit(nil, []float32{7}, 1, 1, apply)
+	}()
+	wg.Wait()
+	if !errors.Is(leadErr, boom) {
+		t.Fatalf("leader error = %v, want boom", leadErr)
+	}
+	if followErr != nil {
+		t.Fatalf("follower must fall back cleanly, got %v", followErr)
+	}
+	if len(followPreds) != 1 || followPreds[0] != 7 {
+		t.Fatalf("follower preds = %v", followPreds)
+	}
+}
+
+func TestCoalesceLeaderCancelledFollowerFallsBack(t *testing.T) {
+	c := NewCoalescer(5*time.Second, 0)
+	c.Enter()
+	c.Enter()
+	defer c.Leave()
+	defer c.Leave()
+	var calls, rowsRun atomic.Int64
+	apply := countingApply(&calls, &rowsRun)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	tok, stop := lifecycle.Watch(ctx)
+	defer stop()
+
+	var wg sync.WaitGroup
+	var leadErr, followErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, _, leadErr = c.Submit(tok, []float32{1}, 1, 1, apply)
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(50 * time.Millisecond)
+		_, _, followErr = c.Submit(nil, []float32{2}, 1, 1, apply)
+	}()
+	time.Sleep(120 * time.Millisecond)
+	cancel() // the leader parks on its window; cancellation must settle it
+	wg.Wait()
+	if leadErr == nil {
+		t.Fatal("cancelled leader must return its cancellation error")
+	}
+	if followErr != nil {
+		t.Fatalf("follower fallback: %v", followErr)
+	}
+	if calls.Load() != 1 || rowsRun.Load() != 1 {
+		t.Fatalf("calls=%d rows=%d, want exactly the follower's solo run", calls.Load(), rowsRun.Load())
+	}
+}
+
+func TestCoalesceSubmitHammer(t *testing.T) {
+	c := NewCoalescer(200*time.Microsecond, 64)
+	const workers = 8
+	for i := 0; i < workers; i++ {
+		c.Enter()
+		defer c.Leave()
+	}
+	var calls, rowsRun atomic.Int64
+	apply := countingApply(&calls, &rowsRun)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	var wrong atomic.Int64
+	for g := 0; g < workers; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				base := float32(g*1000 + i)
+				feats := []float32{base, base + 1, base + 2, base + 3}
+				preds, w, err := c.Submit(nil, feats, 2, 2, apply)
+				if err != nil || w != 2 || len(preds) != 4 {
+					wrong.Add(1)
+					continue
+				}
+				for k, f := range feats {
+					if preds[k] != 2*f {
+						wrong.Add(1)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if wrong.Load() != 0 {
+		t.Fatalf("%d wrong results under concurrency", wrong.Load())
+	}
+	total := int64(workers * 50 * 2)
+	if rowsRun.Load() != total {
+		t.Fatalf("model saw %d rows, want %d", rowsRun.Load(), total)
+	}
+	st := c.Stats()
+	if st.Rows != total {
+		t.Fatalf("stats rows = %d, want %d", st.Rows, total)
+	}
+	t.Logf("hammer: %d invocations for %d rows (%d coalesced, %d multi)",
+		st.Invocations, st.Rows, st.CoalescedRows, st.MultiInvocations)
+}

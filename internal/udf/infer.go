@@ -114,6 +114,13 @@ func WithCancel(tok *lifecycle.Token) InferOption {
 	return func(o *InferOp) { o.tok = tok }
 }
 
+// WithCoalescer routes this operator's model invocations through the
+// model's cross-query coalescer: concurrent PREDICTs over the same model
+// merge their cache-miss rows into shared invocations (see Coalescer).
+func WithCoalescer(co *Coalescer) InferOption {
+	return func(o *InferOp) { o.co = co }
+}
+
 // InferOp is a relational operator that runs a UDF over the FloatVec
 // feature column of its input in micro-batches, emitting each input tuple
 // extended with a prediction column. It is how `PREDICT(model, features)`
@@ -126,12 +133,14 @@ type InferOp struct {
 	batch   int
 	schema  *table.Schema
 
-	cache    *cache.ResultCache
-	pipeline bool
-	budget   *parallel.Budget
-	tok      *lifecycle.Token
-	stats    InferStats  // per-operator counters (StageNote, tests)
-	sink     *InferStats // optional shared sink, added on Close
+	cache     *cache.ResultCache
+	pipeline  bool
+	budget    *parallel.Budget
+	tok       *lifecycle.Token
+	co        *Coalescer  // cross-query invocation coalescer (per model)
+	coEntered bool        // this Open registered with the coalescer
+	stats     InferStats  // per-operator counters (StageNote, tests)
+	sink      *InferStats // optional shared sink, added on Close
 
 	// Producer state (pipelined mode); nil channel means serial.
 	batches chan *inferBatch
@@ -212,6 +221,10 @@ func (o *InferOp) Open() error {
 	o.stats = InferStats{}
 	if err := o.in.Open(); err != nil {
 		return err
+	}
+	if o.co != nil && !o.coEntered {
+		o.co.Enter()
+		o.coEntered = true
 	}
 	if o.pipeline {
 		budget := o.budget
@@ -355,6 +368,21 @@ func (o *InferOp) applyUDF(feats []float32, rows, width int) (out *tensor.Tensor
 	return out, nil
 }
 
+// invoke runs the model over rows×width features, through the cross-query
+// coalescer when one is attached (so concurrent PREDICTs share invocations)
+// and directly otherwise. It returns the caller's rows' predictions and the
+// prediction width; the returned slice may alias a shared read-only buffer.
+func (o *InferOp) invoke(feats []float32, rows, width int) ([]float32, int, error) {
+	if o.co != nil {
+		return o.co.Submit(o.tok, feats, rows, width, o.applyUDF)
+	}
+	out, err := o.applyUDF(feats, rows, width)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out.Data(), out.Len() / rows, nil
+}
+
 // process computes b.preds/b.predW for every row of the batch.
 func (o *InferOp) process(b *inferBatch) error {
 	rows := len(b.tuples)
@@ -366,14 +394,15 @@ func (o *InferOp) process(b *inferBatch) error {
 	}
 	o.stats.Batches.Add(1)
 	if o.cache == nil {
-		out, err := o.applyUDF(b.feats, rows, b.width)
+		// The returned slice is either the UDF's fresh output tensor or this
+		// batch's view of a coalesced invocation; emitted rows carve disjoint
+		// subslices out of it either way.
+		preds, predW, err := o.invoke(b.feats, rows, b.width)
 		if err != nil {
 			return err
 		}
-		// The UDF output is a fresh tensor: its data is the batch-sized
-		// backing array rows are carved from.
-		b.preds = out.Data()
-		b.predW = out.Len() / rows
+		b.preds = preds
+		b.predW = predW
 		return nil
 	}
 	return o.processCached(b)
@@ -421,12 +450,11 @@ func (o *InferOp) processCached(b *inferBatch) error {
 	// Run the model once over the compacted miss set, scatter predictions
 	// back into row order, and publish them (cache insert + flight commit).
 	if len(leaders) > 0 {
-		out, err := o.applyUDF(missFeats, len(leaders), w)
+		data, predW, err := o.invoke(missFeats, len(leaders), w)
 		if err != nil {
 			cancel(err)
 			return err
 		}
-		data, predW := out.Data(), out.Len()/len(leaders)
 		for j, row := range leaders {
 			p := data[j*predW : (j+1)*predW : (j+1)*predW]
 			results[row] = p
@@ -582,6 +610,10 @@ func (o *InferOp) Close() error {
 	if o.tokens > 0 {
 		o.budget.Release(o.tokens)
 		o.tokens = 0
+	}
+	if o.coEntered {
+		o.co.Leave()
+		o.coEntered = false
 	}
 	o.stats.AddTo(o.sink)
 	o.cur = nil
