@@ -772,3 +772,64 @@ func BenchmarkPredictServing(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkQuantizedPredict compares end-to-end PREDICT over Fraud-FC-256 in
+// f32 against the int8-resident quantized twin (packed SWAR GEMM + columnar
+// batch decode). The micro-batch matches the table width of the kernel
+// benchmarks (256×28 × 28×256), so the end-to-end delta here is the kernel
+// win minus everything the serving path adds around it.
+func BenchmarkQuantizedPredict(b *testing.B) {
+	const nRows, hidden, batch = 1024, 256, 256
+	d := data.Fraud(13, nRows)
+	rng := rand.New(rand.NewSource(14))
+	model := nn.FraudFC(rng, hidden)
+
+	open := func(b *testing.B) *engine.DB {
+		b.Helper()
+		db, err := engine.Open(filepath.Join(b.TempDir(), "bench.db"), engine.Options{InferBatch: batch})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { db.Close() })
+		rows, schema, err := d.FeatureRows()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.CreateTable("txns", schema); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.InsertRows("txns", rows); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.LoadModel(model, 0); err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+
+	run := func(b *testing.B, query string) {
+		db := open(b)
+		if _, err := db.Exec(query); err != nil { // warm the pool
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := db.Exec(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != nRows {
+				b.Fatalf("rows = %d", len(res.Rows))
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)*nRows/b.Elapsed().Seconds(), "rows/s")
+	}
+
+	b.Run("f32", func(b *testing.B) {
+		run(b, fmt.Sprintf("SELECT id, PREDICT(%s, features) FROM txns", model.Name()))
+	})
+	b.Run("quantized", func(b *testing.B) {
+		run(b, fmt.Sprintf("SELECT id, PREDICT(%s, features) OPTIONS (quantized) FROM txns", model.Name()))
+	})
+}

@@ -252,7 +252,9 @@ type mulScratch struct {
 // MultiplyStreaming computes C = A × B relation-centrically with a
 // bounded working set: each result block (rb, cb) accumulates
 // Σₖ A[rb,k]·B[k,cb] into a per-worker block buffer via the fused
-// MatMulAddInto kernel and is written straight into the result relation.
+// MatMulAddAutoInto kernel — which falls back to the zero-skipping sparse
+// variant when an operand block proves >50% zeros — and is written straight
+// into the result relation.
 // Operand blocks stream through the buffer pool (which spills and reloads
 // as needed), so the memory footprint is a handful of blocks per worker no
 // matter how large A, B, or C are — the property that lets the
@@ -373,7 +375,7 @@ func multiplyStreaming(pool *storage.BufferPool, a, b *Matrix, budget *memlimit.
 			if err != nil {
 				return err
 			}
-			tensor.MatMulAddInto(&ws.acc, &ws.a, &ws.b)
+			tensor.MatMulAddAutoInto(&ws.acc, &ws.a, &ws.b)
 		}
 		return out.AppendBlock(rb, cb, &ws.acc)
 	}
@@ -393,7 +395,7 @@ func multiplyStreaming(pool *storage.BufferPool, a, b *Matrix, budget *memlimit.
 // i.e. a hash join of the block relations on the shared dimension followed
 // by a grouped user-defined aggregate. The original plan's map UDF (the
 // bs×bs partial product) and VecSum aggregation are fused into one fold
-// that calls tensor.MatMulAddInto, so each joined block pair accumulates
+// that calls tensor.MatMulAddAutoInto, so each joined block pair accumulates
 // straight into its group's result block without materialising a partial-
 // product tuple. The aggregate is hash-partitioned on the result
 // coordinates (rb, cb) with one worker per partition (exec.PartitionedAgg),
@@ -429,7 +431,7 @@ func multiplyRelational(pool *storage.BufferPool, a, b *Matrix, workers int, tok
 		return nil, err
 	}
 	// Join output columns: rb cb r c data | rb_2 cb_2 r_2 c_2 data_2.
-	// MatMulSum fold: C[rb,cb] += A-block × B-block, fused via MatMulAddInto.
+	// MatMulSum fold: C[rb,cb] += A-block × B-block, fused via MatMulAddAutoInto.
 	fold := func(acc []float32, t table.Tuple) ([]float32, error) {
 		ar, ac := int(t[2].Int), int(t[3].Int)
 		br, bc := int(t[7].Int), int(t[8].Int)
@@ -439,7 +441,7 @@ func multiplyRelational(pool *storage.BufferPool, a, b *Matrix, workers int, tok
 		if acc == nil {
 			acc = make([]float32, ar*bc)
 		}
-		tensor.MatMulAddInto(
+		tensor.MatMulAddAutoInto(
 			tensor.FromSlice(acc, ar, bc),
 			tensor.FromSlice(t[4].Vec, ar, ac),
 			tensor.FromSlice(t[9].Vec, br, bc),

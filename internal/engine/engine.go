@@ -29,6 +29,7 @@ import (
 	"tensorbase/internal/sql"
 	"tensorbase/internal/storage"
 	"tensorbase/internal/table"
+	"tensorbase/internal/tensor"
 	"tensorbase/internal/udf"
 )
 
@@ -59,6 +60,10 @@ type Options struct {
 	// DisablePredictPipeline forces PREDICT to pull input batches
 	// serially instead of overlapping scan/decode with model compute.
 	DisablePredictPipeline bool
+	// PredictQuantized serves every PREDICT from the model's int8-resident
+	// quantized twin by default, as if each query said OPTIONS (quantized).
+	// Queries over models without a quantized twin fail.
+	PredictQuantized bool
 	// PredictCoalesceWindow is how long a PREDICT leading a cross-query
 	// batch waits for concurrent PREDICTs over the same model to join its
 	// model invocation (default 500µs). The window only opens when at
@@ -142,6 +147,8 @@ type DB struct {
 	mSlowQueries  *obs.Counter
 	mVindexStale  *obs.Counter
 	mQueryLatency *obs.Histogram
+	// mPredictQuantized counts PREDICTs served by an int8-resident twin.
+	mPredictQuantized *obs.Counter
 
 	// gen is the committed catalog generation (see persist.go).
 	gen uint64
@@ -197,6 +204,7 @@ func (db *DB) registerMetrics() {
 	db.mSlowQueries = r.Counter("tensorbase_slow_queries_total", "statements that crossed SlowQueryThreshold")
 	db.mVindexStale = r.Counter("tensorbase_vindex_stale_queries_total", "nearest-neighbour lookups served by a vector index missing newer rows")
 	db.mQueryLatency = r.Histogram("tensorbase_query_seconds", "statement wall time", obs.LatencyBuckets)
+	db.mPredictQuantized = r.Counter("tensorbase_predict_quantized_total", "PREDICTs served by an int8-resident quantized twin")
 
 	r.CounterFunc("tensorbase_pool_hits_total", "buffer pool page hits", func() float64 { return float64(db.pool.Stats().Hits) })
 	r.CounterFunc("tensorbase_pool_misses_total", "buffer pool page misses", func() float64 { return float64(db.pool.Stats().Misses) })
@@ -234,6 +242,10 @@ func (db *DB) registerMetrics() {
 	r.CounterFunc("tensorbase_predict_batches_allhit_total", "batches that skipped the model entirely", func() float64 { return float64(db.inferStats.BatchesAllHit.Load()) })
 	r.CounterFunc("tensorbase_pipeline_fills_total", "producer finished a batch before it was asked", func() float64 { return float64(db.inferStats.PipelineFills.Load()) })
 	r.CounterFunc("tensorbase_pipeline_stalls_total", "consumer waits on the batch producer", func() float64 { return float64(db.inferStats.PipelineStalls.Load()) })
+	r.CounterFunc("tensorbase_predict_colbatches_total", "PREDICT micro-batches decoded columnarly (no per-row copy)", func() float64 { return float64(db.inferStats.ColBatches.Load()) })
+	r.CounterFunc("tensorbase_kernel_serial_runs_total", "matmul kernels run on the caller's goroutine alone", func() float64 { return float64(tensor.Kernels().SerialRuns) })
+	r.CounterFunc("tensorbase_kernel_fanouts_total", "matmul kernels that drew extra workers from the compute budget", func() float64 { return float64(tensor.Kernels().FanOuts) })
+	r.CounterFunc("tensorbase_kernel_q8_calls_total", "int8 GEMM kernel invocations", func() float64 { return float64(tensor.Kernels().Q8Calls) })
 	r.CounterFunc("tensorbase_panics_total", "panics contained as query errors", func() float64 { return float64(db.panics.Load() + db.inferStats.Panics.Load()) })
 
 	r.CounterFunc("tensorbase_predict_coalesced_total", "PREDICT rows that rode another query's model invocation", func() float64 { return float64(db.coalesceStats().CoalescedRows) })
@@ -325,6 +337,13 @@ func (db *DB) EnableOffload(rt *dlruntime.Runtime, minFlopsPerByte float64) {
 // inference UDF, making it available to PREDICT. With Options.ResultCache
 // set, the model also gets an HNSW result cache over its flattened input
 // width, fused into every PREDICT over it.
+//
+// LoadModel also builds the model's int8-resident quantized twin (weights
+// packed int8 + per-channel scales, served by the packed int8 GEMM) and
+// registers it as the "quantized:" UDF behind PREDICT ... OPTIONS
+// (quantized). The twin gets its own result cache and coalescer — quantized
+// predictions differ in bits from f32, so the two modes must never share
+// cached results or model invocations.
 func (db *DB) LoadModel(m *nn.Model, accuracy float64) error {
 	if err := db.cat.RegisterModel(m, accuracy, ""); err != nil {
 		return err
@@ -332,6 +351,29 @@ func (db *DB) LoadModel(m *nn.Model, accuracy float64) error {
 	if err := db.udfs.Register(core.NewAdaptiveUDF(m, db.opt, db.pool, db.budget)); err != nil {
 		return err
 	}
+	if err := db.addServingState(m.Name(), m); err != nil {
+		return err
+	}
+	// A model whose layers cannot be quantized simply has no twin; asking
+	// for OPTIONS (quantized) over it is a query-time error.
+	if q, qerr := nn.QuantizeResident(m); qerr == nil {
+		if err := db.udfs.Register(udf.NewQuantizedUDF(q, m.Name(), db.budget)); err != nil {
+			return err
+		}
+		if err := db.addServingState(quantizedKey(m.Name()), m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// quantizedKey is the cache/coalescer key for a model's quantized serving
+// mode; the NUL cannot appear in a model name, so keys never collide.
+func quantizedKey(model string) string { return model + "\x00q8" }
+
+// addServingState installs the per-(model, mode) serving infrastructure: a
+// result cache when enabled, and a cross-query coalescer unless disabled.
+func (db *DB) addServingState(key string, m *nn.Model) error {
 	if db.opts.ResultCache {
 		dim := 1
 		for _, d := range m.InShape[1:] {
@@ -343,12 +385,12 @@ func (db *DB) LoadModel(m *nn.Model, accuracy float64) error {
 		}
 		rc.SetMaxEntries(db.opts.ResultCacheMaxEntries)
 		db.cmu.Lock()
-		db.caches[m.Name()] = rc
+		db.caches[key] = rc
 		db.cmu.Unlock()
 	}
 	if !db.opts.DisablePredictCoalesce {
 		db.cmu.Lock()
-		db.coalescers[m.Name()] = udf.NewCoalescer(db.opts.PredictCoalesceWindow, 0)
+		db.coalescers[key] = udf.NewCoalescer(db.opts.PredictCoalesceWindow, 0)
 		db.cmu.Unlock()
 	}
 	return nil
@@ -453,6 +495,7 @@ type Stats struct {
 	CacheShared     int64 // rows that joined another request's flight
 	PredictUDFCalls int64 // model batch invocations
 	PredictBatches  int64 // micro-batches processed
+	ColBatches      int64 // micro-batches decoded columnarly
 	BatchesAllHit   int64 // batches that skipped the model entirely
 	PipelineFills   int64 // producer finished a batch before it was asked
 	PipelineStalls  int64 // consumer waited on the producer
@@ -484,6 +527,7 @@ func (db *DB) Stats() Stats {
 		CacheShared:     db.inferStats.Shared.Load(),
 		PredictUDFCalls: db.inferStats.UDFCalls.Load(),
 		PredictBatches:  db.inferStats.Batches.Load(),
+		ColBatches:      db.inferStats.ColBatches.Load(),
 		BatchesAllHit:   db.inferStats.BatchesAllHit.Load(),
 		PipelineFills:   db.inferStats.PipelineFills.Load(),
 		PipelineStalls:  db.inferStats.PipelineStalls.Load(),

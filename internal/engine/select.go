@@ -73,9 +73,25 @@ func (db *DB) runSelect(st *sql.Select, profile bool, tok *lifecycle.Token) (*Re
 		}
 	}
 	if predict != nil {
-		u, ok := db.udfs.Lookup("adaptive:" + predict.Model)
+		// Quantized serving: per-query OPTIONS (quantized) or the engine-wide
+		// default routes to the model's int8-resident twin, with its own
+		// cache/coalescer key — the two modes never share results.
+		quantized := predict.Quantized || db.opts.PredictQuantized
+		udfName, cacheKey := "adaptive:"+predict.Model, predict.Model
+		if quantized {
+			udfName, cacheKey = "quantized:"+predict.Model, quantizedKey(predict.Model)
+		}
+		u, ok := db.udfs.Lookup(udfName)
 		if !ok {
+			if quantized {
+				if _, f32 := db.udfs.Lookup("adaptive:" + predict.Model); f32 {
+					return nil, nil, fmt.Errorf("engine: model %q has no quantized twin", predict.Model)
+				}
+			}
 			return nil, nil, fmt.Errorf("engine: model %q is not loaded", predict.Model)
+		}
+		if quantized {
+			db.mPredictQuantized.Inc()
 		}
 		iopts := []udf.InferOption{udf.WithStats(&db.inferStats), udf.WithCancel(tok)}
 		if !db.opts.DisablePredictPipeline {
@@ -83,10 +99,10 @@ func (db *DB) runSelect(st *sql.Select, profile bool, tok *lifecycle.Token) (*Re
 			// budget; with none free the operator runs serially.
 			iopts = append(iopts, udf.WithPipeline(nil))
 		}
-		if rc, ok := db.ResultCacheFor(predict.Model); ok {
+		if rc, ok := db.ResultCacheFor(cacheKey); ok {
 			iopts = append(iopts, udf.WithCache(rc))
 		}
-		if co, ok := db.coalescerFor(predict.Model); ok {
+		if co, ok := db.coalescerFor(cacheKey); ok {
 			// Concurrent PREDICTs over the same model merge their
 			// cache-miss rows into shared model invocations.
 			iopts = append(iopts, udf.WithCoalescer(co))

@@ -25,6 +25,20 @@ type Operator interface {
 	Close() error
 }
 
+// ColBatcher is implemented by operators that can also produce decoded rows
+// as columnar batches: the feature column of every row lands in the batch's
+// one contiguous Feats buffer (see table.ColBatch), which consumers use
+// directly as a tensor backing array. The PREDICT operator probes its child
+// for this interface at Open and falls back to row-at-a-time Next when the
+// child (a filter, an instrumented wrapper) cannot batch columnarly.
+type ColBatcher interface {
+	Operator
+	// NextColBatch appends rows to cb until it is full or the input is
+	// exhausted, returning the number appended. Fewer rows than cb's free
+	// capacity means end of stream.
+	NextColBatch(cb *table.ColBatch) (int, error)
+}
+
 // Cancellable is implemented by operators whose loops observe a
 // query-cancellation token: scans check per tuple, and the blocking
 // operators (joins, aggregates, sorts) check inside the pipeline-breaking
@@ -132,6 +146,21 @@ func (s *HeapScan) Next() (table.Tuple, bool, error) {
 		return nil, false, fmt.Errorf("exec: HeapScan.Next before Open")
 	}
 	return s.scan.Next()
+}
+
+// NextColBatch implements ColBatcher: one call decodes up to a batch of
+// tuples pinning each heap page once, with the feature column swept into
+// cb's contiguous buffer. Cancellation is observed per batch (a batch is at
+// most cb's capacity, so a cancelled query still stops within one
+// micro-batch).
+func (s *HeapScan) NextColBatch(cb *table.ColBatch) (int, error) {
+	if err := s.tok.Err(); err != nil {
+		return 0, err
+	}
+	if s.scan == nil {
+		return 0, fmt.Errorf("exec: HeapScan.NextColBatch before Open")
+	}
+	return s.scan.NextColumnar(cb)
 }
 
 // Close implements Operator.

@@ -18,7 +18,8 @@ import (
 // TBM1 variant whose tensors are int8 + scale, one quarter the bytes).
 
 // Quantize8 returns a copy of m whose Linear and Conv2D weights are snapped
-// to a symmetric 256-level grid (biases stay exact). The returned model
+// to a symmetric 256-level grid with one scale per output channel (dim-0
+// slice of the weight tensor); biases stay exact. The returned model
 // behaves like the original would after a quantized save/load round trip,
 // so its measured accuracy is the accuracy of the compressed version.
 func Quantize8(m *Model, name string) (*Model, error) {
@@ -40,14 +41,36 @@ func Quantize8(m *Model, name string) (*Model, error) {
 	return NewModel(name, m.InShape, layers...)
 }
 
-// quantizeTensor snaps t to int8 resolution and dequantizes back.
+// quantizeTensor snaps t to int8 resolution per output channel and
+// dequantizes back.
 func quantizeTensor(t *tensor.Tensor) *tensor.Tensor {
-	scale := quantScale(t.Data())
+	scales := channelScales(t)
 	out := tensor.New(t.Shape()...)
+	stride := channelStride(t)
 	for i, v := range t.Data() {
-		out.Data()[i] = float32(quantClamp(v, scale)) * scale
+		s := scales[i/stride]
+		out.Data()[i] = float32(quantClamp(v, s)) * s
 	}
 	return out
+}
+
+// channelStride returns the element count of one dim-0 slice of t — the
+// granularity at which weight scales are kept (one per output channel).
+func channelStride(t *tensor.Tensor) int {
+	if t.Dim(0) == 0 {
+		return 1
+	}
+	return t.Len() / t.Dim(0)
+}
+
+// channelScales returns one symmetric int8 scale per dim-0 slice of t.
+func channelScales(t *tensor.Tensor) []float32 {
+	stride := channelStride(t)
+	scales := make([]float32, t.Dim(0))
+	for c := range scales {
+		scales[c] = quantScale(t.Data()[c*stride : (c+1)*stride])
+	}
+	return scales
 }
 
 // quantScale returns max|x| / 127 (zero-safe).
@@ -80,7 +103,8 @@ func quantClamp(v, scale float32) int8 {
 }
 
 // Quantized model format ("TBQ1"): like TBM1 but weight tensors are stored
-// as a float32 scale plus an int8 payload.
+// as one float32 scale per output channel (dim-0 slice) followed by an int8
+// payload.
 
 const quantMagic = "TBQ1"
 
@@ -106,7 +130,9 @@ func writeQuantLayer(bw *bufio.Writer, l Layer) error {
 	switch l := l.(type) {
 	case *Linear:
 		bw.WriteByte(tagLinear)
-		writeQuantTensor(bw, l.W)
+		if err := writeQuantTensor(bw, l.W); err != nil {
+			return err
+		}
 		hasBias := byte(0)
 		if l.B != nil {
 			hasBias = 1
@@ -117,7 +143,9 @@ func writeQuantLayer(bw *bufio.Writer, l Layer) error {
 		}
 	case *Conv2D:
 		bw.WriteByte(tagConv2D)
-		writeQuantTensor(bw, l.K)
+		if err := writeQuantTensor(bw, l.K); err != nil {
+			return err
+		}
 		im2col := byte(0)
 		if l.UseIm2Col {
 			im2col = 1
@@ -137,36 +165,62 @@ func writeQuantLayer(bw *bufio.Writer, l Layer) error {
 	return nil
 }
 
-func writeQuantTensor(bw *bufio.Writer, t *tensor.Tensor) {
+// writeQuantTensor writes shape | per-channel scales | int8 payload. bufio
+// write errors are sticky, so a single Flush at the end surfaces any of
+// them instead of silently truncating the stream.
+func writeQuantTensor(bw *bufio.Writer, t *tensor.Tensor) error {
 	writeShape(bw, t.Shape())
-	scale := quantScale(t.Data())
+	scales := channelScales(t)
 	var buf [4]byte
-	binary.LittleEndian.PutUint32(buf[:], math.Float32bits(scale))
-	bw.Write(buf[:])
-	for _, v := range t.Data() {
-		bw.WriteByte(byte(quantClamp(v, scale)))
+	for _, s := range scales {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(s))
+		bw.Write(buf[:])
 	}
+	stride := channelStride(t)
+	for i, v := range t.Data() {
+		bw.WriteByte(byte(quantClamp(v, scales[i/stride])))
+	}
+	return bw.Flush()
 }
 
-func readQuantTensor(br *bufio.Reader) (*tensor.Tensor, error) {
+// readQuantTensorRaw reads a quantized tensor without dequantizing: the
+// resident execution path keeps exactly this representation. Payloads are
+// read in bounded chunks (readPayload), so an implausible shape in a
+// corrupt file fails with a read error instead of one huge allocation.
+func readQuantTensorRaw(br *bufio.Reader) (*QuantTensor, error) {
 	shape, err := readShape(br)
 	if err != nil {
 		return nil, err
 	}
-	var buf [4]byte
-	if _, err := io.ReadFull(br, buf[:]); err != nil {
-		return nil, err
+	vol := 1
+	for _, d := range shape {
+		vol *= d
 	}
-	scale := math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
-	t := tensor.New(shape...)
-	payload := make([]byte, t.Len())
-	if _, err := io.ReadFull(br, payload); err != nil {
-		return nil, err
+	sraw, err := readPayload(br, 4*shape[0])
+	if err != nil {
+		return nil, fmt.Errorf("reading %d channel scales: %w", shape[0], err)
 	}
+	scales := make([]float32, shape[0])
+	for i := range scales {
+		scales[i] = math.Float32frombits(binary.LittleEndian.Uint32(sraw[4*i:]))
+	}
+	payload, err := readPayload(br, vol)
+	if err != nil {
+		return nil, fmt.Errorf("reading %d-byte int8 payload: %w", vol, err)
+	}
+	data := make([]int8, vol)
 	for i, b := range payload {
-		t.Data()[i] = float32(int8(b)) * scale
+		data[i] = int8(b)
 	}
-	return t, nil
+	return &QuantTensor{Shape: shape, Scales: scales, Data: data}, nil
+}
+
+func readQuantTensor(br *bufio.Reader) (*tensor.Tensor, error) {
+	qt, err := readQuantTensorRaw(br)
+	if err != nil {
+		return nil, err
+	}
+	return qt.Dequantize(), nil
 }
 
 // LoadQuantized reads a TBQ1 model.

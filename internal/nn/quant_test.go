@@ -69,8 +69,10 @@ func TestQuantize8WeightsOnGrid(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := q.Layers[0].(*Linear).W
-	scale := quantScale(m.Layers[0].(*Linear).W.Data())
+	scales := channelScales(m.Layers[0].(*Linear).W)
+	stride := channelStride(w)
 	for i, v := range w.Data() {
+		scale := scales[i/stride]
 		steps := float64(v / scale)
 		if math.Abs(steps-math.Round(steps)) > 1e-4 {
 			t.Fatalf("weight %d = %v is not on the %v grid", i, v, scale)

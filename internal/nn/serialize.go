@@ -244,16 +244,39 @@ func writeTensor(bw *bufio.Writer, t *tensor.Tensor) {
 	}
 }
 
+// readPayload reads exactly n bytes in bounded chunks. Growing the buffer
+// only as data actually arrives means a corrupt header claiming a huge
+// tensor fails with an EOF after at most one chunk past the real input,
+// instead of allocating the claimed size up front.
+func readPayload(br *bufio.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		start := len(buf)
+		buf = append(buf, make([]byte, min(n-start, chunk))...)
+		if _, err := io.ReadFull(br, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
 func readTensor(br *bufio.Reader) (*tensor.Tensor, error) {
 	shape, err := readShape(br)
 	if err != nil {
 		return nil, err
 	}
-	t := tensor.New(shape...)
-	payload := make([]byte, 4*t.Len())
-	if _, err := io.ReadFull(br, payload); err != nil {
+	vol := 1
+	for _, d := range shape {
+		vol *= d
+	}
+	// Materialise the payload before tensor.New so the allocation is
+	// backed by bytes that actually exist in the input.
+	payload, err := readPayload(br, 4*vol)
+	if err != nil {
 		return nil, err
 	}
+	t := tensor.New(shape...)
 	data := t.Data()
 	for i := range data {
 		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))

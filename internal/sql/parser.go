@@ -32,10 +32,13 @@ type Insert struct {
 
 func (*Insert) stmt() {}
 
-// PredictExpr is `PREDICT(model, featureColumn)`.
+// PredictExpr is `PREDICT(model, featureColumn) [OPTIONS (quantized)]`.
 type PredictExpr struct {
 	Model      string
 	FeatureCol string
+	// Quantized requests the model's int8-resident twin: weights stay
+	// packed int8 and the forward pass runs the quantized GEMM.
+	Quantized bool
 }
 
 // SelectItem is one projection item: `*`, a column, or PREDICT(...).
@@ -398,7 +401,29 @@ func (p *parser) selectItem() (SelectItem, error) {
 		if _, err := p.expect(tokPunct, ")"); err != nil {
 			return SelectItem{}, err
 		}
-		return SelectItem{Predict: &PredictExpr{Model: model.text, FeatureCol: col.text}}, nil
+		pe := &PredictExpr{Model: model.text, FeatureCol: col.text}
+		if p.accept(tokIdent, "OPTIONS") {
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return SelectItem{}, err
+			}
+			for {
+				opt, err := p.expect(tokIdent, "")
+				if err != nil {
+					return SelectItem{}, err
+				}
+				if !strings.EqualFold(opt.text, "quantized") {
+					return SelectItem{}, p.errf("unknown PREDICT option %q", opt.text)
+				}
+				pe.Quantized = true
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return SelectItem{}, err
+			}
+		}
+		return SelectItem{Predict: pe}, nil
 	}
 	return SelectItem{Col: id.text}, nil
 }

@@ -131,6 +131,30 @@ func TestParseSelectPredict(t *testing.T) {
 	}
 }
 
+func TestParseSelectPredictOptions(t *testing.T) {
+	sel := parseSelect(t, "SELECT id, PREDICT(Fraud-FC-256, features) OPTIONS (quantized) FROM txns")
+	p := sel.Items[1].Predict
+	if p == nil || !p.Quantized {
+		t.Fatalf("predict = %+v", p)
+	}
+	if sel.From != "txns" {
+		t.Fatalf("from = %q", sel.From)
+	}
+	// Without the clause the flag stays off; case-insensitive when present.
+	if parseSelect(t, "SELECT PREDICT(m, f) FROM t").Items[0].Predict.Quantized {
+		t.Fatal("Quantized must default to false")
+	}
+	if !parseSelect(t, "SELECT PREDICT(m, f) options (QUANTIZED) FROM t").Items[0].Predict.Quantized {
+		t.Fatal("OPTIONS must parse case-insensitively")
+	}
+	if _, err := Parse("SELECT PREDICT(m, f) OPTIONS (turbo) FROM t"); err == nil {
+		t.Fatal("unknown option must be rejected")
+	}
+	if _, err := Parse("SELECT PREDICT(m, f) OPTIONS () FROM t"); err == nil {
+		t.Fatal("empty OPTIONS must be rejected")
+	}
+}
+
 func TestParseSelectCaseInsensitiveKeywords(t *testing.T) {
 	sel := parseSelect(t, "select id from t where id != 3 limit 1")
 	if sel.Where.Op != "!=" {

@@ -170,10 +170,8 @@ func DecodeInto(s *Schema, rec []byte, t Tuple, scratch []float32) (Tuple, []flo
 			off += sz
 			vec := scratch[used : used+int(n) : used+int(n)]
 			used += int(n)
-			for j := range vec {
-				vec[j] = math.Float32frombits(binary.LittleEndian.Uint32(rec[off:]))
-				off += 4
-			}
+			decodeF32s(vec, rec[off:])
+			off += 4 * int(n)
 			t[i] = VecVal(vec)
 		}
 	}
@@ -181,6 +179,19 @@ func DecodeInto(s *Schema, rec []byte, t Tuple, scratch []float32) (Tuple, []flo
 		return nil, scratch, fmt.Errorf("table: %d trailing bytes after decoding tuple", len(rec)-off)
 	}
 	return t, scratch, nil
+}
+
+// decodeF32s bulk-decodes little-endian float32 payload bytes into dst. The
+// caller has already bounds-checked src against the record (measureVecs);
+// re-slicing src to exactly the payload hoists the per-element checks, so
+// the loop compiles to a straight load/convert/store sweep. This one helper
+// is the decode inner loop for both the row path (DecodeInto) and the
+// columnar path (ColBatch.AppendRecord).
+func decodeF32s(dst []float32, src []byte) {
+	src = src[: 4*len(dst) : 4*len(dst)]
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
 }
 
 // measureVecs walks the record validating field bounds and returns the

@@ -20,6 +20,31 @@ const matmulParallelThreshold = 1 << 18
 // same cores.
 var maxWorkers atomic.Int32
 
+// Process-wide kernel counters, exported through the engine's metrics
+// registry. They count dispatch decisions (fanned-out vs serial) and int8
+// GEMM invocations, not FLOPs.
+var (
+	kernelSerialRuns atomic.Uint64
+	kernelFanOuts    atomic.Uint64
+	kernelQ8Calls    atomic.Uint64
+)
+
+// KernelStats is a snapshot of the kernel dispatch counters.
+type KernelStats struct {
+	SerialRuns uint64 // kernels that ran on the caller's goroutine alone
+	FanOuts    uint64 // kernels that drew extra workers from the shared budget
+	Q8Calls    uint64 // int8 GEMM invocations (MatMulQ8Into)
+}
+
+// Kernels returns the process-wide kernel dispatch counters.
+func Kernels() KernelStats {
+	return KernelStats{
+		SerialRuns: kernelSerialRuns.Load(),
+		FanOuts:    kernelFanOuts.Load(),
+		Q8Calls:    kernelQ8Calls.Load(),
+	}
+}
+
 // SetMaxWorkers caps the number of goroutines a single kernel may fan out
 // to; n <= 0 restores the default (GOMAXPROCS).
 func SetMaxWorkers(n int) {
@@ -48,6 +73,7 @@ func kernelWorkers() int {
 func fanOut(m, work int) (workers int, release func()) {
 	w := kernelWorkers()
 	if work < matmulParallelThreshold || w <= 1 || m <= 1 {
+		kernelSerialRuns.Add(1)
 		return 1, nil
 	}
 	if w > m {
@@ -56,8 +82,10 @@ func fanOut(m, work int) (workers int, release func()) {
 	budget := parallel.Default()
 	extra := budget.TryAcquireUpTo(w - 1)
 	if extra == 0 {
+		kernelSerialRuns.Add(1)
 		return 1, nil
 	}
+	kernelFanOuts.Add(1)
 	return extra + 1, func() { budget.Release(extra) }
 }
 
@@ -95,7 +123,7 @@ func MatMulInto(out, a, b *Tensor) {
 	for i := range out.data {
 		out.data[i] = 0
 	}
-	matmulAdd(out.data, a.data, b.data, m, k, n)
+	matmulAdd(out.data, a.data, b.data, m, k, n, matmulRows)
 }
 
 // MatMulAddInto computes out += a × b — the fused multiply-accumulate the
@@ -105,7 +133,32 @@ func MatMulInto(out, a, b *Tensor) {
 // (m,k) × (k,n) → (m,n).
 func MatMulAddInto(out, a, b *Tensor) {
 	m, k, n := checkMatMulShapes(out, a, b)
-	matmulAdd(out.data, a.data, b.data, m, k, n)
+	matmulAdd(out.data, a.data, b.data, m, k, n, matmulRows)
+}
+
+// sparseSkipFraction is the zero fraction of a above which the adaptive
+// dispatch prefers the zero-skipping kernel over the dense unrolled one.
+const sparseSkipFraction = 0.5
+
+// MatMulAddAutoInto computes out += a × b like MatMulAddInto, but first
+// samples a's zero fraction and dispatches to a zero-skipping kernel when
+// more than half of a is zero — the deduplicated/padded tensor blocks the
+// blocked execution path produces. The dispatch depends only on a's
+// contents, so parallel and serial execution still pick the same kernel and
+// remain bit-identical.
+func MatMulAddAutoInto(out, a, b *Tensor) {
+	m, k, n := checkMatMulShapes(out, a, b)
+	zeros := 0
+	for _, v := range a.data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	rows := matmulRows
+	if float64(zeros) > sparseSkipFraction*float64(len(a.data)) {
+		rows = matmulRowsSparse
+	}
+	matmulAdd(out.data, a.data, b.data, m, k, n, rows)
 }
 
 func checkMatMulShapes(out, a, b *Tensor) (m, k, n int) {
@@ -123,23 +176,64 @@ func checkMatMulShapes(out, a, b *Tensor) (m, k, n int) {
 	return m, k, n
 }
 
-// matmulAdd accumulates a×b into out, fanning out across row bands when the
-// problem is large enough. Row bands write disjoint rows of out, so the
-// parallel result is bit-identical to the serial one.
-func matmulAdd(out, a, b []float32, m, k, n int) {
+// matmulAdd accumulates a×b into out via rows, fanning out across row bands
+// when the problem is large enough. Row bands write disjoint rows of out, so
+// the parallel result is bit-identical to the serial one.
+func matmulAdd(out, a, b []float32, m, k, n int, rows func(out, a, b []float32, r0, r1, k, n int)) {
 	workers, release := fanOut(m, m*k*n)
 	if workers == 1 {
-		matmulRows(out, a, b, 0, m, k, n)
+		rows(out, a, b, 0, m, k, n)
 		return
 	}
 	defer release()
 	bandLoop(m, workers, func(r0, r1 int) {
-		matmulRows(out, a, b, r0, r1, k, n)
+		rows(out, a, b, r0, r1, k, n)
 	})
 }
 
-// matmulRows accumulates rows [r0,r1) of the product into out.
+// axpyUnrolled computes orow[j] += av*brow[j] over min(len(orow), len(brow))
+// elements — the shared i-k-j inner loop. The 8-wide unroll works on
+// constant-length subslices so the compiler proves all eight accesses in
+// bounds from one slice operation; per-element accumulation order is
+// unchanged from the scalar loop, keeping results bit-identical.
+func axpyUnrolled(orow, brow []float32, av float32) {
+	n := min(len(orow), len(brow))
+	j := 0
+	for ; j+8 <= n; j += 8 {
+		o := orow[j : j+8 : j+8]
+		r := brow[j : j+8 : j+8]
+		o[0] += av * r[0]
+		o[1] += av * r[1]
+		o[2] += av * r[2]
+		o[3] += av * r[3]
+		o[4] += av * r[4]
+		o[5] += av * r[5]
+		o[6] += av * r[6]
+		o[7] += av * r[7]
+	}
+	for ; j < n; j++ {
+		orow[j] += av * brow[j]
+	}
+}
+
+// matmulRows accumulates rows [r0,r1) of the product into out: the dense
+// micro-kernel. Unlike the seed kernel it does not test every a element for
+// zero — the branch cost more than the multiply on dense activations.
 func matmulRows(out, a, b []float32, r0, r1, k, n int) {
+	for i := r0; i < r1; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for p, av := range arow {
+			axpyUnrolled(orow, b[p*n:(p+1)*n], av)
+		}
+	}
+}
+
+// matmulRowsSparse is the zero-skipping variant of matmulRows, profitable
+// only when a is mostly zeros (MatMulAddAutoInto decides). Skipping av == 0
+// instead of adding av*bv can differ from the dense kernel only in the sign
+// of zeros and for non-finite b values.
+func matmulRowsSparse(out, a, b []float32, r0, r1, k, n int) {
 	for i := r0; i < r1; i++ {
 		arow := a[i*k : (i+1)*k]
 		orow := out[i*n : (i+1)*n]
@@ -147,10 +241,7 @@ func matmulRows(out, a, b []float32, r0, r1, k, n int) {
 			if av == 0 {
 				continue
 			}
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
+			axpyUnrolled(orow, b[p*n:(p+1)*n], av)
 		}
 	}
 }
@@ -179,19 +270,60 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	return out
 }
 
+// matmulTransBRows computes rows [r0,r1) of a × bᵀ. The micro-kernel blocks
+// four output columns per pass — one read of the a row feeds four
+// independent dot-product accumulators, which hides the float-add latency
+// chain the seed's single-accumulator loop serialised on — and each dot
+// product unrolls four k steps. Accumulation order differs from the seed
+// kernel (a tolerance-level fp difference, not a correctness one); parallel
+// row bands still run this exact kernel, so parallel-vs-serial stays
+// bit-identical.
 func matmulTransBRows(out, a, b []float32, r0, r1, k, n int) {
 	for i := r0; i < r1; i++ {
-		arow := a[i*k : (i+1)*k]
-		orow := out[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b[j*k : (j+1)*k]
-			var sum float32
+		arow := a[i*k : (i+1)*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[j*k : (j+1)*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k : (j+4)*k]
+			var s0, s1, s2, s3 float32
 			for p, av := range arow {
-				sum += av * brow[p]
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
 			}
-			orow[j] = sum
+			orow[j] = s0
+			orow[j+1] = s1
+			orow[j+2] = s2
+			orow[j+3] = s3
+		}
+		for ; j < n; j++ {
+			orow[j] = dotUnrolled(arow, b[j*k:(j+1)*k:(j+1)*k])
 		}
 	}
+}
+
+// dotUnrolled is the tail-column dot product: four partial accumulators
+// over a 4-wide k unroll, summed pairwise at the end.
+func dotUnrolled(x, y []float32) float32 {
+	k := min(len(x), len(y))
+	var s0, s1, s2, s3 float32
+	p := 0
+	for ; p+4 <= k; p += 4 {
+		xs := x[p : p+4 : p+4]
+		ys := y[p : p+4 : p+4]
+		s0 += xs[0] * ys[0]
+		s1 += xs[1] * ys[1]
+		s2 += xs[2] * ys[2]
+		s3 += xs[3] * ys[3]
+	}
+	for ; p < k; p++ {
+		s0 += x[p] * y[p]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // AddInto computes out[i] += add[i] elementwise; shapes must match.

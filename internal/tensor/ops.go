@@ -7,10 +7,13 @@ import (
 
 // ReLUInto applies max(0,x) elementwise in place and returns t.
 func ReLUInto(t *Tensor) *Tensor {
+	// Branchless: clear the word when the sign bit is set. Activation signs
+	// are data-dependent coin flips, so the obvious `if v < 0` mispredicts
+	// its way through every post-GEMM sweep; the mask form runs at memory
+	// speed. (−0 maps to +0, which compares equal everywhere it matters.)
 	for i, v := range t.data {
-		if v < 0 {
-			t.data[i] = 0
-		}
+		b := math.Float32bits(v)
+		t.data[i] = math.Float32frombits(b &^ uint32(int32(b)>>31))
 	}
 	return t
 }

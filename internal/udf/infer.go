@@ -53,6 +53,7 @@ type InferStats struct {
 	// Batch outcomes.
 	Batches       atomic.Int64 // batches processed
 	BatchesAllHit atomic.Int64 // batches that skipped the model entirely
+	ColBatches    atomic.Int64 // batches decoded columnarly (no per-row copy)
 
 	// Pipeline health: Fills counts batches the producer finished before
 	// the consumer asked (pipeline full, compute-bound); Stalls counts
@@ -76,6 +77,7 @@ func (s *InferStats) AddTo(sink *InferStats) {
 	sink.UDFRows.Add(s.UDFRows.Load())
 	sink.Batches.Add(s.Batches.Load())
 	sink.BatchesAllHit.Add(s.BatchesAllHit.Load())
+	sink.ColBatches.Add(s.ColBatches.Load())
 	sink.PipelineFills.Add(s.PipelineFills.Load())
 	sink.PipelineStalls.Add(s.PipelineStalls.Load())
 	sink.Panics.Add(s.Panics.Load())
@@ -136,6 +138,7 @@ type InferOp struct {
 	cache     *cache.ResultCache
 	pipeline  bool
 	budget    *parallel.Budget
+	colSrc    exec.ColBatcher // non-nil when the child can batch columnarly
 	tok       *lifecycle.Token
 	co        *Coalescer  // cross-query invocation coalescer (per model)
 	coEntered bool        // this Open registered with the coalescer
@@ -222,6 +225,14 @@ func (o *InferOp) Open() error {
 	if err := o.in.Open(); err != nil {
 		return err
 	}
+	// Columnar fast path: a child that can decode straight into a batch's
+	// contiguous feature buffer saves one pass and one copy per row. The
+	// probe re-runs every Open, so a rewired child (e.g. wrapped by the
+	// profiler's Instrumented operator) falls back to the row path.
+	o.colSrc = nil
+	if cs, ok := o.in.(exec.ColBatcher); ok {
+		o.colSrc = cs
+	}
 	if o.co != nil && !o.coEntered {
 		o.co.Enter()
 		o.coEntered = true
@@ -282,8 +293,12 @@ func (o *InferOp) pullSafe() (b *inferBatch) {
 }
 
 // pull reads up to batch tuples from the child and flattens their feature
-// vectors into one dense slice.
+// vectors into one dense slice — columnarly (one bulk decode per batch) when
+// the child supports it, row by row otherwise.
 func (o *InferOp) pull() *inferBatch {
+	if o.colSrc != nil {
+		return o.pullColumnar()
+	}
 	b := &inferBatch{}
 	for len(b.tuples) < o.batch {
 		if err := o.tok.Err(); err != nil {
@@ -311,6 +326,39 @@ func (o *InferOp) pull() *inferBatch {
 		}
 		b.feats = append(b.feats, vec...)
 		b.tuples = append(b.tuples, t)
+	}
+	return b
+}
+
+// pullColumnar fills a fresh ColBatch from the columnar child: the feature
+// column of every record is decoded directly into the batch's contiguous
+// buffer, which becomes b.feats — the input tensor's backing array — with no
+// per-row copy. The batch is freshly allocated per call because emitted
+// tuples alias its buffers.
+func (o *InferOp) pullColumnar() *inferBatch {
+	b := &inferBatch{}
+	if err := o.tok.Err(); err != nil {
+		b.err = err
+		return b
+	}
+	cb, err := table.NewColBatch(o.in.Schema(), o.featIdx, o.batch)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	n, err := o.colSrc.NextColBatch(cb)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	if n < o.batch {
+		b.eof = true
+	}
+	if n > 0 {
+		o.stats.ColBatches.Add(1)
+		b.tuples = cb.Tuples
+		b.feats = cb.Feats
+		b.width = cb.Width
 	}
 	return b
 }

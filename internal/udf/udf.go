@@ -92,6 +92,54 @@ func (u *ModelUDF) Apply(in *tensor.Tensor) (out *tensor.Tensor, err error) {
 	return u.model.Forward(in), nil
 }
 
+// QuantizedUDF fuses the int8-resident twin of a model (see
+// nn.QuantizeResident) into a single UDF: weights stay packed int8, each
+// batch's activations quantize per row on entry, and the forward pass runs
+// the packed int8 GEMM. Per-row activation scales keep its outputs
+// batch-composition independent, so caching and coalescing work unchanged.
+type QuantizedUDF struct {
+	model  *nn.Model // the resident quantized twin
+	owner  string    // the source model's name (registry key suffix)
+	budget *memlimit.Budget
+}
+
+// NewQuantizedUDF wraps the quantized twin q of the model named owner,
+// charged against budget (nil means unlimited).
+func NewQuantizedUDF(q *nn.Model, owner string, budget *memlimit.Budget) *QuantizedUDF {
+	if budget == nil {
+		budget = memlimit.Unlimited()
+	}
+	return &QuantizedUDF{model: q, owner: owner, budget: budget}
+}
+
+// Name implements UDF.
+func (u *QuantizedUDF) Name() string { return "quantized:" + u.owner }
+
+// Model returns the resident quantized twin.
+func (u *QuantizedUDF) Model() *nn.Model { return u.model }
+
+// Apply implements UDF with the same reservation and panic-containment
+// contract as ModelUDF.Apply; the peak-footprint estimate reflects the
+// quantized layers' smaller resident weights.
+func (u *QuantizedUDF) Apply(in *tensor.Tensor) (out *tensor.Tensor, err error) {
+	batch := in.Dim(0)
+	peak, merr := u.model.MaxOpBytes(batch)
+	if merr != nil {
+		return nil, fmt.Errorf("udf: %s: %w", u.Name(), merr)
+	}
+	res, rerr := u.budget.TryReserve(peak)
+	if rerr != nil {
+		return nil, fmt.Errorf("udf: %s batch %d: %w", u.Name(), batch, rerr)
+	}
+	defer res.Close()
+	defer func() {
+		if perr := lifecycle.AsError(recover()); perr != nil {
+			out, err = nil, fmt.Errorf("udf: %s: %w", u.Name(), perr)
+		}
+	}()
+	return u.model.Forward(in), nil
+}
+
 // OperatorUDF wraps a single model operator as a fine-grained UDF.
 type OperatorUDF struct {
 	layer  nn.Layer

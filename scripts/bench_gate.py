@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Parse `go test -bench` output into a benchmark JSON artifact and gate
+the quantized PREDICT path.
+
+Usage: bench_gate.py <bench-output.txt> <out.json>
+
+Collects every benchmark line (several -count repetitions per name), keeps
+the full run list plus the best (minimum) ns/op — the minimum is the
+stable statistic on a noisy shared runner, since scheduler interference
+only ever adds time. The gate: BenchmarkQuantizedPredict/quantized's best
+run must beat BenchmarkQuantizedPredict/f32's best run, i.e. serving the
+int8-resident twin must be faster than f32 serving end-to-end on the
+Fraud-FC-256 workload. Exits non-zero (after writing the JSON, so the
+artifact survives for inspection) when the gate fails or the gate
+benchmarks are missing.
+"""
+import json
+import re
+import sys
+
+# "BenchmarkQuantizedPredict/f32-4   44   5562608 ns/op   184086 rows/s"
+LINE = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$")
+EXTRA = re.compile(r"([\d.]+) ([\w./]+)")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} <bench-output.txt> <out.json>")
+    src, dst = sys.argv[1], sys.argv[2]
+    runs = {}
+    with open(src) as f:
+        for line in f:
+            m = LINE.match(line.strip())
+            if not m:
+                continue
+            name, ns, rest = m.group(1), float(m.group(3)), m.group(4)
+            entry = runs.setdefault(name, {"runs_ns_per_op": [], "metrics": {}})
+            entry["runs_ns_per_op"].append(ns)
+            for val, unit in EXTRA.findall(rest):
+                if unit != "ns/op":
+                    entry["metrics"].setdefault(unit, []).append(float(val))
+    for entry in runs.values():
+        entry["best_ns_per_op"] = min(entry["runs_ns_per_op"])
+
+    f32 = runs.get("BenchmarkQuantizedPredict/f32")
+    q8 = runs.get("BenchmarkQuantizedPredict/quantized")
+    gate = None
+    if f32 and q8:
+        gate = {
+            "f32_best_ns_per_op": f32["best_ns_per_op"],
+            "quantized_best_ns_per_op": q8["best_ns_per_op"],
+            "speedup": f32["best_ns_per_op"] / q8["best_ns_per_op"],
+            "pass": q8["best_ns_per_op"] < f32["best_ns_per_op"],
+        }
+
+    with open(dst, "w") as f:
+        json.dump({"benchmarks": runs, "quantized_gate": gate}, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    if gate is None:
+        sys.exit("bench_gate: BenchmarkQuantizedPredict/{f32,quantized} runs missing from input")
+    print(
+        "bench_gate: quantized %.0f ns/op vs f32 %.0f ns/op (%.2fx)"
+        % (gate["quantized_best_ns_per_op"], gate["f32_best_ns_per_op"], gate["speedup"])
+    )
+    if not gate["pass"]:
+        sys.exit("bench_gate: FAIL — quantized PREDICT must be faster than f32 end-to-end")
+
+
+if __name__ == "__main__":
+    main()
