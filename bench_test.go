@@ -19,7 +19,10 @@ import (
 	"math/rand"
 	"path/filepath"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"bytes"
 
@@ -831,5 +834,87 @@ func BenchmarkQuantizedPredict(b *testing.B) {
 	})
 	b.Run("quantized", func(b *testing.B) {
 		run(b, fmt.Sprintf("SELECT id, PREDICT(%s, features) OPTIONS (quantized) FROM txns", model.Name()))
+	})
+}
+
+// BenchmarkSnapshotReadUnderWrites measures the lock-free serving path:
+// PREDICT over a snapshot-pinned scan, with and without a concurrent
+// writer appending batches. Under the old two-phase locking path the
+// writer's exclusive lock serialized every read behind it; with MVCC
+// snapshot reads the two sub-benchmarks should be within noise of each
+// other (the CI gate requires underwrites ≥ 0.8× readonly throughput).
+// LIMIT pins the per-query work so writer-grown tables don't skew ns/op.
+func BenchmarkSnapshotReadUnderWrites(b *testing.B) {
+	const nRows, hidden, scanLimit = 2048, 32, 1024
+	d := data.Fraud(17, nRows)
+	rng := rand.New(rand.NewSource(18))
+	model := nn.FraudFC(rng, hidden)
+	query := fmt.Sprintf("SELECT id, PREDICT(%s, features) FROM txns LIMIT %d", model.Name(), scanLimit)
+
+	open := func(b *testing.B) (*engine.DB, []table.Tuple) {
+		b.Helper()
+		db, err := engine.Open(filepath.Join(b.TempDir(), "bench.db"), engine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { db.Close() })
+		rows, schema, err := d.FeatureRows()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.CreateTable("txns", schema); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.InsertRows("txns", rows); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.LoadModel(model, 0); err != nil {
+			b.Fatal(err)
+		}
+		return db, rows
+	}
+
+	read := func(b *testing.B, db *engine.DB) {
+		if _, err := db.Exec(query); err != nil { // warm the pool
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := db.Exec(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != scanLimit {
+				b.Fatalf("rows = %d", len(res.Rows))
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)*scanLimit/b.Elapsed().Seconds(), "rows/s")
+	}
+
+	b.Run("readonly", func(b *testing.B) {
+		db, _ := open(b)
+		read(b, db)
+	})
+	b.Run("underwrites", func(b *testing.B) {
+		db, rows := open(b)
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// A steady writer, throttled so it contends without saturating
+			// the single CI core: 64-row committed batches, ~5ms apart.
+			for !stop.Load() {
+				if _, err := db.InsertRows("txns", rows[:64]); err != nil {
+					b.Error(err)
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+		read(b, db)
+		stop.Store(true)
+		wg.Wait()
 	})
 }

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"time"
+
+	"tensorbase/internal/lockmgr"
+)
+
+// Checkpoint folds the WAL into the base state: flush every dirty page,
+// sync the database file, commit the catalog (the meta rename names the
+// flushed pages, the free list, and the checkpoint's recovery inputs), and
+// only then truncate the log. A crash at any point recovers to either the
+// previous checkpoint plus the full WAL, or the new checkpoint plus an
+// empty one — the meta rename is the sole commit point.
+//
+// The checkpoint quiesces writers the same way Close does: the DDL latch
+// first, then every table's exclusive lock in the manager's canonical
+// order. Lock-free readers are unaffected — their snapshots read pages the
+// flush does not mutate. Writers blocking for the duration is what makes
+// the truncate safe: no commit can land in the log between the meta rename
+// and the truncate and be lost.
+func (db *DB) Checkpoint() error {
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	ddl, err := db.locks.Acquire(nil, lockmgr.Request{DDL: true})
+	if err != nil {
+		return err
+	}
+	defer ddl.Release()
+	tls := make([]lockmgr.TableLock, 0)
+	for _, name := range db.cat.Tables() {
+		tls = append(tls, lockmgr.TableLock{Table: name, Mode: lockmgr.Exclusive})
+	}
+	held, err := db.locks.Acquire(nil, lockmgr.Request{Tables: tls})
+	if err != nil {
+		return err
+	}
+	defer held.Release()
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := db.disk.Sync(); err != nil {
+		return err
+	}
+	if err := db.saveCatalog(); err != nil {
+		return err
+	}
+	if err := db.wal.Truncate(); err != nil {
+		return err
+	}
+	db.checkpoints.Add(1)
+	return nil
+}
+
+// startCheckpointer runs the background checkpointer: a 1-second poll that
+// fires a checkpoint when the configured interval has elapsed or the WAL
+// has grown past the size trigger. Errors are not fatal — the next poll
+// retries, and the WAL keeps accumulating (bounded only by disk) until a
+// checkpoint succeeds.
+func (db *DB) startCheckpointer() {
+	interval := db.opts.CheckpointInterval
+	sizeTrigger := db.opts.CheckpointWALBytes
+	if interval <= 0 && sizeTrigger <= 0 {
+		return
+	}
+	poll := time.Second
+	if interval > 0 && interval < poll {
+		poll = interval
+	}
+	db.ckptStop = make(chan struct{})
+	db.ckptDone = make(chan struct{})
+	go func() {
+		defer close(db.ckptDone)
+		ticker := time.NewTicker(poll)
+		defer ticker.Stop()
+		var sinceLast time.Duration
+		for {
+			select {
+			case <-db.ckptStop:
+				return
+			case <-ticker.C:
+			}
+			sinceLast += poll
+			due := interval > 0 && sinceLast >= interval
+			if sizeTrigger > 0 && db.wal.Size() >= uint64(sizeTrigger) {
+				due = true
+			}
+			if !due {
+				continue
+			}
+			sinceLast = 0
+			db.Checkpoint() //nolint:errcheck // retried next poll
+		}
+	}()
+}
+
+// stopCheckpointer stops the background checkpointer and waits for an
+// in-flight checkpoint to finish. Safe to call twice (Crash then Close).
+func (db *DB) stopCheckpointer() {
+	if db.ckptStop == nil {
+		return
+	}
+	db.ckptOnce.Do(func() { close(db.ckptStop) })
+	<-db.ckptDone
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"tensorbase/internal/table"
 	"tensorbase/internal/tensor"
 	"tensorbase/internal/udf"
+	"tensorbase/internal/wal"
 )
 
 // Options configures an engine instance.
@@ -87,6 +89,17 @@ type Options struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryLog is where slow-query lines go (default os.Stderr).
 	SlowQueryLog io.Writer
+	// CheckpointInterval runs the background checkpointer (flush pages,
+	// commit the catalog, truncate the WAL) on a timer. 0 disables the
+	// timer; the WAL-size trigger below still applies.
+	CheckpointInterval time.Duration
+	// CheckpointWALBytes triggers a checkpoint once the WAL grows past
+	// this size (default 64 MiB; negative disables the size trigger).
+	CheckpointWALBytes int64
+	// Faults installs a fault injector before Open-time recovery runs, so
+	// tests can schedule crashes inside WAL replay (see SetFaults for
+	// points installed after Open).
+	Faults *fault.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +108,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.InferBatch <= 0 {
 		o.InferBatch = 256
+	}
+	if o.CheckpointWALBytes == 0 {
+		o.CheckpointWALBytes = 64 << 20
 	}
 	return o
 }
@@ -154,14 +170,48 @@ type DB struct {
 	gen uint64
 	// faults injects crashes into catalog persistence (tests only).
 	faults *fault.Injector
+
+	// The lock-free serving substrate (see txn.go / recovery.go /
+	// checkpoint.go): the write-ahead log, the commit-sequence-number
+	// allocator, and the atomically published committed horizon that read
+	// statements pin their snapshots to.
+	wal          *wal.Log
+	csnMu        sync.Mutex // guards nextCSN
+	nextCSN      uint64
+	committedCSN atomic.Uint64
+	pubMu        sync.Mutex // guards in-order CSN publication
+	pubCond      *sync.Cond
+
+	// Background checkpointer lifecycle and counters.
+	ckptMu      sync.Mutex // one checkpoint at a time
+	ckptStop    chan struct{}
+	ckptDone    chan struct{}
+	ckptOnce    sync.Once // stopCheckpointer is called by Crash and Close
+	checkpoints atomic.Uint64
+	crashed     atomic.Bool
+
+	// mSnapshotReads counts read statements served lock-free off a
+	// pinned snapshot.
+	mSnapshotReads *obs.Counter
+
+	// ckptInfo carries the last checkpoint's recovery inputs from
+	// loadCatalog to recover (nil on a fresh database or a v1 meta).
+	ckptInfo *checkpointInfo
 }
 
 // Open creates or opens the database file at path, restoring the catalog
-// (tables and models) written by the last clean Close.
+// written by the last checkpoint and replaying the write-ahead log: every
+// statement whose commit record reached the log before the crash is
+// restored; uncommitted work is discarded (see recovery.go).
 func Open(path string, opts Options) (*DB, error) {
 	opts = opts.withDefaults()
 	disk, err := storage.OpenDisk(path)
 	if err != nil {
+		return nil, err
+	}
+	wlog, err := wal.Open(path+".wal", opts.Faults)
+	if err != nil {
+		disk.Close()
 		return nil, err
 	}
 	db := &DB{
@@ -177,7 +227,10 @@ func Open(path string, opts Options) (*DB, error) {
 		caches:     make(map[string]*cache.ResultCache),
 		coalescers: make(map[string]*udf.Coalescer),
 		reg:        obs.NewRegistry(),
+		wal:        wlog,
+		faults:     opts.Faults,
 	}
+	db.pubCond = sync.NewCond(&db.pubMu)
 	db.registerMetrics()
 	if opts.SlowQueryThreshold > 0 {
 		w := opts.SlowQueryLog
@@ -187,9 +240,16 @@ func Open(path string, opts Options) (*DB, error) {
 		db.slow = obs.NewSlowLog(w, opts.SlowQueryThreshold, db.mSlowQueries)
 	}
 	if err := db.loadCatalog(); err != nil {
+		wlog.Close()
 		disk.Close()
 		return nil, err
 	}
+	if err := db.recover(); err != nil {
+		wlog.Close()
+		disk.Close()
+		return nil, fmt.Errorf("engine: WAL recovery: %w", err)
+	}
+	db.startCheckpointer()
 	return db, nil
 }
 
@@ -261,6 +321,18 @@ func (db *DB) registerMetrics() {
 	r.CounterFunc("tensorbase_disk_page_reuses_total", "allocations served from the free list", func() float64 { _, ru, _ := db.disk.FreeStats(); return float64(ru) })
 	r.GaugeFunc("tensorbase_disk_free_pages", "pages currently on the free list", func() float64 { _, _, n := db.disk.FreeStats(); return float64(n) })
 
+	db.mSnapshotReads = r.Counter("tensorbase_snapshot_reads_total", "read statements served lock-free off a pinned MVCC snapshot")
+	r.CounterFunc("tensorbase_wal_appends_total", "WAL records appended", func() float64 { return float64(db.wal.Stats().Appends) })
+	r.CounterFunc("tensorbase_wal_bytes_total", "WAL bytes appended (framed)", func() float64 { return float64(db.wal.Stats().Bytes) })
+	r.CounterFunc("tensorbase_wal_fsyncs_total", "WAL fsyncs issued", func() float64 { return float64(db.wal.Stats().Syncs) })
+	r.CounterFunc("tensorbase_wal_fsync_waits_total", "commits that rode another commit's fsync (group-commit numerator)", func() float64 { return float64(db.wal.Stats().SyncWaits) })
+	r.CounterFunc("tensorbase_wal_commits_total", "statement commits made durable through the WAL", func() float64 { return float64(db.wal.Stats().Commits) })
+	r.CounterFunc("tensorbase_wal_replayed_records_total", "WAL records replayed by recovery", func() float64 { return float64(db.wal.Stats().Replayed) })
+	r.CounterFunc("tensorbase_wal_truncates_total", "WAL truncations by checkpoints", func() float64 { return float64(db.wal.Stats().Truncates) })
+	r.CounterFunc("tensorbase_checkpoints_total", "checkpoints completed", func() float64 { return float64(db.checkpoints.Load()) })
+	r.GaugeFunc("tensorbase_wal_bytes", "current WAL length", func() float64 { return float64(db.wal.Size()) })
+	r.GaugeFunc("tensorbase_committed_csn", "latest published commit sequence number", func() float64 { return float64(db.committedCSN.Load()) })
+
 	r.GaugeFunc("tensorbase_compute_tokens_total", "process-wide compute token budget", func() float64 { return float64(parallel.Default().Total()) })
 	r.GaugeFunc("tensorbase_compute_tokens_in_use", "compute tokens currently held", func() float64 { return float64(parallel.Default().InUse()) })
 	r.GaugeFunc("tensorbase_compute_tokens_highwater", "peak compute tokens simultaneously held", func() float64 { return float64(parallel.Default().HighWater()) })
@@ -274,21 +346,29 @@ func (db *DB) Registry() *obs.Registry { return db.reg }
 func (db *DB) Metrics() obs.Snapshot { return db.reg.Snapshot() }
 
 // SetFaults installs a fault injector on catalog persistence (the
-// "persist.*" points; see persist.go). Tests only.
-func (db *DB) SetFaults(inj *fault.Injector) { db.faults = inj }
+// "persist.*" points; see persist.go) and on the write-ahead log (the
+// "wal.*" points). Tests only; use Options.Faults to also cover Open-time
+// recovery.
+func (db *DB) SetFaults(inj *fault.Injector) {
+	db.faults = inj
+	db.wal.SetFaults(inj)
+}
 
-// Close flushes dirty pages, commits the catalog, and closes the database.
+// Close runs a final checkpoint (flush dirty pages, commit the catalog,
+// truncate the WAL) and closes the database.
 //
 // Ordering matters: page data must reach the file (and be synced) BEFORE
 // the catalog commit that names those pages. Committing first would let a
 // crash between the commit and the flush leave a catalog referencing page
 // contents that never made it to disk. The meta-file rename inside
 // saveCatalog is the sole commit point; if the flush or sync fails, the
-// previous catalog generation stays committed.
+// previous catalog generation stays committed — and the WAL, which is only
+// truncated after the rename, still replays everything committed since it.
 func (db *DB) Close() error {
+	db.stopCheckpointer()
 	// Quiesce: the DDL latch first (no table can appear or vanish under
 	// us), then an exclusive lock on every table — waits out in-flight
-	// statements and blocks new ones for the duration. Same DDL-then-tables
+	// writers and blocks new ones for the duration. Same DDL-then-tables
 	// order every statement uses, so this cannot deadlock against them.
 	if ddl, lerr := db.locks.Acquire(nil, lockmgr.Request{DDL: true}); lerr == nil {
 		defer ddl.Release()
@@ -300,6 +380,14 @@ func (db *DB) Close() error {
 	if held, lerr := db.locks.Acquire(nil, lockmgr.Request{Tables: tls}); lerr == nil {
 		defer held.Release()
 	}
+	// Lock-free readers hold no table locks; drain each heap's read gate
+	// so in-flight read statements finish before the file closes.
+	for _, name := range db.cat.Tables() {
+		if te, terr := db.cat.Table(name); terr == nil {
+			te.Heap.Drain()
+			defer te.Heap.Release()
+		}
+	}
 	err := db.pool.FlushAll()
 	if err == nil {
 		err = db.disk.Sync()
@@ -307,6 +395,29 @@ func (db *DB) Close() error {
 	if err == nil {
 		err = db.saveCatalog()
 	}
+	if err == nil {
+		err = db.wal.Truncate()
+	}
+	if werr := db.wal.Close(); err == nil {
+		err = werr
+	}
+	if cerr := db.disk.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Crash abandons the database without flushing, syncing, or committing —
+// the crash tests' stand-in for kill -9: dirty pages in the buffer pool,
+// the unsynced WAL tail, and the in-memory catalog are all lost; whatever
+// the last checkpoint and the synced WAL prefix describe is what a
+// subsequent Open recovers.
+func (db *DB) Crash() error {
+	if !db.crashed.CompareAndSwap(false, true) {
+		return nil
+	}
+	db.stopCheckpointer()
+	err := db.wal.Abandon()
 	if cerr := db.disk.Close(); err == nil {
 		err = cerr
 	}
@@ -344,7 +455,63 @@ func (db *DB) EnableOffload(rt *dlruntime.Runtime, minFlopsPerByte float64) {
 // (quantized). The twin gets its own result cache and coalescer — quantized
 // predictions differ in bits from f32, so the two modes must never share
 // cached results or model invocations.
+//
+// The load is durable: the model file is written (tmp + fsync + rename)
+// into the models directory before a WAL record commits the load, so a
+// crash at any later point replays it. If the durability step itself fails
+// the model stays registered in memory — still served, and persisted by
+// the next successful checkpoint — but LoadModel reports the error.
 func (db *DB) LoadModel(m *nn.Model, accuracy float64) error {
+	held, err := db.locks.Acquire(nil, lockmgr.Request{DDL: true})
+	if err != nil {
+		return err
+	}
+	defer held.Release()
+	if err := db.registerModel(m, accuracy); err != nil {
+		return err
+	}
+	// A model whose layers cannot be serialised (synthetic test layers,
+	// runtime-only ops) stays memory-resident — served until Close, exactly
+	// the pre-WAL contract — rather than poisoning the log with a load no
+	// recovery could replay.
+	if err := nn.Save(io.Discard, m); err != nil {
+		return nil
+	}
+	csn := db.beginCSN()
+	if err := db.commitModelLoad(m, accuracy, csn); err != nil {
+		db.abortCSN(csn)
+		return fmt.Errorf("engine: model %q is registered but its load did not commit durably: %w", m.Name(), err)
+	}
+	db.publishCSN(csn)
+	return nil
+}
+
+// commitModelLoad writes the model file durably under a WAL-generation
+// name and commits the load through the log.
+func (db *DB) commitModelLoad(m *nn.Model, accuracy float64, csn uint64) error {
+	if err := os.MkdirAll(db.modelsDir(), 0o755); err != nil {
+		return fmt.Errorf("engine: creating models dir: %w", err)
+	}
+	file := filepath.Join(db.modelsDir(), fmt.Sprintf("wal-%08d.tbm", csn))
+	if err := db.saveModelDurable(file, m); err != nil {
+		return err
+	}
+	if err := syncDir(db.modelsDir()); err != nil {
+		return err
+	}
+	if _, err := db.wal.Append(&wal.Record{
+		Type: wal.RecLoadModel, CSN: csn,
+		Model: m.Name(), File: file, Acc: accuracy,
+	}); err != nil {
+		return err
+	}
+	return db.wal.Commit(csn)
+}
+
+// registerModel installs a model in memory only: the catalog entry, the
+// adaptive and quantized UDFs, and the serving state. loadCatalog and WAL
+// replay call it directly — their durability is the meta file and the log.
+func (db *DB) registerModel(m *nn.Model, accuracy float64) error {
 	if err := db.cat.RegisterModel(m, accuracy, ""); err != nil {
 		return err
 	}
@@ -627,15 +794,19 @@ func (db *DB) execInner(ctx context.Context, sqlText string, profile bool) (res 
 	if err != nil {
 		return nil, nil, err
 	}
-	// Statement-scoped locking: everything the statement touches is
+	// Statement-scoped locking: everything a WRITE statement touches is
 	// acquired up front in deterministic order (DDL latch, then tables by
-	// name) and held to the end of the statement, so conflicting
-	// statements serialize and the set as a whole cannot deadlock.
-	held, err := db.locks.Acquire(tok, lockRequest(st))
-	if err != nil {
-		return nil, nil, err
+	// name) and held to the end of the statement, so conflicting writers
+	// serialize and the set as a whole cannot deadlock. Reads request
+	// nothing and skip the lock manager entirely — their isolation comes
+	// from the snapshot CSN pinned in runSelect.
+	if req := lockRequest(st); req.DDL || len(req.Tables) > 0 {
+		held, err := db.locks.Acquire(tok, req)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer held.Release()
 	}
-	defer held.Release()
 	switch st := st.(type) {
 	case *sql.CreateTable:
 		res, err = db.execCreate(st)
@@ -651,14 +822,15 @@ func (db *DB) execInner(ctx context.Context, sqlText string, profile bool) (res 
 	return res, nil, err
 }
 
-// lockRequest maps a parsed statement to the locks it must hold: SELECT
-// (with or without PREDICT) reads its table, INSERT writes its table, and
-// CREATE/DROP take the catalog DDL latch — DROP also locks its table
-// exclusively so reclamation never races an in-flight scan.
+// lockRequest maps a parsed statement to the locks it must hold. SELECT
+// (with or without PREDICT) takes NO locks: reads run against an MVCC
+// snapshot pinned at statement start, so they never queue behind writers
+// (the per-heap read gate, not a lock, keeps DROP's reclamation from
+// racing them). INSERT writes its table under the FIFO-fair exclusive
+// lock, and CREATE/DROP take the catalog DDL latch — DROP also locks its
+// table exclusively so reclamation never races an in-flight writer.
 func lockRequest(st sql.Statement) lockmgr.Request {
 	switch st := st.(type) {
-	case *sql.Select:
-		return lockmgr.Request{Tables: []lockmgr.TableLock{{Table: st.From, Mode: lockmgr.Shared}}}
 	case *sql.Insert:
 		return lockmgr.Request{Tables: []lockmgr.TableLock{{Table: st.Table, Mode: lockmgr.Exclusive}}}
 	case *sql.CreateTable:
@@ -670,13 +842,14 @@ func lockRequest(st sql.Statement) lockmgr.Request {
 }
 
 // execDrop removes a table and reclaims its storage. The caller holds the
-// DDL latch and the table's exclusive lock, so no scan or insert is inside
-// the heap. Order: capture the page chain, drop the catalog entry, prune
-// vector indexes over the table (a recreated table must never serve the
-// old table's ANN rows), then hand every heap page to the free list. A
-// failure while freeing leaks the remaining pages — a leak, never
-// corruption, and strictly better than the pre-free-list behaviour of
-// leaking the whole chain.
+// DDL latch and the table's exclusive lock, so no writer is inside the
+// heap. Order: capture the page chain, log and commit the drop (a commit
+// failure leaves the table fully intact), unpublish the catalog entry and
+// prune vector indexes over the table (a recreated table must never serve
+// the old table's ANN rows), then drain the heap's read gate — lock-free
+// snapshot scans that started before the drop finish against the still-
+// allocated pages — and hand every page to the free list. A failure while
+// freeing leaks the remaining pages — a leak, never corruption.
 func (db *DB) execDrop(name string) (*Result, error) {
 	te, err := db.cat.Table(name)
 	if err != nil {
@@ -686,7 +859,17 @@ func (db *DB) execDrop(name string) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: walking %q page chain: %w", name, err)
 	}
+	csn := db.beginCSN()
+	if _, err := db.wal.Append(&wal.Record{Type: wal.RecDropTable, CSN: csn, Table: name}); err != nil {
+		db.abortCSN(csn)
+		return nil, err
+	}
+	if err := db.wal.Commit(csn); err != nil {
+		db.abortCSN(csn)
+		return nil, err
+	}
 	if err := db.cat.DropTable(name); err != nil {
+		db.abortCSN(csn)
 		return nil, err
 	}
 	db.vmu.Lock()
@@ -696,6 +879,12 @@ func (db *DB) execDrop(name string) (*Result, error) {
 		}
 	}
 	db.vmu.Unlock()
+	db.publishCSN(csn)
+	// Wait out in-flight read statements before the pages change owners;
+	// readers arriving after the drain re-check the catalog and fail with
+	// "no such table".
+	te.Heap.Drain()
+	defer te.Heap.Release()
 	for _, id := range pages {
 		if err := db.pool.FreePage(id); err != nil {
 			return nil, fmt.Errorf("engine: reclaiming %q pages: %w", name, err)
@@ -709,14 +898,40 @@ func (db *DB) execCreate(st *sql.CreateTable) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, err := db.createTableLocked(st.Name, schema); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+// createTableLocked creates and logs a table; the caller holds the DDL
+// latch. A WAL commit failure undoes the creation entirely.
+func (db *DB) createTableLocked(name string, schema *table.Schema) (*table.Heap, error) {
 	heap, err := table.NewHeap(db.pool, schema)
 	if err != nil {
 		return nil, err
 	}
-	if err := db.cat.CreateTable(st.Name, heap); err != nil {
+	if err := db.cat.CreateTable(name, heap); err != nil {
+		db.pool.FreePage(heap.FirstPage())
 		return nil, err
 	}
-	return &Result{}, nil
+	csn := db.beginCSN()
+	rec := &wal.Record{Type: wal.RecCreateTable, CSN: csn, Table: name}
+	for _, c := range schema.Cols {
+		rec.Cols = append(rec.Cols, wal.Col{Name: c.Name, Type: uint8(c.Type)})
+	}
+	_, err = db.wal.Append(rec)
+	if err == nil {
+		err = db.wal.Commit(csn)
+	}
+	if err != nil {
+		db.cat.DropTable(name)
+		db.pool.FreePage(heap.FirstPage())
+		db.abortCSN(csn)
+		return nil, err
+	}
+	db.publishCSN(csn)
+	return heap, nil
 }
 
 // CreateTable registers a table programmatically (the API twin of
@@ -727,18 +942,12 @@ func (db *DB) CreateTable(name string, schema *table.Schema) (*table.Heap, error
 		return nil, err
 	}
 	defer held.Release()
-	heap, err := table.NewHeap(db.pool, schema)
-	if err != nil {
-		return nil, err
-	}
-	if err := db.cat.CreateTable(name, heap); err != nil {
-		return nil, err
-	}
-	return heap, nil
+	return db.createTableLocked(name, schema)
 }
 
 // InsertRows bulk-inserts tuples into a named table under the table's
-// exclusive lock (the API twin of INSERT).
+// exclusive lock (the API twin of INSERT). The batch commits atomically:
+// either every row is durable and visible, or none is.
 func (db *DB) InsertRows(name string, rows []table.Tuple) (int64, error) {
 	held, err := db.locks.Acquire(nil, lockmgr.Request{
 		Tables: []lockmgr.TableLock{{Table: name, Mode: lockmgr.Exclusive}},
@@ -751,12 +960,11 @@ func (db *DB) InsertRows(name string, rows []table.Tuple) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	for i, r := range rows {
-		if _, err := te.Heap.Insert(r); err != nil {
-			return int64(i), fmt.Errorf("engine: inserting row %d: %w", i, err)
-		}
+	n, err := db.insertTuples(name, te.Heap, rows, nil)
+	if err != nil {
+		return 0, err
 	}
-	return int64(len(rows)), nil
+	return n, nil
 }
 
 func (db *DB) execInsert(st *sql.Insert, tok *lifecycle.Token) (*Result, error) {
@@ -765,7 +973,7 @@ func (db *DB) execInsert(st *sql.Insert, tok *lifecycle.Token) (*Result, error) 
 		return nil, err
 	}
 	schema := te.Heap.Schema()
-	var inserted int64
+	rows := make([]table.Tuple, 0, len(st.Rows))
 	for ri, row := range st.Rows {
 		if err := tok.Err(); err != nil {
 			return nil, err
@@ -781,10 +989,11 @@ func (db *DB) execInsert(st *sql.Insert, tok *lifecycle.Token) (*Result, error) 
 			}
 			tup[ci] = v
 		}
-		if _, err := te.Heap.Insert(tup); err != nil {
-			return nil, err
-		}
-		inserted++
+		rows = append(rows, tup)
+	}
+	inserted, err := db.insertTuples(st.Table, te.Heap, rows, tok)
+	if err != nil {
+		return nil, err
 	}
 	return &Result{RowsAffected: inserted}, nil
 }

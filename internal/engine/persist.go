@@ -53,7 +53,10 @@ var PersistFaultPoints = []string{
 	fpModelsDirSync, fpMetaWrite, fpMetaSync, fpMetaRename, fpMetaDirSync,
 }
 
-// metaFile is the serialised catalog.
+// metaFile is the serialised catalog. Version 2 adds the WAL checkpoint's
+// recovery inputs (CommitCSN, NumPages, per-table tail state); version 1
+// files (pre-WAL) are still read, and the open-time checkpoint rewrites
+// them as v2 before any record can enter the log.
 type metaFile struct {
 	Version int `json:"version"`
 	// Generation increments on every committed save; model files carry it
@@ -67,6 +70,12 @@ type metaFile struct {
 	// can lose a free (a leak) but can never free a page a committed table
 	// still references.
 	FreePages []uint32 `json:"free_pages,omitempty"`
+	// CommitCSN is the committed horizon folded into this checkpoint; WAL
+	// commit records at or below it are already in the page image.
+	CommitCSN uint64 `json:"commit_csn,omitempty"`
+	// NumPages is the database file length at the checkpoint; recovery
+	// treats pages at or beyond it as post-checkpoint orphans.
+	NumPages uint32 `json:"num_pages,omitempty"`
 }
 
 type metaTable struct {
@@ -75,6 +84,13 @@ type metaTable struct {
 	First uint32       `json:"first_page"`
 	Last  uint32       `json:"last_page"`
 	Count int64        `json:"count"`
+	// LastSlots is the tail page's slot count at the checkpoint — the
+	// input recovery feeds Heap.ResetTail before replaying the log.
+	LastSlots int `json:"last_slots"`
+	// Pages is the full page chain at the checkpoint, so recovery can free
+	// a dropped table without walking on-disk links that post-checkpoint
+	// page reuse may have zeroed.
+	Pages []uint32 `json:"pages"`
 }
 
 type metaColumn struct {
@@ -145,17 +161,34 @@ func (db *DB) saveModelDurable(file string, m *nn.Model) error {
 // package comment for the crash-safety protocol.
 func (db *DB) saveCatalog() error {
 	newGen := db.gen + 1
-	meta := metaFile{Version: 1, Generation: newGen}
+	meta := metaFile{
+		Version:    2,
+		Generation: newGen,
+		CommitCSN:  db.committedCSN.Load(),
+		NumPages:   db.disk.NumPages(),
+	}
 	for _, name := range db.cat.Tables() {
 		te, err := db.cat.Table(name)
 		if err != nil {
 			return err
 		}
+		slots, err := te.Heap.LastSlots()
+		if err != nil {
+			return fmt.Errorf("engine: reading %q tail state: %w", name, err)
+		}
+		pages, err := te.Heap.Pages()
+		if err != nil {
+			return fmt.Errorf("engine: walking %q page chain: %w", name, err)
+		}
 		mt := metaTable{
-			Name:  name,
-			First: uint32(te.Heap.FirstPage()),
-			Last:  uint32(te.Heap.LastPage()),
-			Count: te.Heap.Count(),
+			Name:      name,
+			First:     uint32(te.Heap.FirstPage()),
+			Last:      uint32(te.Heap.LastPage()),
+			Count:     te.Heap.Count(),
+			LastSlots: slots,
+		}
+		for _, id := range pages {
+			mt.Pages = append(mt.Pages, uint32(id))
 		}
 		for _, c := range te.Heap.Schema().Cols {
 			mt.Cols = append(mt.Cols, metaColumn{Name: c.Name, Type: uint8(c.Type)})
@@ -266,10 +299,27 @@ func (db *DB) loadCatalog() error {
 	if err := json.Unmarshal(raw, &meta); err != nil {
 		return fmt.Errorf("engine: corrupt catalog %s: %w", db.metaPath(), err)
 	}
-	if meta.Version != 1 {
+	if meta.Version != 1 && meta.Version != 2 {
 		return fmt.Errorf("engine: unsupported catalog version %d", meta.Version)
 	}
 	db.gen = meta.Generation
+	if meta.Version >= 2 {
+		info := &checkpointInfo{
+			CommitCSN: meta.CommitCSN,
+			NumPages:  meta.NumPages,
+			LastSlots: make(map[string]int, len(meta.Tables)),
+			Pages:     make(map[string][]storage.PageID, len(meta.Tables)),
+		}
+		for _, mt := range meta.Tables {
+			info.LastSlots[mt.Name] = mt.LastSlots
+			pages := make([]storage.PageID, len(mt.Pages))
+			for i, id := range mt.Pages {
+				pages[i] = storage.PageID(id)
+			}
+			info.Pages[mt.Name] = pages
+		}
+		db.ckptInfo = info
+	}
 	if len(meta.FreePages) > 0 {
 		free := make([]storage.PageID, len(meta.FreePages))
 		for i, id := range meta.FreePages {
@@ -306,7 +356,7 @@ func (db *DB) loadCatalog() error {
 		if err != nil {
 			return fmt.Errorf("engine: restoring model %s: %w", mm.Name, err)
 		}
-		if err := db.LoadModel(m, mm.Accuracy); err != nil {
+		if err := db.registerModel(m, mm.Accuracy); err != nil {
 			return err
 		}
 	}

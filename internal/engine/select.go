@@ -27,6 +27,12 @@ func (db *DB) ExecProfiled(sqlText string) (*Result, []exec.StageStat, error) {
 // runSelect compiles and runs a SELECT: heap scan → filter → optional
 // PREDICT inference operator → projection → order → limit. Every
 // cancellation-aware operator in the tree observes tok.
+//
+// SELECT (including PREDICT) is the lock-free serving path: the statement
+// holds no table lock, only the heap's read gate (admitting any number of
+// readers; it blocks nothing but DROP's page reclamation), and scans
+// against the committed-CSN snapshot pinned here — concurrent INSERTs
+// commit freely and become visible to the NEXT statement, never mid-scan.
 func (db *DB) runSelect(st *sql.Select, profile bool, tok *lifecycle.Token) (*Result, []exec.StageStat, error) {
 	var stages []*exec.Instrumented
 	wrap := func(name string, op exec.Operator) exec.Operator {
@@ -39,11 +45,13 @@ func (db *DB) runSelect(st *sql.Select, profile bool, tok *lifecycle.Token) (*Re
 		stages = append(stages, ins)
 		return ins
 	}
-	te, err := db.cat.Table(st.From)
+	te, err := db.resolveForRead(st.From)
 	if err != nil {
 		return nil, nil, err
 	}
-	scan := exec.NewHeapScan(te.Heap)
+	defer te.Heap.EndRead()
+	db.mSnapshotReads.Inc()
+	scan := exec.NewHeapScanAt(te.Heap, db.snapshotCSN())
 	scan.SetCancel(tok)
 	op := wrap("scan", scan)
 	if profile {

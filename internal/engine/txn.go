@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"fmt"
+
+	"tensorbase/internal/catalog"
+	"tensorbase/internal/lifecycle"
+	"tensorbase/internal/table"
+	"tensorbase/internal/wal"
+)
+
+// The commit protocol behind the lock-free serving path.
+//
+// Every write statement draws a commit sequence number (CSN), stamps the
+// rows it inserts with it, makes the statement durable through the WAL, and
+// then PUBLISHES the CSN: committedCSN advances to it, atomically making
+// every row of the statement visible. Read statements take no locks at all
+// — they pin committedCSN at statement start and scan against that
+// snapshot, so a half-done writer's rows (stamped with a CSN above the
+// snapshot) are invisible by construction.
+//
+// Publication is strictly in CSN order: committedCSN advancing to c means
+// "every statement with CSN ≤ c is decided". An aborted statement first
+// removes its rows physically (Heap.Rollback — they were never visible, so
+// this is trace-free) and then publishes its CSN without a WAL commit
+// record, keeping the sequence gap-free.
+
+// beginCSN allocates the next commit sequence number.
+func (db *DB) beginCSN() uint64 {
+	db.csnMu.Lock()
+	db.nextCSN++
+	csn := db.nextCSN
+	db.csnMu.Unlock()
+	return csn
+}
+
+// publishCSN advances the committed horizon to csn, waiting until every
+// earlier CSN has published — snapshots never observe commit c+1 without c
+// being decided.
+func (db *DB) publishCSN(csn uint64) {
+	db.pubMu.Lock()
+	for db.committedCSN.Load() != csn-1 {
+		db.pubCond.Wait()
+	}
+	db.committedCSN.Store(csn)
+	db.pubMu.Unlock()
+	db.pubCond.Broadcast()
+}
+
+// abortCSN publishes csn with no commit record in the WAL: the statement's
+// rows must already be physically rolled back. Recovery never sees a commit
+// record for it, so the abort holds across a crash too.
+func (db *DB) abortCSN(csn uint64) { db.publishCSN(csn) }
+
+// snapshotCSN pins the snapshot a read statement scans against.
+func (db *DB) snapshotCSN() uint64 { return db.committedCSN.Load() }
+
+// resolveForRead looks a table up for a lock-free read and enters its
+// heap's read gate. The gate (not a lock: it admits any number of readers
+// and only DROP's reclamation ever holds it exclusively) keeps the heap's
+// pages alive for the duration of the statement. Because a DROP unpublishes
+// the catalog entry before draining the gate, a reader that entered the
+// gate of a just-dropped heap detects it by re-checking the catalog; the
+// retry loop covers the drop-and-recreate race.
+func (db *DB) resolveForRead(name string) (*catalog.TableEntry, error) {
+	for tries := 0; tries < 8; tries++ {
+		te, err := db.cat.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		te.Heap.BeginRead()
+		again, err := db.cat.Table(name)
+		if err == nil && again.Heap == te.Heap {
+			return te, nil
+		}
+		te.Heap.EndRead()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("engine: table %q kept changing during read resolution", name)
+}
+
+// insertTuples runs one INSERT statement's commit protocol over h (the heap
+// published for name; the caller holds the table's exclusive lock). Each
+// tuple is encoded once and the bytes shared between the WAL record and the
+// heap insert. Any failure aborts the whole statement: the rows already
+// inserted are physically rolled back and the CSN publishes undecided, so
+// either every row becomes visible and durable or none does.
+func (db *DB) insertTuples(name string, h *table.Heap, rows []table.Tuple, tok *lifecycle.Token) (int64, error) {
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	csn := db.beginCSN()
+	rids := make([]table.RID, 0, len(rows))
+	abort := func(err error) (int64, error) {
+		if rerr := h.Rollback(rids); rerr != nil {
+			err = fmt.Errorf("%w (and rolling back %d rows: %v)", err, len(rids), rerr)
+		}
+		db.abortCSN(csn)
+		return 0, err
+	}
+	for _, t := range rows {
+		if err := tok.Err(); err != nil {
+			return abort(err)
+		}
+		rec, err := table.Encode(h.Schema(), t)
+		if err != nil {
+			return abort(err)
+		}
+		if _, err := db.wal.Append(&wal.Record{Type: wal.RecInsert, CSN: csn, Table: name, Data: rec}); err != nil {
+			return abort(err)
+		}
+		rid, err := h.InsertRecordAt(rec, csn)
+		if err != nil {
+			return abort(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := db.wal.Commit(csn); err != nil {
+		return abort(err)
+	}
+	db.publishCSN(csn)
+	return int64(len(rows)), nil
+}

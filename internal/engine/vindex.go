@@ -131,16 +131,16 @@ func (db *DB) staleVindexWarnings(tableName string) []string {
 }
 
 // Nearest returns the k rows of tableName whose indexed column is closest
-// to query, nearest first, with squared distances. It reads the heap under
-// the table's shared lock, so it cannot race a DROP's page reclamation.
+// to query, nearest first, with squared distances. Like SELECT, it is a
+// lock-free read: it holds only the heap's read gate, so lookups never
+// queue behind writers, and the gate keeps DROP's page reclamation from
+// racing the row fetches.
 func (db *DB) Nearest(tableName, column string, query []float32, k int) ([]table.Tuple, []float64, error) {
-	held, err := db.locks.Acquire(nil, lockmgr.Request{
-		Tables: []lockmgr.TableLock{{Table: tableName, Mode: lockmgr.Shared}},
-	})
+	te, err := db.resolveForRead(tableName)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer held.Release()
+	defer te.Heap.EndRead()
 	db.vmu.Lock()
 	vi, ok := db.vindexes[vindexKey{tableName, column}]
 	db.vmu.Unlock()
@@ -149,10 +149,6 @@ func (db *DB) Nearest(tableName, column string, query []float32, k int) ([]table
 	}
 	if len(query) != vi.dim {
 		return nil, nil, fmt.Errorf("engine: query dimension %d, index dimension %d", len(query), vi.dim)
-	}
-	te, err := db.cat.Table(tableName)
-	if err != nil {
-		return nil, nil, err
 	}
 	// A table that changed since the index build is served anyway (the
 	// indexed rows are still correct nearest-neighbour candidates among

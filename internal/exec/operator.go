@@ -121,18 +121,26 @@ func (m *MemScan) Close() error { return nil }
 // HeapScan produces tuples from a heap file, one pinned page at a time.
 type HeapScan struct {
 	heap *table.Heap
+	snap uint64
 	scan *table.Scanner
 	tok  *lifecycle.Token
 }
 
-// NewHeapScan returns a scan over h.
-func NewHeapScan(h *table.Heap) *HeapScan { return &HeapScan{heap: h} }
+// NewHeapScan returns a scan over h reading the latest snapshot (every
+// non-deleted row).
+func NewHeapScan(h *table.Heap) *HeapScan { return &HeapScan{heap: h, snap: table.CSNMax} }
+
+// NewHeapScanAt returns a scan over h pinned to the snapshot csn — the
+// lock-free read path: the engine pins the committed CSN at statement start
+// and the scan sees exactly the rows committed by then, never a concurrent
+// writer's unpublished rows.
+func NewHeapScanAt(h *table.Heap, csn uint64) *HeapScan { return &HeapScan{heap: h, snap: csn} }
 
 // Schema implements Operator.
 func (s *HeapScan) Schema() *table.Schema { return s.heap.Schema() }
 
 // Open implements Operator.
-func (s *HeapScan) Open() error { s.scan = s.heap.Scan(); return nil }
+func (s *HeapScan) Open() error { s.scan = s.heap.ScanAt(s.snap); return nil }
 
 // SetCancel implements Cancellable.
 func (s *HeapScan) SetCancel(tok *lifecycle.Token) { s.tok = tok }

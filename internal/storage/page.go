@@ -159,6 +159,38 @@ func (p *Page) Record(slot int) (rec []byte, ok bool, err error) {
 	return p.buf[off : off+length], true, nil
 }
 
+// TruncateSlots discards every slot at index n and above, returning the
+// page to its state when it held exactly n slots — crash recovery uses it
+// to roll a heap's tail page back to the slot count the last checkpoint
+// recorded, so WAL replay re-inserts committed post-checkpoint tuples
+// without duplication. The free-space end is restored from the deepest
+// surviving record (records grow downward in slot order, so that is the
+// last non-deleted surviving slot); the truncated bytes are left in place
+// and overwritten by future inserts.
+func (p *Page) TruncateSlots(n int) error {
+	if n < 0 || n > p.slotCount() {
+		return fmt.Errorf("%w: truncate to %d slots, page has %d", ErrCorruptPage, n, p.slotCount())
+	}
+	end := recordLimit
+	for i := n - 1; i >= 0; i-- {
+		if !p.slotOK(i) {
+			return fmt.Errorf("%w: slot %d directory entry beyond page end", ErrCorruptPage, i)
+		}
+		off, length := p.slotAt(i)
+		if off == 0 {
+			continue // deleted slot holds no bytes
+		}
+		if off < pageHeaderSize || off+length > recordLimit {
+			return fmt.Errorf("%w: slot %d record bounds [%d,%d) outside page", ErrCorruptPage, i, off, off+length)
+		}
+		end = off
+		break
+	}
+	p.setSlotCount(n)
+	p.setFreeEnd(end)
+	return nil
+}
+
 // Delete marks the record in slot as deleted. Space is not compacted.
 // It returns false for already-deleted, out-of-range, or corrupt slots.
 func (p *Page) Delete(slot int) bool {

@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TruncateSlots must restore the exact insert state the page had at the
+// surviving slot count: re-inserting lands on the same slots and offsets.
+func TestPageTruncateSlots(t *testing.T) {
+	buf := make([]byte, PageSize)
+	p := InitPage(buf)
+	recs := [][]byte{[]byte("alpha"), []byte("bravo-longer"), []byte("c"), []byte("delta")}
+	for i, r := range recs {
+		slot, err := p.Insert(r)
+		if err != nil || slot != i {
+			t.Fatalf("insert %d: slot %d err %v", i, slot, err)
+		}
+	}
+	freeBefore := p.FreeSpace()
+	if err := p.TruncateSlots(2); err != nil {
+		t.Fatalf("TruncateSlots: %v", err)
+	}
+	if p.NumSlots() != 2 {
+		t.Fatalf("slots %d after truncate, want 2", p.NumSlots())
+	}
+	for i := 0; i < 2; i++ {
+		rec, ok, err := p.Record(i)
+		if err != nil || !ok || !bytes.Equal(rec, recs[i]) {
+			t.Fatalf("slot %d after truncate: %q ok=%v err=%v", i, rec, ok, err)
+		}
+	}
+	if _, ok, _ := p.Record(2); ok {
+		t.Fatal("truncated slot still readable")
+	}
+	// Re-inserting the same records restores the identical layout.
+	for i, r := range recs[2:] {
+		slot, err := p.Insert(r)
+		if err != nil || slot != 2+i {
+			t.Fatalf("re-insert %d: slot %d err %v", i, slot, err)
+		}
+	}
+	if p.FreeSpace() != freeBefore {
+		t.Fatalf("free space %d after re-insert, want %d", p.FreeSpace(), freeBefore)
+	}
+	for i, r := range recs {
+		rec, ok, err := p.Record(i)
+		if err != nil || !ok || !bytes.Equal(rec, r) {
+			t.Fatalf("slot %d after re-insert: %q ok=%v err=%v", i, rec, ok, err)
+		}
+	}
+}
+
+// Truncating past a deleted tail slot recovers the free end from the
+// deepest surviving live record.
+func TestPageTruncateSlotsSkipsDeleted(t *testing.T) {
+	buf := make([]byte, PageSize)
+	p := InitPage(buf)
+	for _, r := range [][]byte{[]byte("aa"), []byte("bb"), []byte("cc")} {
+		if _, err := p.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Delete(1) {
+		t.Fatal("delete slot 1")
+	}
+	if err := p.TruncateSlots(2); err != nil {
+		t.Fatal(err)
+	}
+	// Slot 0 survives; slot 1 stays deleted; inserts continue below slot 0's
+	// record (slot 1's dead bytes are reclaimed space).
+	if rec, ok, _ := p.Record(0); !ok || !bytes.Equal(rec, []byte("aa")) {
+		t.Fatalf("slot 0 damaged: %q ok=%v", rec, ok)
+	}
+	slot, err := p.Insert([]byte("dd"))
+	if err != nil || slot != 2 {
+		t.Fatalf("insert after truncate: slot %d err %v", slot, err)
+	}
+	if rec, ok, _ := p.Record(2); !ok || !bytes.Equal(rec, []byte("dd")) {
+		t.Fatalf("new record damaged: %q ok=%v", rec, ok)
+	}
+
+	if err := p.TruncateSlots(4); err == nil {
+		t.Fatal("truncate beyond slot count must fail")
+	}
+	if err := p.TruncateSlots(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSlots() != 0 || p.FreeSpace() != MaxRecordSize {
+		t.Fatalf("empty truncate: slots %d free %d", p.NumSlots(), p.FreeSpace())
+	}
+}

@@ -115,8 +115,10 @@ func (cb *ColBatch) AppendRecord(rec []byte) error {
 // is full or the heap is exhausted, returning the number appended. Unlike
 // Next, which pins its page once per tuple, one call pins each visited page
 // once for all its records. It holds the heap's read latch like Next, so it
-// interleaves safely with concurrent inserts. A return of fewer rows than
-// the batch's free capacity means the scan reached the end of the heap.
+// interleaves safely with concurrent inserts, and applies the scanner's
+// snapshot CSN, so the PREDICT hot path gets snapshot isolation at columnar
+// speed. A return of fewer rows than the batch's free capacity means the
+// scan reached the end of the heap.
 func (s *Scanner) NextColumnar(cb *ColBatch) (int, error) {
 	s.heap.mu.RLock()
 	defer s.heap.mu.RUnlock()
@@ -133,11 +135,20 @@ func (s *Scanner) NextColumnar(cb *ColBatch) (int, error) {
 				s.heap.pool.Unpin(s.page, false)
 				return appended, fmt.Errorf("table: page %d slot %d: %w", s.page, s.slot, rerr)
 			}
+			slot := s.slot
 			s.slot++
 			if !ok {
 				continue // deleted
 			}
-			if err := cb.AppendRecord(rec); err != nil {
+			vis, verr := visibleAt(rec, s.snap)
+			if verr != nil {
+				s.heap.pool.Unpin(s.page, false)
+				return appended, fmt.Errorf("table: page %d slot %d: %w", s.page, slot, verr)
+			}
+			if !vis {
+				continue // outside this snapshot
+			}
+			if err := cb.AppendRecord(rec[versionHdrSize:]); err != nil {
 				s.heap.pool.Unpin(s.page, false)
 				return appended, err
 			}

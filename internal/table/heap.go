@@ -1,6 +1,7 @@
 package table
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -13,6 +14,51 @@ type RID struct {
 	Page storage.PageID
 	Slot int
 }
+
+// MVCC version header. Every stored record is prefixed with two
+// little-endian uint64s: the commit sequence number (CSN) that created the
+// row and the CSN that deleted it. A snapshot pinned at CSN s sees a row
+// iff created ≤ s < deleted. Two sentinels keep the scheme zero-cost for
+// non-transactional users:
+//
+//   - created == 0 ("always") marks a row visible to every snapshot — the
+//     stamp plain Insert/InsertRecord writes, so direct heap users (spill
+//     runs, tensor block stores, tests) never think about versions;
+//   - deleted == CSNMax ("never") marks a live row.
+//
+// Rows are only ever stamped by the engine's commit protocol (InsertAt) or
+// physically removed (Rollback, for aborted statements), so a committed
+// row's header never changes after publication.
+const (
+	versionHdrSize = 16
+	// CSNAlways marks a record visible to every snapshot.
+	CSNAlways = uint64(0)
+	// CSNMax is the "latest" snapshot: it sees every non-deleted row.
+	CSNMax = ^uint64(0)
+)
+
+// visibleAt reports whether the version-prefixed record rec is visible to a
+// snapshot pinned at snap.
+func visibleAt(rec []byte, snap uint64) (bool, error) {
+	if len(rec) < versionHdrSize {
+		return false, fmt.Errorf("table: %d-byte record shorter than version header", len(rec))
+	}
+	created := binary.LittleEndian.Uint64(rec)
+	deleted := binary.LittleEndian.Uint64(rec[8:])
+	return created <= snap && (deleted == CSNMax || snap < deleted), nil
+}
+
+// payload strips the version header off a stored record.
+func payload(rec []byte) ([]byte, error) {
+	if len(rec) < versionHdrSize {
+		return nil, fmt.Errorf("table: %d-byte record shorter than version header", len(rec))
+	}
+	return rec[versionHdrSize:], nil
+}
+
+// MaxTupleSize is the largest encoded tuple a heap accepts: a page record
+// minus the version header.
+const MaxTupleSize = storage.MaxRecordSize - versionHdrSize
 
 // Heap is an unordered collection of tuples stored as a chain of slotted
 // pages in the buffer pool. Large tuples are rejected rather than
@@ -27,6 +73,11 @@ type RID struct {
 // the latch is what keeps a reader from observing a half-applied insert
 // into the page it is decoding. This is what lets the parallel relation-
 // centric executor fan block fetches and result appends across workers.
+//
+// Above the latch sits the statement-scoped read gate (BeginRead/EndRead/
+// Drain): since MVCC snapshot reads no longer hold table locks, DROP TABLE
+// uses the gate to wait out in-flight read statements before handing the
+// heap's pages to the free list.
 type Heap struct {
 	mu     sync.RWMutex
 	pool   *storage.BufferPool
@@ -34,6 +85,11 @@ type Heap struct {
 	first  storage.PageID
 	last   storage.PageID
 	count  int64
+
+	// gate is held shared for the duration of a lock-free read statement
+	// and exclusively by DROP TABLE before page reclamation. It orders
+	// whole statements, not page accesses — that is mu's job.
+	gate sync.RWMutex
 }
 
 // NewHeap creates an empty heap with one allocated page.
@@ -62,7 +118,11 @@ func (h *Heap) Schema() *Schema { return h.schema }
 func (h *Heap) FirstPage() storage.PageID { return h.first }
 
 // LastPage returns the tail of the page chain.
-func (h *Heap) LastPage() storage.PageID { return h.last }
+func (h *Heap) LastPage() storage.PageID {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.last
+}
 
 // Count returns the number of inserted tuples.
 func (h *Heap) Count() int64 {
@@ -71,22 +131,58 @@ func (h *Heap) Count() int64 {
 	return h.count
 }
 
-// Insert appends a tuple and returns its RID, extending the page chain as
-// needed. Insert is latched: concurrent inserters serialise, and readers
-// never see a partially written tail page.
+// BeginRead enters the heap's statement read gate: it blocks while a DROP
+// is draining readers, and DROP's reclamation blocks until every reader
+// that entered has left. The engine brackets each lock-free read statement
+// with BeginRead/EndRead.
+func (h *Heap) BeginRead() { h.gate.RLock() }
+
+// EndRead leaves the statement read gate.
+func (h *Heap) EndRead() { h.gate.RUnlock() }
+
+// Drain blocks until every in-flight read statement has left the gate and
+// holds new ones out until Release is called. DROP TABLE drains a heap
+// after unpublishing it from the catalog and before freeing its pages.
+func (h *Heap) Drain() { h.gate.Lock() }
+
+// Release reopens the gate after Drain. Readers that then enter must
+// re-check the catalog: the heap they gated on may no longer be published.
+func (h *Heap) Release() { h.gate.Unlock() }
+
+// Insert appends a tuple visible to every snapshot and returns its RID,
+// extending the page chain as needed. Insert is latched: concurrent
+// inserters serialise, and readers never see a partially written tail page.
 func (h *Heap) Insert(t Tuple) (RID, error) {
+	return h.InsertAt(t, CSNAlways)
+}
+
+// InsertAt appends a tuple stamped with the creating statement's CSN: rows
+// become visible only to snapshots pinned at or after csn, which the
+// engine's commit protocol publishes after the WAL commit is durable.
+func (h *Heap) InsertAt(t Tuple, csn uint64) (RID, error) {
 	rec, err := Encode(h.schema, t)
 	if err != nil {
 		return RID{}, err
 	}
-	return h.InsertRecord(rec)
+	return h.InsertRecordAt(rec, csn)
 }
 
-// InsertRecord appends a pre-encoded record under the heap's write latch.
+// InsertRecord appends a pre-encoded record visible to every snapshot.
 func (h *Heap) InsertRecord(rec []byte) (RID, error) {
-	if len(rec) > storage.MaxRecordSize {
-		return RID{}, fmt.Errorf("table: record of %d bytes exceeds page capacity %d", len(rec), storage.MaxRecordSize)
+	return h.InsertRecordAt(rec, CSNAlways)
+}
+
+// InsertRecordAt appends a pre-encoded record under the heap's write latch,
+// stamped with csn (see InsertAt).
+func (h *Heap) InsertRecordAt(rec []byte, csn uint64) (RID, error) {
+	if len(rec) > MaxTupleSize {
+		return RID{}, fmt.Errorf("table: record of %d bytes exceeds page capacity %d", len(rec), MaxTupleSize)
 	}
+	stored := make([]byte, versionHdrSize+len(rec))
+	binary.LittleEndian.PutUint64(stored, csn)
+	binary.LittleEndian.PutUint64(stored[8:], CSNMax)
+	copy(stored[versionHdrSize:], rec)
+
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	f, err := h.pool.Fetch(h.last)
@@ -94,7 +190,7 @@ func (h *Heap) InsertRecord(rec []byte) (RID, error) {
 		return RID{}, err
 	}
 	page := f.Page()
-	slot, err := page.Insert(rec)
+	slot, err := page.Insert(stored)
 	if err == nil {
 		rid := RID{Page: h.last, Slot: slot}
 		h.count++
@@ -116,7 +212,7 @@ func (h *Heap) InsertRecord(rec []byte) (RID, error) {
 		h.pool.Unpin(newID, false)
 		return RID{}, err
 	}
-	slot, err = nf.Page().Insert(rec)
+	slot, err = nf.Page().Insert(stored)
 	if err != nil {
 		h.pool.Unpin(newID, false)
 		return RID{}, err
@@ -124,6 +220,30 @@ func (h *Heap) InsertRecord(rec []byte) (RID, error) {
 	h.last = newID
 	h.count++
 	return RID{Page: newID, Slot: slot}, h.pool.Unpin(newID, true)
+}
+
+// Rollback physically removes the records an aborted statement inserted
+// (identified by the RIDs its inserts returned). The aborted rows were
+// never visible to any snapshot — their CSN was never published — so
+// deleting the slots leaves no trace beyond dead bytes on the page. Pages
+// the statement appended to the chain stay in the chain, empty.
+func (h *Heap) Rollback(rids []RID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, rid := range rids {
+		f, err := h.pool.Fetch(rid.Page)
+		if err != nil {
+			return err
+		}
+		deleted := f.Page().Delete(rid.Slot)
+		if err := h.pool.Unpin(rid.Page, deleted); err != nil {
+			return err
+		}
+		if deleted {
+			h.count--
+		}
+	}
+	return nil
 }
 
 // Get fetches and decodes the tuple at rid.
@@ -151,12 +271,17 @@ func (h *Heap) GetInto(rid RID, t Tuple, scratch []float32) (Tuple, []float32, e
 	if !ok {
 		return nil, scratch, fmt.Errorf("table: no record at page %d slot %d", rid.Page, rid.Slot)
 	}
-	return DecodeInto(h.schema, rec, t, scratch)
+	body, err := payload(rec)
+	if err != nil {
+		return nil, scratch, fmt.Errorf("table: page %d slot %d: %w", rid.Page, rid.Slot, err)
+	}
+	return DecodeInto(h.schema, body, t, scratch)
 }
 
-// RIDs returns the record ids of every live record in scan order — the
-// same order Scan yields tuples, so position n of both refers to the same
-// row. Index builders use this to map index entries back to records.
+// RIDs returns the record ids of every record visible to the latest
+// snapshot, in scan order — the same order Scan yields tuples, so position
+// n of both refers to the same row. Index builders use this to map index
+// entries back to records.
 func (h *Heap) RIDs() ([]RID, error) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
@@ -169,12 +294,20 @@ func (h *Heap) RIDs() ([]RID, error) {
 		}
 		p := f.Page()
 		for slot := 0; slot < p.NumSlots(); slot++ {
-			_, ok, rerr := p.Record(slot)
+			rec, ok, rerr := p.Record(slot)
 			if rerr != nil {
 				h.pool.Unpin(page, false)
 				return nil, fmt.Errorf("table: page %d slot %d: %w", page, slot, rerr)
 			}
-			if ok {
+			if !ok {
+				continue
+			}
+			vis, verr := visibleAt(rec, CSNMax)
+			if verr != nil {
+				h.pool.Unpin(page, false)
+				return nil, fmt.Errorf("table: page %d slot %d: %w", page, slot, verr)
+			}
+			if vis {
 				out = append(out, RID{Page: page, Slot: slot})
 			}
 		}
@@ -214,24 +347,80 @@ func (h *Heap) Pages() ([]storage.PageID, error) {
 	return out, nil
 }
 
-// Scanner iterates the heap front to back. It pins one page at a time, so
-// scans of arbitrarily large heaps run in constant memory — the property
-// the relation-centric execution path relies on.
+// LastSlots returns the tail page's slot count — recorded per table by the
+// checkpoint so recovery can roll the tail back to exactly this state
+// before replaying the WAL.
+func (h *Heap) LastSlots() (int, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	f, err := h.pool.Fetch(h.last)
+	if err != nil {
+		return 0, err
+	}
+	n := f.Page().NumSlots()
+	return n, h.pool.Unpin(h.last, false)
+}
+
+// ResetTail rolls the heap back to the state a checkpoint recorded: the
+// tail page keeps its first lastSlots slots and stops chaining, and the
+// row count is restored. Recovery calls it before WAL replay so replayed
+// inserts land exactly once; on a cleanly closed database it is a no-op.
+func (h *Heap) ResetTail(lastSlots int, count int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f, err := h.pool.Fetch(h.last)
+	if err != nil {
+		return err
+	}
+	p := f.Page()
+	dirty := p.NumSlots() != lastSlots || p.Next() != storage.InvalidPageID
+	if dirty {
+		if err := p.TruncateSlots(lastSlots); err != nil {
+			h.pool.Unpin(h.last, false)
+			return err
+		}
+		p.SetNext(storage.InvalidPageID)
+	}
+	if err := h.pool.Unpin(h.last, dirty); err != nil {
+		return err
+	}
+	h.count = count
+	return nil
+}
+
+// Scanner iterates the heap front to back against a fixed snapshot CSN.
+// It pins one page at a time, so scans of arbitrarily large heaps run in
+// constant memory — the property the relation-centric execution path
+// relies on.
 type Scanner struct {
 	heap *Heap
+	snap uint64
 	page storage.PageID
 	slot int
 	done bool
 }
 
-// Scan returns a scanner positioned before the first tuple.
+// Scan returns a scanner positioned before the first tuple, reading the
+// latest snapshot (every non-deleted row, including unpublished ones —
+// callers that need isolation use ScanAt).
 func (h *Heap) Scan() *Scanner {
-	return &Scanner{heap: h, page: h.first}
+	return h.ScanAt(CSNMax)
 }
 
-// Next returns the next tuple, or ok=false at the end. Each call holds the
-// heap's read latch, so a scan interleaves safely with concurrent inserts
-// (tuples inserted behind the scan position may or may not be seen).
+// ScanAt returns a scanner pinned to the snapshot csn: it yields exactly
+// the rows committed at or before csn, regardless of concurrent writers.
+// This is the lock-free read path — no table lock is needed, because a
+// writer's rows carry a CSN above every pinned snapshot until its commit
+// publishes them.
+func (h *Heap) ScanAt(csn uint64) *Scanner {
+	return &Scanner{heap: h, snap: csn, page: h.first}
+}
+
+// Next returns the next visible tuple, or ok=false at the end. Each call
+// holds the heap's read latch, so a scan interleaves safely with concurrent
+// inserts; the snapshot CSN decides visibility, so rows a concurrent writer
+// appends behind the scan position are skipped unless the snapshot covers
+// them.
 func (s *Scanner) Next() (Tuple, bool, error) {
 	s.heap.mu.RLock()
 	defer s.heap.mu.RUnlock()
@@ -247,11 +436,20 @@ func (s *Scanner) Next() (Tuple, bool, error) {
 				s.heap.pool.Unpin(s.page, false)
 				return nil, false, fmt.Errorf("table: page %d slot %d: %w", s.page, s.slot, rerr)
 			}
+			slot := s.slot
 			s.slot++
 			if !ok {
 				continue // deleted
 			}
-			t, err := Decode(s.heap.schema, rec)
+			vis, verr := visibleAt(rec, s.snap)
+			if verr != nil {
+				s.heap.pool.Unpin(s.page, false)
+				return nil, false, fmt.Errorf("table: page %d slot %d: %w", s.page, slot, verr)
+			}
+			if !vis {
+				continue // outside this snapshot
+			}
+			t, err := Decode(s.heap.schema, rec[versionHdrSize:])
 			if uerr := s.heap.pool.Unpin(s.page, false); uerr != nil && err == nil {
 				err = uerr
 			}

@@ -1,0 +1,249 @@
+package table
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tensorbase/internal/storage"
+)
+
+func mvccHeap(t *testing.T) *Heap {
+	t.Helper()
+	disk, err := storage.OpenDisk(filepath.Join(t.TempDir(), "mvcc.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { disk.Close() })
+	pool := storage.NewBufferPool(disk, 16)
+	schema, err := NewSchema(Column{Name: "id", Type: Int64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHeap(pool, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func scanIDs(t *testing.T, sc *Scanner) []int64 {
+	t.Helper()
+	var out []int64
+	for {
+		tup, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, tup[0].Int)
+	}
+}
+
+// Rows stamped with a CSN are invisible to snapshots pinned before it and
+// visible at or after it; CSN-0 rows are visible everywhere.
+func TestSnapshotVisibility(t *testing.T) {
+	h := mvccHeap(t)
+	if _, err := h.Insert(Tuple{IntVal(1)}); err != nil { // CSNAlways
+		t.Fatal(err)
+	}
+	if _, err := h.InsertAt(Tuple{IntVal(2)}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.InsertAt(Tuple{IntVal(3)}, 7); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		snap uint64
+		want []int64
+	}{
+		{0, []int64{1}},
+		{4, []int64{1}},
+		{5, []int64{1, 2}},
+		{6, []int64{1, 2}},
+		{7, []int64{1, 2, 3}},
+		{CSNMax, []int64{1, 2, 3}},
+	}
+	for _, c := range cases {
+		got := scanIDs(t, h.ScanAt(c.snap))
+		if len(got) != len(c.want) {
+			t.Fatalf("snap %d: got %v want %v", c.snap, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("snap %d: got %v want %v", c.snap, got, c.want)
+			}
+		}
+	}
+}
+
+// A scanner's snapshot is fixed at creation: rows committed later are never
+// yielded, even when they land ahead of the scan position.
+func TestScannerPinnedAgainstLaterInserts(t *testing.T) {
+	h := mvccHeap(t)
+	for i := 1; i <= 3; i++ {
+		if _, err := h.InsertAt(Tuple{IntVal(int64(i))}, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := h.ScanAt(3)
+	// One row out, then a "later commit" appears.
+	if _, ok, err := sc.Next(); err != nil || !ok {
+		t.Fatalf("first row: ok=%v err=%v", ok, err)
+	}
+	if _, err := h.InsertAt(Tuple{IntVal(99)}, 9); err != nil {
+		t.Fatal(err)
+	}
+	rest := scanIDs(t, sc)
+	if len(rest) != 2 || rest[0] != 2 || rest[1] != 3 {
+		t.Fatalf("rest of pinned scan = %v, want [2 3]", rest)
+	}
+}
+
+// NextColumnar applies the same snapshot filter as Next.
+func TestColumnarSnapshotFilter(t *testing.T) {
+	disk, err := storage.OpenDisk(filepath.Join(t.TempDir(), "col.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	pool := storage.NewBufferPool(disk, 16)
+	schema, err := NewSchema(Column{Name: "id", Type: Int64}, Column{Name: "features", Type: FloatVec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHeap(pool, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if _, err := h.InsertAt(Tuple{IntVal(int64(i)), VecVal([]float32{float32(i), float32(-i)})}, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cb, err := NewColBatch(schema, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := h.ScanAt(6).NextColumnar(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 || cb.Rows() != 6 {
+		t.Fatalf("columnar snapshot scan got %d rows, want 6", n)
+	}
+	for i, tup := range cb.Tuples {
+		if tup[0].Int != int64(i+1) || tup[1].Vec[0] != float32(i+1) {
+			t.Fatalf("row %d decoded wrong: %v", i, tup)
+		}
+	}
+}
+
+// Rollback removes exactly the aborted statement's rows; other rows and the
+// count survive, and the freed slots are reused correctly afterwards.
+func TestRollbackRemovesAbortedRows(t *testing.T) {
+	h := mvccHeap(t)
+	if _, err := h.InsertAt(Tuple{IntVal(1)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	var aborted []RID
+	for i := 0; i < 3; i++ {
+		rid, err := h.InsertAt(Tuple{IntVal(int64(100 + i))}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aborted = append(aborted, rid)
+	}
+	if err := h.Rollback(aborted); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("count %d after rollback, want 1", h.Count())
+	}
+	got := scanIDs(t, h.ScanAt(CSNMax))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("rows after rollback = %v, want [1]", got)
+	}
+	// The heap keeps accepting inserts after a rollback.
+	if _, err := h.InsertAt(Tuple{IntVal(2)}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got = scanIDs(t, h.ScanAt(CSNMax)); len(got) != 2 {
+		t.Fatalf("rows after re-insert = %v", got)
+	}
+}
+
+// ResetTail rolls a heap back to a checkpoint's (lastSlots, count) state:
+// rows inserted after the checkpoint vanish, re-inserting them lands on the
+// same slots, and the chain stops at the old tail.
+func TestResetTailRestoresCheckpointState(t *testing.T) {
+	h := mvccHeap(t)
+	for i := 1; i <= 5; i++ {
+		if _, err := h.InsertAt(Tuple{IntVal(int64(i))}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slots, err := h.LastSlots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := h.Count()
+	for i := 6; i <= 9; i++ {
+		if _, err := h.InsertAt(Tuple{IntVal(int64(i))}, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.ResetTail(slots, count); err != nil {
+		t.Fatal(err)
+	}
+	got := scanIDs(t, h.ScanAt(CSNMax))
+	if len(got) != 5 || got[4] != 5 {
+		t.Fatalf("rows after reset = %v, want [1..5]", got)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d after reset", h.Count())
+	}
+	// Replay-style re-insert sees a tail identical to the checkpoint state.
+	if _, err := h.InsertAt(Tuple{IntVal(6)}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got = scanIDs(t, h.ScanAt(CSNMax)); len(got) != 6 || got[5] != 6 {
+		t.Fatalf("rows after replayed insert = %v", got)
+	}
+}
+
+// The read gate: Drain blocks until readers leave, new readers block until
+// Release.
+func TestReadGateDrain(t *testing.T) {
+	h := mvccHeap(t)
+	h.BeginRead()
+	drained := make(chan struct{})
+	go func() {
+		h.Drain()
+		close(drained)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a reader was inside the gate")
+	default:
+	}
+	h.EndRead()
+	<-drained
+	entered := make(chan struct{})
+	go func() {
+		h.BeginRead()
+		close(entered)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-entered:
+		t.Fatal("BeginRead entered a drained gate")
+	default:
+	}
+	h.Release()
+	<-entered
+	h.EndRead()
+}

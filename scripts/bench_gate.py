@@ -1,20 +1,33 @@
 #!/usr/bin/env python3
-"""Parse `go test -bench` output into a benchmark JSON artifact and gate
-the quantized PREDICT path.
+"""Parse `go test -bench` output into a benchmark JSON artifact, gate the
+serving-path benchmarks, and report the trajectory against the latest
+prior BENCH_<n>.json committed to the repo.
 
 Usage: bench_gate.py <bench-output.txt> <out.json>
 
 Collects every benchmark line (several -count repetitions per name), keeps
 the full run list plus the best (minimum) ns/op — the minimum is the
 stable statistic on a noisy shared runner, since scheduler interference
-only ever adds time. The gate: BenchmarkQuantizedPredict/quantized's best
-run must beat BenchmarkQuantizedPredict/f32's best run, i.e. serving the
-int8-resident twin must be faster than f32 serving end-to-end on the
-Fraud-FC-256 workload. Exits non-zero (after writing the JSON, so the
-artifact survives for inspection) when the gate fails or the gate
-benchmarks are missing.
+only ever adds time.
+
+Gates (the job fails after the JSON is written, so the artifact survives
+for inspection):
+
+  quantized  BenchmarkQuantizedPredict/quantized's best run must beat
+             /f32's best run — serving the int8-resident twin must be
+             faster than f32 serving end-to-end.
+  snapshot   BenchmarkSnapshotReadUnderWrites/underwrites throughput must
+             be >= 0.8x the /readonly baseline — MVCC snapshot reads must
+             keep PREDICT off the lock manager while a writer commits.
+
+Trajectory: the artifact also records per-benchmark deltas against the
+newest prior BENCH_<n>.json found next to <out.json>. Deltas are
+informational (shared runners drift too much for a hard cross-run gate);
+the explicit gates above are the contract.
 """
+import glob
 import json
+import os
 import re
 import sys
 
@@ -22,11 +35,11 @@ import sys
 LINE = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$")
 EXTRA = re.compile(r"([\d.]+) ([\w./]+)")
 
+# underwrites must retain this fraction of read-only PREDICT throughput.
+SNAPSHOT_FLOOR = 0.8
 
-def main():
-    if len(sys.argv) != 3:
-        sys.exit(f"usage: {sys.argv[0]} <bench-output.txt> <out.json>")
-    src, dst = sys.argv[1], sys.argv[2]
+
+def parse(src):
     runs = {}
     with open(src) as f:
         for line in f:
@@ -41,30 +54,123 @@ def main():
                     entry["metrics"].setdefault(unit, []).append(float(val))
     for entry in runs.values():
         entry["best_ns_per_op"] = min(entry["runs_ns_per_op"])
+    return runs
 
+
+def quantized_gate(runs):
     f32 = runs.get("BenchmarkQuantizedPredict/f32")
     q8 = runs.get("BenchmarkQuantizedPredict/quantized")
-    gate = None
-    if f32 and q8:
-        gate = {
-            "f32_best_ns_per_op": f32["best_ns_per_op"],
-            "quantized_best_ns_per_op": q8["best_ns_per_op"],
-            "speedup": f32["best_ns_per_op"] / q8["best_ns_per_op"],
-            "pass": q8["best_ns_per_op"] < f32["best_ns_per_op"],
+    if not (f32 and q8):
+        return None
+    return {
+        "f32_best_ns_per_op": f32["best_ns_per_op"],
+        "quantized_best_ns_per_op": q8["best_ns_per_op"],
+        "speedup": f32["best_ns_per_op"] / q8["best_ns_per_op"],
+        "pass": q8["best_ns_per_op"] < f32["best_ns_per_op"],
+    }
+
+
+def snapshot_gate(runs):
+    ro = runs.get("BenchmarkSnapshotReadUnderWrites/readonly")
+    uw = runs.get("BenchmarkSnapshotReadUnderWrites/underwrites")
+    if not (ro and uw):
+        return None
+    # Throughput is 1/ns, so the throughput ratio is readonly/underwrites.
+    ratio = ro["best_ns_per_op"] / uw["best_ns_per_op"]
+    return {
+        "readonly_best_ns_per_op": ro["best_ns_per_op"],
+        "underwrites_best_ns_per_op": uw["best_ns_per_op"],
+        "throughput_ratio": ratio,
+        "floor": SNAPSHOT_FLOOR,
+        "pass": ratio >= SNAPSHOT_FLOOR,
+    }
+
+
+def latest_baseline(out_path):
+    """Newest prior BENCH_<n>.json in out.json's directory, skipping the
+    artifact being written."""
+    out_dir = os.path.dirname(os.path.abspath(out_path)) or "."
+    best_n, best_path = -1, None
+    for path in glob.glob(os.path.join(out_dir, "BENCH_*.json")):
+        if os.path.abspath(path) == os.path.abspath(out_path):
+            continue
+        m = re.match(r"BENCH_(\d+)\.json$", os.path.basename(path))
+        if m and int(m.group(1)) > best_n:
+            best_n, best_path = int(m.group(1)), path
+    return best_path
+
+
+def trajectory(runs, out_path):
+    base_path = latest_baseline(out_path)
+    if base_path is None:
+        return None
+    try:
+        with open(base_path) as f:
+            base = json.load(f).get("benchmarks", {})
+    except (OSError, ValueError) as e:
+        return {"baseline": os.path.basename(base_path), "error": str(e)}
+    deltas = {}
+    for name, entry in sorted(runs.items()):
+        prev = base.get(name)
+        if not prev or "best_ns_per_op" not in prev:
+            continue
+        deltas[name] = {
+            "prev_best_ns_per_op": prev["best_ns_per_op"],
+            "best_ns_per_op": entry["best_ns_per_op"],
+            # >1 means this run is faster than the baseline.
+            "speedup_vs_prev": prev["best_ns_per_op"] / entry["best_ns_per_op"],
         }
+    return {"baseline": os.path.basename(base_path), "deltas": deltas}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} <bench-output.txt> <out.json>")
+    src, dst = sys.argv[1], sys.argv[2]
+    runs = parse(src)
+    qgate = quantized_gate(runs)
+    sgate = snapshot_gate(runs)
+    traj = trajectory(runs, dst)
 
     with open(dst, "w") as f:
-        json.dump({"benchmarks": runs, "quantized_gate": gate}, f, indent=2, sort_keys=True)
+        json.dump(
+            {
+                "benchmarks": runs,
+                "quantized_gate": qgate,
+                "snapshot_gate": sgate,
+                "trajectory": traj,
+            },
+            f, indent=2, sort_keys=True,
+        )
         f.write("\n")
 
-    if gate is None:
-        sys.exit("bench_gate: BenchmarkQuantizedPredict/{f32,quantized} runs missing from input")
-    print(
-        "bench_gate: quantized %.0f ns/op vs f32 %.0f ns/op (%.2fx)"
-        % (gate["quantized_best_ns_per_op"], gate["f32_best_ns_per_op"], gate["speedup"])
-    )
-    if not gate["pass"]:
-        sys.exit("bench_gate: FAIL — quantized PREDICT must be faster than f32 end-to-end")
+    if traj and "deltas" in traj:
+        print(f"bench_gate: trajectory vs {traj['baseline']}:")
+        for name, d in traj["deltas"].items():
+            print("  %-55s %8.0f -> %8.0f ns/op (%.2fx)"
+                  % (name, d["prev_best_ns_per_op"], d["best_ns_per_op"],
+                     d["speedup_vs_prev"]))
+
+    failures = []
+    if qgate is None:
+        failures.append("BenchmarkQuantizedPredict/{f32,quantized} runs missing from input")
+    else:
+        print("bench_gate: quantized %.0f ns/op vs f32 %.0f ns/op (%.2fx)"
+              % (qgate["quantized_best_ns_per_op"], qgate["f32_best_ns_per_op"],
+                 qgate["speedup"]))
+        if not qgate["pass"]:
+            failures.append("quantized PREDICT must be faster than f32 end-to-end")
+    if sgate is None:
+        failures.append("BenchmarkSnapshotReadUnderWrites/{readonly,underwrites} runs missing from input")
+    else:
+        print("bench_gate: snapshot reads under writes at %.2fx read-only throughput (floor %.2f)"
+              % (sgate["throughput_ratio"], sgate["floor"]))
+        if not sgate["pass"]:
+            failures.append(
+                "PREDICT under a concurrent writer fell below %.2fx of the read-only baseline"
+                % SNAPSHOT_FLOOR)
+    if failures:
+        sys.exit("bench_gate: FAIL — " + "; ".join(failures))
 
 
 if __name__ == "__main__":
