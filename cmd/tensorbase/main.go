@@ -15,6 +15,18 @@
 // --demo seeds a feature table and model so PREDICT works out of the box.
 // With --slow-query D, statements slower than D are logged to stderr with
 // their per-operator span summary.
+//
+// Replication (see internal/repl):
+//
+//	--repl-listen ADDR      stream committed WAL groups to replicas dialing ADDR
+//	--replicate-from ADDR   run as a read replica of the primary at ADDR
+//	                        (writes are rejected; reads serve the applied CSN)
+//	--replicas N            spin up N in-process replicas and route HTTP
+//	                        reads across them (single-process cluster)
+//
+// SIGTERM with --serve drains gracefully: new statements get 503 +
+// Retry-After, in-flight ones finish, the engine checkpoints, and the
+// process exits 0.
 package main
 
 import (
@@ -30,12 +42,16 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"tensorbase/internal/data"
 	"tensorbase/internal/engine"
 	"tensorbase/internal/exec"
 	"tensorbase/internal/nn"
 	"tensorbase/internal/obs"
+	"tensorbase/internal/repl"
+	"tensorbase/internal/retry"
 	"tensorbase/internal/server"
 	"tensorbase/internal/table"
 )
@@ -54,9 +70,12 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "SQL-over-HTTP session cap (0 = default)")
 	demo := flag.Bool("demo", false, `seed a demo feature table ("txns") and model ("Fraud-FC-32") so PREDICT works out of the box`)
 	slowQuery := flag.Duration("slow-query", 0, "log statements slower than this to stderr with per-operator spans (0 = off)")
+	replListen := flag.String("repl-listen", "", "accept replica log-shipping connections on this address (e.g. :9191)")
+	replicateFrom := flag.String("replicate-from", "", "run as a read replica following the primary at this address; writes are rejected")
+	nReplicas := flag.Int("replicas", 0, "spin up N in-process read replicas and route HTTP reads across them")
 	flag.Parse()
 
-	db, err := engine.Open(*path, engine.Options{
+	eopts := engine.Options{
 		MemoryBudget:           *memBudget,
 		MemoryThreshold:        *threshold,
 		ResultCache:            *cacheDist >= 0,
@@ -67,14 +86,42 @@ func main() {
 		DisablePredictCoalesce: *noCoalesce,
 		PredictCoalesceWindow:  *coalesceWindow,
 		SlowQueryThreshold:     *slowQuery,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tensorbase:", err)
-		os.Exit(1)
 	}
-	defer db.Close()
+
+	// Replica mode: the follower engine is owned by the replication loop;
+	// local statements read the applied snapshot, writes are rejected.
+	var follower *repl.Replica
+	var db *engine.DB
+	if *replicateFrom != "" {
+		addr := *replicateFrom
+		rep, err := repl.NewReplica(*path, repl.ReplicaOptions{
+			Name:   "replica@" + addr,
+			Dial:   func() (net.Conn, error) { return net.Dial("tcp", addr) },
+			Engine: eopts,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tensorbase:", err)
+			os.Exit(1)
+		}
+		follower = rep
+		defer rep.Close()
+		db = rep.DB()
+		fmt.Fprintf(os.Stderr, "replicating from %s (reads only; applied CSN %d)\n", addr, rep.AppliedCSN())
+	} else {
+		var err error
+		db, err = engine.Open(*path, eopts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tensorbase:", err)
+			os.Exit(1)
+		}
+		defer db.Close()
+	}
 
 	if *demo {
+		if follower != nil {
+			fmt.Fprintln(os.Stderr, "tensorbase: --demo cannot seed a read replica")
+			os.Exit(1)
+		}
 		if err := seedDemo(db); err != nil {
 			fmt.Fprintln(os.Stderr, "tensorbase: demo seed:", err)
 			db.Close()
@@ -83,10 +130,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, `demo: seeded table "txns" (4096 rows) and model "Fraud-FC-32"`)
 	}
 
+	// Primary-side replication: ship committed groups to replicas, either
+	// over TCP (--repl-listen) or to in-process followers (--replicas).
+	var primary *repl.Primary
+	if (*replListen != "" || *nReplicas > 0) && follower == nil {
+		primary = repl.NewPrimary(db, repl.PrimaryOptions{})
+		defer primary.Close()
+	}
+	if *replListen != "" {
+		if primary == nil {
+			fmt.Fprintln(os.Stderr, "tensorbase: --repl-listen is a primary flag; drop it in --replicate-from mode")
+			os.Exit(1)
+		}
+		rln, err := net.Listen("tcp", *replListen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tensorbase: repl-listen:", err)
+			os.Exit(1)
+		}
+		defer rln.Close()
+		fmt.Fprintf(os.Stderr, "shipping commits to replicas on %s\n", rln.Addr())
+		go primary.Serve(rln)
+	}
+	var nodes []server.ReadNode
+	for i := 0; i < *nReplicas && primary != nil; i++ {
+		p := primary
+		rep, err := repl.NewReplica(fmt.Sprintf("%s.replica-%d", *path, i), repl.ReplicaOptions{
+			Name: fmt.Sprintf("replica-%d", i),
+			Dial: func() (net.Conn, error) {
+				c1, c2 := net.Pipe()
+				p.Attach(c2, nil)
+				return c1, nil
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tensorbase: replica:", err)
+			os.Exit(1)
+		}
+		defer rep.Close()
+		nodes = append(nodes, rep)
+	}
+	if len(nodes) > 0 {
+		fmt.Fprintf(os.Stderr, "routing reads across %d in-process replicas\n", len(nodes))
+	}
+
+	var srv *server.Server
 	if *serve != "" {
 		obs.RegisterRuntime(db.Registry())
-		srv := server.New(db, server.Options{MaxSessions: *maxSessions})
+		srv = server.New(db, server.Options{MaxSessions: *maxSessions})
 		defer srv.Close()
+		if len(nodes) > 0 {
+			srv.SetRouter(server.NewRouter(db, nodes, retry.Policy{}))
+		}
 		mux := obs.Mux(db.Registry())
 		srv.Attach(mux)
 		ln, err := net.Listen("tcp", *serve)
@@ -98,6 +192,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serving /query, /metrics, and /debug/pprof on http://%s\n", ln.Addr())
 		go http.Serve(ln, mux)
 	}
+
+	// SIGTERM drains gracefully: refuse new statements (503 + Retry-After),
+	// let in-flight ones finish, checkpoint, exit 0.
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGTERM)
+	go func() {
+		<-term
+		fmt.Fprintln(os.Stderr, "SIGTERM: draining")
+		if srv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "tensorbase: drain:", err)
+			}
+			cancel()
+		}
+		if follower != nil {
+			follower.Close()
+		} else {
+			db.Close()
+		}
+		os.Exit(0)
+	}()
 
 	fmt.Println("tensorbase — serving deep learning models from a relational database")
 	fmt.Println(`type SQL, or \help`)

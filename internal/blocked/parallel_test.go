@@ -197,7 +197,7 @@ func TestMultiplyStreamingAllocsIndependentOfK(t *testing.T) {
 			}
 		})
 	}
-	few := measure(4 * bs)  // 4 k-steps for the single result block
+	few := measure(4 * bs)   // 4 k-steps for the single result block
 	many := measure(16 * bs) // 16 k-steps
 	// Allow a little slack for map growth in the result matrix.
 	if many > few+2 {

@@ -100,6 +100,13 @@ type Options struct {
 	// tests can schedule crashes inside WAL replay (see SetFaults for
 	// points installed after Open).
 	Faults *fault.Injector
+	// Follower opens the engine as a replication replica (see follower.go):
+	// local writes are rejected, and recovery resumes at the highest
+	// COMMITTED CSN rather than the highest CSN the log mentions — a group
+	// whose apply crashed mid-way must not count as applied, or the stream
+	// would skip re-delivering it. A primary must NOT set this: its burned
+	// (aborted) CSNs may never be reissued.
+	Follower bool
 }
 
 func (o Options) withDefaults() Options {
@@ -179,8 +186,16 @@ type DB struct {
 	csnMu        sync.Mutex // guards nextCSN
 	nextCSN      uint64
 	committedCSN atomic.Uint64
-	pubMu        sync.Mutex // guards in-order CSN publication
+	pubMu        sync.Mutex // guards in-order CSN publication and shipper
 	pubCond      *sync.Cond
+
+	// shipper, when set, receives every published commit in CSN order (see
+	// publish in txn.go) — the replication primary's tap into the commit
+	// protocol. follower marks this engine a replication replica: local
+	// writes are rejected and ApplyReplicated (follower.go) is the only
+	// mutation path.
+	shipper  Shipper
+	follower atomic.Bool
 
 	// Background checkpointer lifecycle and counters.
 	ckptMu      sync.Mutex // one checkpoint at a time
@@ -215,12 +230,12 @@ func Open(path string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
-		path:   path,
-		disk:   disk,
-		pool:   storage.NewBufferPool(disk, opts.BufferFrames),
-		cat:    catalog.New(),
-		budget: memlimit.NewBudget(opts.MemoryBudget),
-		opt:    core.NewOptimizer(opts.MemoryThreshold),
+		path:       path,
+		disk:       disk,
+		pool:       storage.NewBufferPool(disk, opts.BufferFrames),
+		cat:        catalog.New(),
+		budget:     memlimit.NewBudget(opts.MemoryBudget),
+		opt:        core.NewOptimizer(opts.MemoryThreshold),
 		udfs:       udf.NewRegistry(),
 		opts:       opts,
 		locks:      lockmgr.New(),
@@ -243,6 +258,9 @@ func Open(path string, opts Options) (*DB, error) {
 		wlog.Close()
 		disk.Close()
 		return nil, err
+	}
+	if opts.Follower {
+		db.follower.Store(true)
 	}
 	if err := db.recover(); err != nil {
 		wlog.Close()
@@ -336,6 +354,26 @@ func (db *DB) registerMetrics() {
 	r.GaugeFunc("tensorbase_compute_tokens_total", "process-wide compute token budget", func() float64 { return float64(parallel.Default().Total()) })
 	r.GaugeFunc("tensorbase_compute_tokens_in_use", "compute tokens currently held", func() float64 { return float64(parallel.Default().InUse()) })
 	r.GaugeFunc("tensorbase_compute_tokens_highwater", "peak compute tokens simultaneously held", func() float64 { return float64(parallel.Default().HighWater()) })
+}
+
+// Shipper taps the engine's commit protocol for replication: Ship is
+// called once per published CSN, strictly in CSN order, inside the
+// publication critical section, with the statement's WAL records (nil for
+// an abort — a pure CSN advance). Truncated is called after a checkpoint
+// truncates the WAL, with the committed horizon the checkpoint folded in.
+// Implementations must not call back into the engine's write path.
+type Shipper interface {
+	Ship(csn uint64, recs []*wal.Record)
+	Truncated(throughCSN uint64)
+}
+
+// SetShipper installs (or, with nil, removes) the commit-stream tap. The
+// swap synchronizes with in-flight publications, so after SetShipper
+// returns the shipper sees every later commit exactly once.
+func (db *DB) SetShipper(s Shipper) {
+	db.pubMu.Lock()
+	db.shipper = s
+	db.pubMu.Unlock()
 }
 
 // Registry exposes the metrics registry (the export surface mounts it).
@@ -462,6 +500,9 @@ func (db *DB) EnableOffload(rt *dlruntime.Runtime, minFlopsPerByte float64) {
 // the model stays registered in memory — still served, and persisted by
 // the next successful checkpoint — but LoadModel reports the error.
 func (db *DB) LoadModel(m *nn.Model, accuracy float64) error {
+	if db.follower.Load() {
+		return ErrReadOnly
+	}
 	held, err := db.locks.Acquire(nil, lockmgr.Request{DDL: true})
 	if err != nil {
 		return err
@@ -478,34 +519,36 @@ func (db *DB) LoadModel(m *nn.Model, accuracy float64) error {
 		return nil
 	}
 	csn := db.beginCSN()
-	if err := db.commitModelLoad(m, accuracy, csn); err != nil {
+	rec, err := db.commitModelLoad(m, accuracy, csn)
+	if err != nil {
 		db.abortCSN(csn)
 		return fmt.Errorf("engine: model %q is registered but its load did not commit durably: %w", m.Name(), err)
 	}
-	db.publishCSN(csn)
+	db.publish(csn, []*wal.Record{rec})
 	return nil
 }
 
 // commitModelLoad writes the model file durably under a WAL-generation
-// name and commits the load through the log.
-func (db *DB) commitModelLoad(m *nn.Model, accuracy float64, csn uint64) error {
+// name and commits the load through the log, returning the logged record.
+func (db *DB) commitModelLoad(m *nn.Model, accuracy float64, csn uint64) (*wal.Record, error) {
 	if err := os.MkdirAll(db.modelsDir(), 0o755); err != nil {
-		return fmt.Errorf("engine: creating models dir: %w", err)
+		return nil, fmt.Errorf("engine: creating models dir: %w", err)
 	}
 	file := filepath.Join(db.modelsDir(), fmt.Sprintf("wal-%08d.tbm", csn))
 	if err := db.saveModelDurable(file, m); err != nil {
-		return err
+		return nil, err
 	}
 	if err := syncDir(db.modelsDir()); err != nil {
-		return err
+		return nil, err
 	}
-	if _, err := db.wal.Append(&wal.Record{
+	rec := &wal.Record{
 		Type: wal.RecLoadModel, CSN: csn,
 		Model: m.Name(), File: file, Acc: accuracy,
-	}); err != nil {
-		return err
 	}
-	return db.wal.Commit(csn)
+	if _, err := db.wal.Append(rec); err != nil {
+		return nil, err
+	}
+	return rec, db.wal.Commit(csn)
 }
 
 // registerModel installs a model in memory only: the catalog entry, the
@@ -801,6 +844,9 @@ func (db *DB) execInner(ctx context.Context, sqlText string, profile bool) (res 
 	// nothing and skip the lock manager entirely — their isolation comes
 	// from the snapshot CSN pinned in runSelect.
 	if req := lockRequest(st); req.DDL || len(req.Tables) > 0 {
+		if db.follower.Load() {
+			return nil, nil, ErrReadOnly
+		}
 		held, err := db.locks.Acquire(tok, req)
 		if err != nil {
 			return nil, nil, err
@@ -860,7 +906,8 @@ func (db *DB) execDrop(name string) (*Result, error) {
 		return nil, fmt.Errorf("engine: walking %q page chain: %w", name, err)
 	}
 	csn := db.beginCSN()
-	if _, err := db.wal.Append(&wal.Record{Type: wal.RecDropTable, CSN: csn, Table: name}); err != nil {
+	rec := &wal.Record{Type: wal.RecDropTable, CSN: csn, Table: name}
+	if _, err := db.wal.Append(rec); err != nil {
 		db.abortCSN(csn)
 		return nil, err
 	}
@@ -879,7 +926,7 @@ func (db *DB) execDrop(name string) (*Result, error) {
 		}
 	}
 	db.vmu.Unlock()
-	db.publishCSN(csn)
+	db.publish(csn, []*wal.Record{rec})
 	// Wait out in-flight read statements before the pages change owners;
 	// readers arriving after the drain re-check the catalog and fail with
 	// "no such table".
@@ -930,13 +977,16 @@ func (db *DB) createTableLocked(name string, schema *table.Schema) (*table.Heap,
 		db.abortCSN(csn)
 		return nil, err
 	}
-	db.publishCSN(csn)
+	db.publish(csn, []*wal.Record{rec})
 	return heap, nil
 }
 
 // CreateTable registers a table programmatically (the API twin of
 // CREATE TABLE). Like the statement, it runs under the catalog DDL latch.
 func (db *DB) CreateTable(name string, schema *table.Schema) (*table.Heap, error) {
+	if db.follower.Load() {
+		return nil, ErrReadOnly
+	}
 	held, err := db.locks.Acquire(nil, lockmgr.Request{DDL: true})
 	if err != nil {
 		return nil, err
@@ -949,6 +999,9 @@ func (db *DB) CreateTable(name string, schema *table.Schema) (*table.Heap, error
 // exclusive lock (the API twin of INSERT). The batch commits atomically:
 // either every row is durable and visible, or none is.
 func (db *DB) InsertRows(name string, rows []table.Tuple) (int64, error) {
+	if db.follower.Load() {
+		return 0, ErrReadOnly
+	}
 	held, err := db.locks.Acquire(nil, lockmgr.Request{
 		Tables: []lockmgr.TableLock{{Table: name, Mode: lockmgr.Exclusive}},
 	})

@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tensorbase/internal/fault"
+	"tensorbase/internal/wal"
+)
+
+// The follower-mode primitives behind internal/repl: write rejection, the
+// commit-stream shipper tap, snapshot capture, and ApplyReplicated's
+// atomic group replay. The replication package's chaos suite drives these
+// under faults; here each primitive is proved in isolation.
+
+// recShipper records every Ship call for assertions.
+type recShipper struct {
+	groups []shippedGroup
+	truncs []uint64
+}
+
+type shippedGroup struct {
+	csn  uint64
+	recs []*wal.Record
+}
+
+func (s *recShipper) Ship(csn uint64, recs []*wal.Record) {
+	s.groups = append(s.groups, shippedGroup{csn, recs})
+}
+func (s *recShipper) Truncated(through uint64) { s.truncs = append(s.truncs, through) }
+
+func TestFollowerRejectsWrites(t *testing.T) {
+	db := openDB(t, Options{})
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	db.SetFollower(true)
+	if !db.IsFollower() {
+		t.Fatal("IsFollower() = false after SetFollower(true)")
+	}
+	for _, stmt := range []string{
+		"INSERT INTO t VALUES (1)",
+		"CREATE TABLE u (a INT)",
+		"DROP TABLE t",
+	} {
+		if _, err := db.Exec(stmt); !errors.Is(err, ErrReadOnly) {
+			t.Fatalf("Exec(%q) = %v, want ErrReadOnly", stmt, err)
+		}
+	}
+	if _, err := db.InsertRows("t", nil); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("InsertRows = %v, want ErrReadOnly", err)
+	}
+	if _, err := db.CreateTable("v", nil); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("CreateTable = %v, want ErrReadOnly", err)
+	}
+	// Reads still serve.
+	if res := mustExec(t, db, "SELECT a FROM t"); len(res.Rows) != 0 {
+		t.Fatalf("SELECT rows = %d", len(res.Rows))
+	}
+	db.SetFollower(false)
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+}
+
+func TestShipperSeesCommitsInCSNOrder(t *testing.T) {
+	db := openDB(t, Options{})
+	ship := &recShipper{}
+	db.SetShipper(ship)
+	mustExec(t, db, "CREATE TABLE t (a INT, b DOUBLE)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 1.5), (2, 2.5)")
+	mustExec(t, db, "INSERT INTO t VALUES (3, 3.5)")
+	mustExec(t, db, "DROP TABLE t")
+	db.SetShipper(nil)
+	mustExec(t, db, "CREATE TABLE unseen (a INT)")
+
+	if len(ship.groups) != 4 {
+		t.Fatalf("shipped %d groups, want 4", len(ship.groups))
+	}
+	for i, g := range ship.groups {
+		if i > 0 && g.csn != ship.groups[i-1].csn+1 {
+			t.Fatalf("group %d has csn %d after %d — not gap-free", i, g.csn, ship.groups[i-1].csn)
+		}
+	}
+	if ship.groups[0].recs[0].Type != wal.RecCreateTable {
+		t.Fatalf("group 0 is %d, want create", ship.groups[0].recs[0].Type)
+	}
+	if n := len(ship.groups[1].recs); n != 2 {
+		t.Fatalf("insert group shipped %d records, want 2", n)
+	}
+	if ship.groups[3].recs[0].Type != wal.RecDropTable {
+		t.Fatalf("group 3 is %d, want drop", ship.groups[3].recs[0].Type)
+	}
+}
+
+func TestShipperTruncatedOnCheckpoint(t *testing.T) {
+	db := openDB(t, Options{})
+	ship := &recShipper{}
+	db.SetShipper(ship)
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ship.truncs) != 1 || ship.truncs[0] != db.CommittedCSN() {
+		t.Fatalf("Truncated calls %v, want one at committed CSN %d", ship.truncs, db.CommittedCSN())
+	}
+}
+
+// TestApplyReplicatedStreamsCommits pipes a primary's shipped groups into a
+// follower and asserts bit-identical SELECT results at the same CSN.
+func TestApplyReplicatedStreamsCommits(t *testing.T) {
+	primary := openDB(t, Options{})
+	replica := openDB(t, Options{})
+	replica.SetFollower(true)
+	ship := &recShipper{}
+	primary.SetShipper(ship)
+
+	mustExec(t, primary, "CREATE TABLE t (a INT, s TEXT)")
+	for i := 0; i < 5; i++ {
+		mustExec(t, primary, fmt.Sprintf("INSERT INTO t VALUES (%d, 'row-%d')", i, i))
+	}
+	for _, g := range ship.groups {
+		if err := replica.ApplyReplicated(g.csn, g.recs, false); err != nil {
+			t.Fatalf("apply csn %d: %v", g.csn, err)
+		}
+	}
+	if replica.CommittedCSN() != primary.CommittedCSN() {
+		t.Fatalf("replica CSN %d, primary %d", replica.CommittedCSN(), primary.CommittedCSN())
+	}
+	assertSameResults(t, primary, replica, "SELECT a, s FROM t")
+
+	// Duplicate delivery of an applied group is a no-op.
+	last := ship.groups[len(ship.groups)-1]
+	if err := replica.ApplyReplicated(last.csn, last.recs, false); err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, primary, replica, "SELECT a, s FROM t")
+}
+
+// TestApplyReplicatedResync snapshots a primary with existing data into a
+// replica that holds diverged state; the resync group must atomically
+// replace it.
+func TestApplyReplicatedResync(t *testing.T) {
+	primary := openDB(t, Options{})
+	mustExec(t, primary, "CREATE TABLE t (a INT)")
+	mustExec(t, primary, "INSERT INTO t VALUES (10), (20), (30)")
+	mustExec(t, primary, "CREATE TABLE other (b DOUBLE)")
+	mustExec(t, primary, "INSERT INTO other VALUES (1.25)")
+
+	replica := openDB(t, Options{})
+	mustExec(t, replica, "CREATE TABLE stale (z INT)") // diverged local state
+	mustExec(t, replica, "INSERT INTO stale VALUES (99)")
+	replica.SetFollower(true)
+
+	csn, recs, models, err := primary.ReplicaSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 0 {
+		t.Fatalf("unexpected models in snapshot: %d", len(models))
+	}
+	if err := replica.ApplyReplicated(csn, recs, true); err != nil {
+		t.Fatalf("resync: %v", err)
+	}
+	if replica.CommittedCSN() != csn {
+		t.Fatalf("replica CSN %d after resync, want %d", replica.CommittedCSN(), csn)
+	}
+	if _, err := replica.Exec("SELECT z FROM stale"); err == nil {
+		t.Fatal("diverged table survived the resync")
+	}
+	assertSameResults(t, primary, replica, "SELECT a FROM t")
+	assertSameResults(t, primary, replica, "SELECT b FROM other")
+
+	// The replica recovers its replicated state across a clean restart.
+	replPath := replica.path
+	if err := replica.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(replPath, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { re.Close() })
+	assertSameResults(t, primary, re, "SELECT a FROM t")
+}
+
+// TestApplyReplicatedCrashMidGroupRollsBack: a group whose commit record
+// never lands must vanish entirely at the replica's next open.
+func TestApplyReplicatedCrashMidGroupRollsBack(t *testing.T) {
+	primary := openDB(t, Options{})
+	ship := &recShipper{}
+	primary.SetShipper(ship)
+	mustExec(t, primary, "CREATE TABLE t (a INT)")
+	mustExec(t, primary, "INSERT INTO t VALUES (1), (2), (3)")
+
+	path := filepath.Join(t.TempDir(), "r.db")
+	// No background checkpointer: a checkpoint between the failed apply and
+	// Crash() would persist the half-applied group this test kills.
+	replica, err := Open(path, Options{Follower: true, CheckpointWALBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply the create, then make the insert group's commit fail.
+	if err := replica.ApplyReplicated(ship.groups[0].csn, ship.groups[0].recs, false); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the COMMIT record's append (the 4th append after the injector
+	// installs: three inserts, then the commit). Failing the fsync instead
+	// would still leave the commit record in the OS page cache, which an
+	// in-process "crash" cannot lose.
+	inj := fault.New()
+	inj.FailAt(wal.FPAppend, errors.New("injected append failure"), 4)
+	replica.SetFaults(inj)
+	g := ship.groups[1]
+	if err := replica.ApplyReplicated(g.csn, g.recs, false); err == nil {
+		t.Fatal("apply succeeded under a failing WAL commit")
+	}
+	if err := replica.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path, Options{Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { re.Close() })
+	res := mustExec(t, re, "SELECT a FROM t")
+	if len(res.Rows) != 0 {
+		t.Fatalf("half-applied group left %d rows after recovery", len(res.Rows))
+	}
+	// The stream re-delivers the group; now it lands.
+	if err := re.ApplyReplicated(g.csn, g.recs, false); err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, primary, re, "SELECT a FROM t")
+}
+
+func assertSameResults(t *testing.T, a, b *DB, query string) {
+	t.Helper()
+	ra, err := a.Exec(query)
+	if err != nil {
+		t.Fatalf("primary %q: %v", query, err)
+	}
+	rb, err := b.Exec(query)
+	if err != nil {
+		t.Fatalf("replica %q: %v", query, err)
+	}
+	if !reflect.DeepEqual(ra.Rows, rb.Rows) {
+		t.Fatalf("%q diverged:\nprimary: %v\nreplica: %v", query, ra.Rows, rb.Rows)
+	}
+}

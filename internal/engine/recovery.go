@@ -148,9 +148,13 @@ func (db *DB) replayWAL() error {
 	// is absent from the catalog belongs to an instance a later committed
 	// drop removed (handled above or earlier in the log) — skipped.
 	maxCSN := info.CommitCSN
+	maxCommitted := info.CommitCSN
 	if err := db.wal.Replay(func(r *wal.Record) error {
 		if r.CSN > maxCSN {
 			maxCSN = r.CSN
+		}
+		if committed[r.CSN] && r.CSN > maxCommitted {
+			maxCommitted = r.CSN
 		}
 		if r.Type == wal.RecCommit || !committed[r.CSN] {
 			return nil
@@ -221,6 +225,15 @@ func (db *DB) replayWAL() error {
 	// Resume CSNs above everything the log mentions — including uncommitted
 	// statements, whose numbers must not be reissued while their records
 	// are still in the log (the checkpoint that ends recovery empties it).
+	// A follower instead resumes at the highest COMMITTED CSN: an
+	// uncommitted suffix is a replicated group whose apply died mid-way,
+	// and counting it as applied would make the replica skip its
+	// re-delivery (followers never allocate CSNs, so reissue is moot).
+	if db.follower.Load() {
+		db.nextCSN = maxCommitted
+		db.committedCSN.Store(maxCommitted)
+		return nil
+	}
 	db.nextCSN = maxCSN
 	db.committedCSN.Store(maxCSN)
 	return nil

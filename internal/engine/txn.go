@@ -34,18 +34,28 @@ func (db *DB) beginCSN() uint64 {
 	return csn
 }
 
-// publishCSN advances the committed horizon to csn, waiting until every
+// publish advances the committed horizon to csn, waiting until every
 // earlier CSN has published — snapshots never observe commit c+1 without c
-// being decided.
-func (db *DB) publishCSN(csn uint64) {
+// being decided. recs are the statement's WAL records (nil for an abort);
+// they are handed to the shipper INSIDE the publication critical section,
+// so the replication stream observes commits in exactly CSN order with no
+// gaps, the same total order recovery replays.
+func (db *DB) publish(csn uint64, recs []*wal.Record) {
 	db.pubMu.Lock()
 	for db.committedCSN.Load() != csn-1 {
 		db.pubCond.Wait()
 	}
 	db.committedCSN.Store(csn)
+	if db.shipper != nil {
+		db.shipper.Ship(csn, recs)
+	}
 	db.pubMu.Unlock()
 	db.pubCond.Broadcast()
 }
+
+// publishCSN publishes csn with no records to ship (metadata-only commits
+// whose records the caller passes to publish directly use publish instead).
+func (db *DB) publishCSN(csn uint64) { db.publish(csn, nil) }
 
 // abortCSN publishes csn with no commit record in the WAL: the statement's
 // rows must already be physically rolled back. Recovery never sees a commit
@@ -93,6 +103,7 @@ func (db *DB) insertTuples(name string, h *table.Heap, rows []table.Tuple, tok *
 	}
 	csn := db.beginCSN()
 	rids := make([]table.RID, 0, len(rows))
+	recs := make([]*wal.Record, 0, len(rows))
 	abort := func(err error) (int64, error) {
 		if rerr := h.Rollback(rids); rerr != nil {
 			err = fmt.Errorf("%w (and rolling back %d rows: %v)", err, len(rids), rerr)
@@ -108,7 +119,8 @@ func (db *DB) insertTuples(name string, h *table.Heap, rows []table.Tuple, tok *
 		if err != nil {
 			return abort(err)
 		}
-		if _, err := db.wal.Append(&wal.Record{Type: wal.RecInsert, CSN: csn, Table: name, Data: rec}); err != nil {
+		wrec := &wal.Record{Type: wal.RecInsert, CSN: csn, Table: name, Data: rec}
+		if _, err := db.wal.Append(wrec); err != nil {
 			return abort(err)
 		}
 		rid, err := h.InsertRecordAt(rec, csn)
@@ -116,10 +128,11 @@ func (db *DB) insertTuples(name string, h *table.Heap, rows []table.Tuple, tok *
 			return abort(err)
 		}
 		rids = append(rids, rid)
+		recs = append(recs, wrec)
 	}
 	if err := db.wal.Commit(csn); err != nil {
 		return abort(err)
 	}
-	db.publishCSN(csn)
+	db.publish(csn, recs)
 	return int64(len(rows)), nil
 }

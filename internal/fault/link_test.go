@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLinkNilIsPerfect(t *testing.T) {
+	var l *Link
+	for i := 0; i < 10; i++ {
+		if v := l.Next(); v.Drop || v.Dup || v.Hold || v.Delay != 0 {
+			t.Fatalf("nil link produced verdict %+v", v)
+		}
+	}
+	if l.Partitioned() || l.Dropped() != 0 || l.Delivered() != 0 {
+		t.Fatal("nil link has state")
+	}
+	l.SetPartitioned(true) // must not panic
+}
+
+func TestLinkCleanByDefault(t *testing.T) {
+	l := NewLink(1)
+	for i := 0; i < 1000; i++ {
+		if v := l.Next(); v.Drop || v.Dup || v.Hold || v.Delay != 0 {
+			t.Fatalf("clean link produced verdict %+v at frame %d", v, i)
+		}
+	}
+	if got := l.Delivered(); got != 1000 {
+		t.Fatalf("Delivered = %d, want 1000", got)
+	}
+}
+
+func TestLinkSeededDeterminism(t *testing.T) {
+	run := func() []Verdict {
+		l := NewLink(42)
+		l.SetDrop(0.2)
+		l.SetDuplicate(0.2)
+		l.SetReorder(0.2)
+		l.SetDelay(0.2, time.Millisecond)
+		out := make([]Verdict, 500)
+		for i := range out {
+			out[i] = l.Next()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame %d: %+v vs %+v — same seed must give same schedule", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLinkFaultsActuallyFire(t *testing.T) {
+	l := NewLink(7)
+	l.SetDrop(0.3)
+	l.SetDuplicate(0.3)
+	l.SetReorder(0.3)
+	for i := 0; i < 2000; i++ {
+		l.Next()
+	}
+	if l.Dropped() == 0 || l.Duplicated() == 0 || l.Reordered() == 0 {
+		t.Fatalf("after 2000 frames: dropped=%d dup=%d reordered=%d — some fault never fired",
+			l.Dropped(), l.Duplicated(), l.Reordered())
+	}
+	total := l.Dropped() + l.Duplicated() + l.Reordered()
+	if total == 0 || total > 2000 {
+		t.Fatalf("implausible fault total %d", total)
+	}
+}
+
+func TestLinkVerdictsAreExclusive(t *testing.T) {
+	l := NewLink(9)
+	l.SetDrop(0.5)
+	l.SetDuplicate(0.5)
+	l.SetReorder(0.5)
+	for i := 0; i < 2000; i++ {
+		v := l.Next()
+		n := 0
+		if v.Drop {
+			n++
+		}
+		if v.Dup {
+			n++
+		}
+		if v.Hold {
+			n++
+		}
+		if n > 1 {
+			t.Fatalf("frame %d: verdict %+v sets multiple modes", i, v)
+		}
+		if v.Drop && v.Delay != 0 {
+			t.Fatalf("frame %d: dropped frame has a delay", i)
+		}
+	}
+}
+
+func TestLinkPartitionBlackHoles(t *testing.T) {
+	l := NewLink(3)
+	l.SetPartitioned(true)
+	if !l.Partitioned() {
+		t.Fatal("Partitioned() = false after SetPartitioned(true)")
+	}
+	for i := 0; i < 100; i++ {
+		if v := l.Next(); !v.Drop {
+			t.Fatalf("frame %d delivered through a partition: %+v", i, v)
+		}
+	}
+	if l.Dropped() != 100 || l.Delivered() != 0 {
+		t.Fatalf("dropped=%d delivered=%d, want 100/0", l.Dropped(), l.Delivered())
+	}
+	l.SetPartitioned(false)
+	if v := l.Next(); v.Drop {
+		t.Fatal("frame dropped after the partition healed")
+	}
+	if l.Delivered() != 1 {
+		t.Fatalf("Delivered = %d after heal, want 1", l.Delivered())
+	}
+}
+
+func TestLinkReleasedCountsDelivery(t *testing.T) {
+	l := NewLink(5)
+	l.Released()
+	if l.Delivered() != 1 {
+		t.Fatalf("Delivered = %d after Released, want 1", l.Delivered())
+	}
+}

@@ -138,10 +138,19 @@ const (
 type entry struct {
 	name, help string
 	kind       kind
+	base       string // metric family for labeled series ("" = name)
 	counter    *Counter
 	gauge      *Gauge
 	fn         func() float64
 	hist       *Histogram
+}
+
+// family returns the name HELP/TYPE lines are emitted under.
+func (e *entry) family() string {
+	if e.base != "" {
+		return e.base
+	}
+	return e.name
 }
 
 // Registry holds named metrics and renders them. Registration takes a lock;
@@ -180,6 +189,22 @@ func (r *Registry) register(name, help string, k kind, build func() *entry) *ent
 func (r *Registry) Counter(name, help string) *Counter {
 	return r.register(name, help, kindCounter, func() *entry {
 		return &entry{counter: &Counter{}}
+	}).counter
+}
+
+// CounterLabeled returns the counter for one labeled series of a metric
+// family, e.g. CounterLabeled("tensorbase_http_rejected_total",
+// `reason="admission"`, "..."). Each (name, labels) pair is its own
+// counter; the family shares one HELP/TYPE block on /metrics when its
+// series are registered consecutively. labels must be valid Prometheus
+// label syntax without the braces.
+func (r *Registry) CounterLabeled(name, labels, help string) *Counter {
+	key := name
+	if labels != "" {
+		key = name + "{" + labels + "}"
+	}
+	return r.register(key, help, kindCounter, func() *entry {
+		return &entry{counter: &Counter{}, base: name}
 	}).counter
 }
 
@@ -264,6 +289,7 @@ func (r *Registry) Snapshot() Snapshot {
 // WritePrometheus renders every metric in the Prometheus text exposition
 // format (version 0.0.4), in registration order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
 	for _, e := range r.entries() {
 		typ := "counter"
 		switch e.kind {
@@ -272,13 +298,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindHistogram:
 			typ = "histogram"
 		}
-		if e.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+		// Labeled series of one family registered consecutively share one
+		// HELP/TYPE block.
+		if fam := e.family(); fam != lastFamily {
+			lastFamily = fam
+			if e.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, e.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ); err != nil {
 				return err
 			}
-		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, typ); err != nil {
-			return err
 		}
 		var err error
 		switch e.kind {

@@ -116,3 +116,45 @@ func TestWritePrometheus(t *testing.T) {
 		}
 	}
 }
+
+func TestCounterLabeled(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterLabeled("tb_rejected_total", `reason="admission"`, "refusals by reason")
+	b := r.CounterLabeled("tb_rejected_total", `reason="draining"`, "refusals by reason")
+	a.Add(3)
+	b.Inc()
+	// Each (name, labels) pair is its own series…
+	if r.CounterLabeled("tb_rejected_total", `reason="admission"`, "") != a {
+		t.Fatal("re-registering a labeled series returned a new counter")
+	}
+	if a == b {
+		t.Fatal("distinct label sets share a counter")
+	}
+	// …snapshotted under its full key.
+	s := r.Snapshot()
+	if got := s.Counter(`tb_rejected_total{reason="admission"}`); got != 3 {
+		t.Fatalf("admission series = %d, want 3", got)
+	}
+	if got := s.Counter(`tb_rejected_total{reason="draining"}`); got != 1 {
+		t.Fatalf("draining series = %d, want 1", got)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP tb_rejected_total refusals by reason",
+		`tb_rejected_total{reason="admission"} 3`,
+		`tb_rejected_total{reason="draining"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Consecutive series of one family share a single TYPE line.
+	if n := strings.Count(out, "# TYPE tb_rejected_total counter"); n != 1 {
+		t.Fatalf("TYPE lines for the family = %d, want 1:\n%s", n, out)
+	}
+}

@@ -1,0 +1,259 @@
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Wire protocol. Every message travels as one CRC-framed blob, the same
+// framing the WAL and the connector batch format use:
+//
+//	u32 len | payload | u32 CRC32-C(payload)
+//
+// payload: u8 msgType | type-specific fields. Primary→replica messages
+// carry a sequence number as their first field; the replica accepts only
+// seq == last+1 — a duplicate (seq ≤ last) is discarded, a gap or reorder
+// resets the stream and the replica reconnects with its applied CSN. The
+// replica→primary direction has exactly one message, the hello.
+//
+// A group message carries one published commit: the CSN and its encoded
+// WAL records; RecLoadModel records additionally carry the model file's
+// bytes inline (read at send time — the file lives on the primary), which
+// the replica stages into its own models directory before applying. A
+// resync message is a whole logical snapshot: records plus named model
+// blobs, applied as one atomic group that replaces the replica's state.
+
+const (
+	msgHello     byte = 1 // replica → primary: u64 appliedCSN
+	msgGroup     byte = 2 // u64 seq | u64 csn | recs with inline model blobs
+	msgHeartbeat byte = 3 // u64 seq | u64 committedCSN
+	msgResync    byte = 4 // u64 seq | u64 snapCSN | recs | model blobs
+)
+
+// maxFrame bounds one message: a resync carries a whole database snapshot
+// in one frame, so the cap is generous; anything larger in a length field
+// is damage or a protocol break.
+const maxFrame = 64 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errStreamBroken is the replica's "reset and reconnect" signal: CRC
+// failure, sequence gap, reorder, unknown message, or a short read.
+var errStreamBroken = errors.New("repl: stream broken")
+
+// writeFrame frames payload and writes it in one Write call (net.Pipe and
+// TCP both deliver it atomically enough for the reader's io.ReadFull).
+func writeFrame(w io.Writer, payload []byte) error {
+	frame := make([]byte, 0, 8+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+	_, err := w.Write(frame)
+	return err
+}
+
+// readFrame reads one frame and returns its CRC-verified payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("%w: frame length %d", errStreamBroken, n)
+	}
+	body := make([]byte, n+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(body[:n], castagnoli) != binary.LittleEndian.Uint32(body[n:]) {
+		return nil, fmt.Errorf("%w: frame CRC mismatch", errStreamBroken)
+	}
+	return body[:n], nil
+}
+
+func appendBytes(b, data []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(data)))
+	return append(b, data...)
+}
+
+func readBytes(b []byte) ([]byte, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return nil, nil, fmt.Errorf("%w: truncated field", errStreamBroken)
+	}
+	return b[sz : sz+int(n)], b[sz+int(n):], nil
+}
+
+// modelBlob is one serialised model riding a group or resync message.
+type modelBlob struct {
+	Name string
+	Acc  float64
+	Data []byte
+}
+
+// groupMsg is one shipped commit group. Blobs parallels Recs: Blobs[i] is
+// the inline model bytes for a RecLoadModel record, nil otherwise.
+type groupMsg struct {
+	Seq   uint64
+	CSN   uint64
+	Recs  [][]byte
+	Blobs [][]byte
+}
+
+func encodeGroup(g *groupMsg) []byte {
+	b := []byte{msgGroup}
+	b = binary.LittleEndian.AppendUint64(b, g.Seq)
+	b = binary.LittleEndian.AppendUint64(b, g.CSN)
+	b = binary.AppendUvarint(b, uint64(len(g.Recs)))
+	for i, rec := range g.Recs {
+		b = appendBytes(b, rec)
+		var blob []byte
+		if i < len(g.Blobs) {
+			blob = g.Blobs[i]
+		}
+		b = appendBytes(b, blob)
+	}
+	return b
+}
+
+func decodeGroup(b []byte) (*groupMsg, error) {
+	if len(b) < 17 {
+		return nil, fmt.Errorf("%w: short group", errStreamBroken)
+	}
+	g := &groupMsg{
+		Seq: binary.LittleEndian.Uint64(b[1:9]),
+		CSN: binary.LittleEndian.Uint64(b[9:17]),
+	}
+	b = b[17:]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > 1<<24 {
+		return nil, fmt.Errorf("%w: bad group record count", errStreamBroken)
+	}
+	b = b[sz:]
+	for i := uint64(0); i < n; i++ {
+		rec, rest, err := readBytes(b)
+		if err != nil {
+			return nil, err
+		}
+		blob, rest, err := readBytes(rest)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		g.Recs = append(g.Recs, rec)
+		if len(blob) > 0 {
+			g.Blobs = append(g.Blobs, blob)
+		} else {
+			g.Blobs = append(g.Blobs, nil)
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing group bytes", errStreamBroken, len(b))
+	}
+	return g, nil
+}
+
+// resyncMsg is a whole snapshot: recs create and fill every table; models
+// are staged then applied as RecLoadModel records at the snapshot CSN.
+type resyncMsg struct {
+	Seq    uint64
+	CSN    uint64
+	Recs   [][]byte
+	Models []modelBlob
+}
+
+func encodeResync(m *resyncMsg) []byte {
+	b := []byte{msgResync}
+	b = binary.LittleEndian.AppendUint64(b, m.Seq)
+	b = binary.LittleEndian.AppendUint64(b, m.CSN)
+	b = binary.AppendUvarint(b, uint64(len(m.Recs)))
+	for _, rec := range m.Recs {
+		b = appendBytes(b, rec)
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Models)))
+	for _, mb := range m.Models {
+		b = appendBytes(b, []byte(mb.Name))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(mb.Acc))
+		b = appendBytes(b, mb.Data)
+	}
+	return b
+}
+
+func decodeResync(b []byte) (*resyncMsg, error) {
+	if len(b) < 17 {
+		return nil, fmt.Errorf("%w: short resync", errStreamBroken)
+	}
+	m := &resyncMsg{
+		Seq: binary.LittleEndian.Uint64(b[1:9]),
+		CSN: binary.LittleEndian.Uint64(b[9:17]),
+	}
+	b = b[17:]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > 1<<24 {
+		return nil, fmt.Errorf("%w: bad resync record count", errStreamBroken)
+	}
+	b = b[sz:]
+	for i := uint64(0); i < n; i++ {
+		rec, rest, err := readBytes(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		m.Recs = append(m.Recs, rec)
+	}
+	n, sz = binary.Uvarint(b)
+	if sz <= 0 || n > 1<<16 {
+		return nil, fmt.Errorf("%w: bad resync model count", errStreamBroken)
+	}
+	b = b[sz:]
+	for i := uint64(0); i < n; i++ {
+		name, rest, err := readBytes(b)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("%w: truncated model accuracy", errStreamBroken)
+		}
+		acc := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		data, rest, err := readBytes(rest[8:])
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		m.Models = append(m.Models, modelBlob{Name: string(name), Acc: acc, Data: data})
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing resync bytes", errStreamBroken, len(b))
+	}
+	return m, nil
+}
+
+func encodeHello(applied uint64) []byte {
+	b := []byte{msgHello}
+	return binary.LittleEndian.AppendUint64(b, applied)
+}
+
+func decodeHello(b []byte) (uint64, error) {
+	if len(b) != 9 || b[0] != msgHello {
+		return 0, fmt.Errorf("%w: bad hello", errStreamBroken)
+	}
+	return binary.LittleEndian.Uint64(b[1:9]), nil
+}
+
+func encodeHeartbeat(seq, csn uint64) []byte {
+	b := []byte{msgHeartbeat}
+	b = binary.LittleEndian.AppendUint64(b, seq)
+	return binary.LittleEndian.AppendUint64(b, csn)
+}
+
+func decodeHeartbeat(b []byte) (seq, csn uint64, err error) {
+	if len(b) != 17 {
+		return 0, 0, fmt.Errorf("%w: bad heartbeat", errStreamBroken)
+	}
+	return binary.LittleEndian.Uint64(b[1:9]), binary.LittleEndian.Uint64(b[9:17]), nil
+}

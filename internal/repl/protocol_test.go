@@ -1,0 +1,122 @@
+package repl
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello, replication")
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload %q round-tripped to %q", payload, got)
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[5] ^= 0x40 // flip a payload bit
+	if _, err := readFrame(bytes.NewReader(raw)); !errors.Is(err, errStreamBroken) {
+		t.Fatalf("corrupt frame read = %v, want errStreamBroken", err)
+	}
+}
+
+func TestFrameRejectsInsaneLength(t *testing.T) {
+	raw := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	if _, err := readFrame(bytes.NewReader(raw)); !errors.Is(err, errStreamBroken) {
+		t.Fatalf("oversized length = %v, want errStreamBroken", err)
+	}
+}
+
+func TestGroupRoundTrip(t *testing.T) {
+	g := &groupMsg{
+		Seq:   7,
+		CSN:   42,
+		Recs:  [][]byte{[]byte("rec-one"), []byte("rec-two"), []byte("model-rec")},
+		Blobs: [][]byte{nil, nil, []byte("model-bytes")},
+	}
+	got, err := decodeGroup(encodeGroup(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, got) {
+		t.Fatalf("group round-trip:\nsent %+v\ngot  %+v", g, got)
+	}
+}
+
+func TestGroupRejectsTrailingBytes(t *testing.T) {
+	b := encodeGroup(&groupMsg{Seq: 1, CSN: 1, Recs: [][]byte{[]byte("r")}, Blobs: [][]byte{nil}})
+	if _, err := decodeGroup(append(b, 0xEE)); !errors.Is(err, errStreamBroken) {
+		t.Fatalf("trailing bytes = %v, want errStreamBroken", err)
+	}
+}
+
+func TestResyncRoundTrip(t *testing.T) {
+	m := &resyncMsg{
+		Seq:  3,
+		CSN:  99,
+		Recs: [][]byte{[]byte("create"), []byte("insert")},
+		Models: []modelBlob{
+			{Name: "Fraud-FC-32", Acc: 0.95, Data: []byte("weights")},
+		},
+	}
+	got, err := decodeResync(encodeResync(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("resync round-trip:\nsent %+v\ngot  %+v", m, got)
+	}
+}
+
+func TestResyncRejectsTruncation(t *testing.T) {
+	b := encodeResync(&resyncMsg{Seq: 1, CSN: 1, Models: []modelBlob{{Name: "m", Data: []byte("d")}}})
+	for cut := 18; cut < len(b); cut += 3 {
+		if _, err := decodeResync(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+}
+
+func TestHelloAndHeartbeatRoundTrip(t *testing.T) {
+	csn, err := decodeHello(encodeHello(1234))
+	if err != nil || csn != 1234 {
+		t.Fatalf("hello round-trip = (%d, %v)", csn, err)
+	}
+	if _, err := decodeHello([]byte{msgHello, 1}); !errors.Is(err, errStreamBroken) {
+		t.Fatalf("short hello = %v", err)
+	}
+	seq, hcsn, err := decodeHeartbeat(encodeHeartbeat(9, 77))
+	if err != nil || seq != 9 || hcsn != 77 {
+		t.Fatalf("heartbeat round-trip = (%d, %d, %v)", seq, hcsn, err)
+	}
+}
+
+func TestCheckSeq(t *testing.T) {
+	var last uint64
+	if dup, err := checkSeq(&last, 1); dup || err != nil {
+		t.Fatalf("seq 1: dup=%v err=%v", dup, err)
+	}
+	if dup, err := checkSeq(&last, 1); !dup || err != nil {
+		t.Fatalf("replayed seq 1: dup=%v err=%v, want duplicate", dup, err)
+	}
+	if dup, err := checkSeq(&last, 2); dup || err != nil {
+		t.Fatalf("seq 2: dup=%v err=%v", dup, err)
+	}
+	if _, err := checkSeq(&last, 4); !errors.Is(err, errStreamBroken) {
+		t.Fatalf("gapped seq 4 after 2 = %v, want errStreamBroken", err)
+	}
+}

@@ -1,0 +1,111 @@
+package repl
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRingBootstrapAndTryNext(t *testing.T) {
+	r := NewRing(0)
+	r.Bootstrap(5)
+	if f := r.Floor(); f != 5 {
+		t.Fatalf("Floor = %d, want 5", f)
+	}
+	// Below or at the floor: the subscriber must resync.
+	if _, gap, ok := r.TryNext(5); !gap || ok {
+		t.Fatalf("TryNext(5) gap=%v ok=%v, want gap", gap, ok)
+	}
+	// Beyond the head: not yet published.
+	if _, gap, ok := r.TryNext(6); gap || ok {
+		t.Fatalf("TryNext(6) gap=%v ok=%v, want neither", gap, ok)
+	}
+	r.Append(6, [][]byte{[]byte("a")})
+	recs, gap, ok := r.TryNext(6)
+	if gap || !ok || len(recs) != 1 || string(recs[0]) != "a" {
+		t.Fatalf("TryNext(6) = %v gap=%v ok=%v", recs, gap, ok)
+	}
+	// Bootstrap after boot is a no-op.
+	r.Bootstrap(100)
+	if f := r.Floor(); f != 5 {
+		t.Fatalf("Floor moved to %d after late Bootstrap", f)
+	}
+}
+
+func TestRingImplicitBootstrap(t *testing.T) {
+	r := NewRing(0)
+	r.Append(10, [][]byte{[]byte("x")})
+	if f := r.Floor(); f != 9 {
+		t.Fatalf("Floor = %d after implicit bootstrap, want 9", f)
+	}
+	if _, _, ok := r.TryNext(10); !ok {
+		t.Fatal("group 10 not replayable")
+	}
+}
+
+func TestRingEvictionRaisesFloor(t *testing.T) {
+	r := NewRing(8) // tiny: holds at most two 4-byte groups
+	for csn := uint64(1); csn <= 5; csn++ {
+		r.Append(csn, [][]byte{[]byte("abcd")})
+	}
+	if f := r.Floor(); f != 3 {
+		t.Fatalf("Floor = %d, want 3 (the 8-byte cap holds two 4-byte groups)", f)
+	}
+	if h := r.Head(); h != 5 {
+		t.Fatalf("Head = %d, want 5", h)
+	}
+	if _, gap, _ := r.TryNext(3); !gap {
+		t.Fatal("evicted group must report a gap")
+	}
+	if _, _, ok := r.TryNext(5); !ok {
+		t.Fatal("newest group must stay replayable")
+	}
+}
+
+func TestRingKeepsAtLeastOneGroup(t *testing.T) {
+	r := NewRing(1)
+	big := make([]byte, 1024)
+	r.Append(1, [][]byte{big})
+	if _, _, ok := r.TryNext(1); !ok {
+		t.Fatal("a group larger than the cap must still be retained")
+	}
+	r.Append(2, [][]byte{big})
+	if _, gap, _ := r.TryNext(1); !gap {
+		t.Fatal("the next append must evict it")
+	}
+}
+
+func TestRingPulseWakesOnAppend(t *testing.T) {
+	r := NewRing(0)
+	ch := r.Pulse()
+	done := make(chan struct{})
+	go func() {
+		<-ch
+		close(done)
+	}()
+	r.Append(1, nil)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Pulse waiter not woken by Append")
+	}
+}
+
+func TestRingCloseWakesForever(t *testing.T) {
+	r := NewRing(0)
+	r.Close()
+	if !r.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	select {
+	case <-r.Pulse():
+	default:
+		t.Fatal("Pulse must be closed after Close")
+	}
+	// Append after Close must not panic (double close) and Pulse stays open.
+	r.Append(1, nil)
+	select {
+	case <-r.Pulse():
+	default:
+		t.Fatal("Pulse must stay closed after a post-Close Append")
+	}
+}

@@ -1,0 +1,115 @@
+// Package retry is the backoff helper shared by the replication stream and
+// the server's replica router: capped exponential backoff with full jitter,
+// aware of the engine's lifecycle cancellation tokens so a retry loop dies
+// the moment its statement (or its process) is cancelled.
+//
+// Full jitter — a uniform draw over [0, cappedExponential) rather than the
+// capped value itself — is what keeps a fleet of clients retrying a shared
+// resource from re-colliding in lockstep; see the AWS architecture blog's
+// "Exponential Backoff And Jitter". The cap bounds the worst-case wait so a
+// long outage degrades to steady polling instead of unbounded sleep.
+package retry
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"tensorbase/internal/lifecycle"
+)
+
+// ErrExhausted is returned by Do when every attempt failed; it wraps the
+// last attempt's error.
+var ErrExhausted = errors.New("retry: attempts exhausted")
+
+// Policy describes one backoff schedule. The zero value is usable and means
+// "3 attempts, 10ms base, 1s cap".
+type Policy struct {
+	// Base is the pre-jitter backoff after the first failure; each further
+	// failure doubles it (default 10ms).
+	Base time.Duration
+	// Cap bounds the pre-jitter backoff (default 1s).
+	Cap time.Duration
+	// Attempts is the total number of tries, first one included
+	// (default 3; 1 means no retries).
+	Attempts int
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = 10 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = time.Second
+	}
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	return p
+}
+
+// Backoff returns the jittered sleep before attempt n+1, where n counts
+// failures so far (n=1 after the first failure). The draw is uniform over
+// [0, min(Cap, Base·2^(n-1))) — full jitter — so concurrent retriers spread
+// out instead of thundering together. n below 1 is treated as 1.
+func (p Policy) Backoff(n int) time.Duration {
+	p = p.withDefaults()
+	if n < 1 {
+		n = 1
+	}
+	d := p.Base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= p.Cap || d < 0 { // overflow guard
+			d = p.Cap
+			break
+		}
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(d)))
+}
+
+// Sleep waits for d or until tok is cancelled, whichever comes first, and
+// reports the cancellation error if any. A nil token never cancels.
+func Sleep(tok *lifecycle.Token, d time.Duration) error {
+	if d <= 0 {
+		return tok.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return tok.Err()
+	case <-tok.Done():
+		return tok.Cause()
+	}
+}
+
+// Do runs fn up to p.Attempts times, sleeping a jittered backoff between
+// failures. It returns nil on the first success; the token's error if the
+// loop was cancelled (mid-sleep or between attempts); otherwise ErrExhausted
+// wrapping the last failure. fn itself is responsible for honouring tok
+// during long calls.
+func Do(tok *lifecycle.Token, p Policy, fn func() error) error {
+	p = p.withDefaults()
+	var last error
+	for n := 1; ; n++ {
+		if err := tok.Err(); err != nil {
+			return err
+		}
+		if last = fn(); last == nil {
+			return nil
+		}
+		if n >= p.Attempts {
+			return errors.Join(ErrExhausted, last)
+		}
+		if err := Sleep(tok, p.Backoff(n)); err != nil {
+			return err
+		}
+	}
+}

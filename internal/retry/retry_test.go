@@ -1,0 +1,118 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tensorbase/internal/lifecycle"
+)
+
+func TestBackoffCapAndJitterBounds(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Attempts: 10}
+	// Pre-jitter envelope doubles then pins at the cap; every draw must fall
+	// strictly under it (full jitter draws from [0, envelope)).
+	envelopes := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for n, env := range envelopes {
+		for i := 0; i < 200; i++ {
+			d := p.Backoff(n + 1)
+			if d < 0 || d >= env {
+				t.Fatalf("Backoff(%d) = %v, want in [0, %v)", n+1, d, env)
+			}
+		}
+	}
+}
+
+func TestBackoffJitterSpreads(t *testing.T) {
+	p := Policy{Base: time.Second, Cap: time.Second, Attempts: 3}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		seen[p.Backoff(1)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 jittered draws produced %d distinct values; jitter is not jittering", len(seen))
+	}
+}
+
+func TestBackoffOverflowPinsAtCap(t *testing.T) {
+	p := Policy{Base: time.Hour, Cap: 2 * time.Hour, Attempts: 100}
+	for _, n := range []int{1, 40, 64, 99} {
+		if d := p.Backoff(n); d < 0 || d >= 2*time.Hour {
+			t.Fatalf("Backoff(%d) = %v escaped the cap", n, d)
+		}
+	}
+}
+
+func TestDoSucceedsAfterFailures(t *testing.T) {
+	calls := 0
+	err := Do(nil, Policy{Base: time.Microsecond, Cap: time.Millisecond, Attempts: 5}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestDoExhausts(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Do(nil, Policy{Base: time.Microsecond, Cap: time.Millisecond, Attempts: 4}, func() error {
+		calls++
+		return boom
+	})
+	if calls != 4 {
+		t.Fatalf("Do made %d attempts, want 4", calls)
+	}
+	if !errors.Is(err, ErrExhausted) || !errors.Is(err, boom) {
+		t.Fatalf("Do error %v should wrap both ErrExhausted and the last failure", err)
+	}
+}
+
+func TestDoCancelledMidSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tok, stop := lifecycle.Watch(ctx)
+	defer stop()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Do(tok, Policy{Base: 10 * time.Second, Cap: 10 * time.Second, Attempts: 3}, func() error {
+		return errors.New("always")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v; the backoff sleep ignored the token", elapsed)
+	}
+}
+
+func TestDoPreCancelledNeverRuns(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tok, stop := lifecycle.Watch(ctx)
+	defer stop()
+	calls := 0
+	err := Do(tok, Policy{}, func() error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("Do = %v with %d calls, want context.Canceled with 0", err, calls)
+	}
+}
+
+func TestSleepNilTokenAndZero(t *testing.T) {
+	if err := Sleep(nil, 0); err != nil {
+		t.Fatalf("Sleep(nil, 0) = %v", err)
+	}
+	if err := Sleep(nil, time.Microsecond); err != nil {
+		t.Fatalf("Sleep(nil, 1µs) = %v", err)
+	}
+}

@@ -21,10 +21,25 @@
 // Admission control: the server caps concurrently executing statements with
 // a semaphore sized from the process compute budget, so a burst of HTTP
 // clients queues at the door instead of oversubscribing the executor.
-// Waiting respects client disconnects.
+// Waiting respects client disconnects and is bounded by Options.AdmitWait —
+// past it the statement is refused with 503 and a Retry-After header rather
+// than queueing unboundedly.
+//
+// Replication: with a Router attached (SetRouter), SELECTs — PREDICT
+// included — fan out across healthy replicas at their applied CSN; writes
+// always execute on the primary. Each session carries the CSN of its last
+// write, and its subsequent reads only go to replicas that have applied it
+// (read-your-writes). With no eligible replica the server degrades to
+// primary-only service; clients see which node answered in the response's
+// "node" field.
+//
+// Shutdown(ctx) drains gracefully: new statements get 503 + Retry-After,
+// in-flight ones finish (until ctx expires), and the engine is checkpointed
+// so restart needs no WAL replay.
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -51,6 +66,9 @@ type Options struct {
 	// IdleTimeout reaps sessions with no statement for this long
 	// (default 5 minutes).
 	IdleTimeout time.Duration
+	// AdmitWait bounds how long a statement queues for an execution slot
+	// before being refused with 503 + Retry-After (default 1s).
+	AdmitWait time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -66,15 +84,21 @@ func (o Options) withDefaults() Options {
 	if o.IdleTimeout <= 0 {
 		o.IdleTimeout = 5 * time.Minute
 	}
+	if o.AdmitWait <= 0 {
+		o.AdmitWait = time.Second
+	}
 	return o
 }
 
 // Server is the session-based SQL-over-HTTP front end.
 type Server struct {
-	db   *engine.DB
-	opts Options
+	db     *engine.DB
+	router *Router // nil = primary-only
+	opts   Options
 
-	inflight chan struct{} // admission semaphore
+	inflight  chan struct{} // admission semaphore
+	inflightN atomic.Int64  // drain watermark
+	draining  atomic.Bool
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -88,6 +112,11 @@ type Server struct {
 	rejected atomic.Int64
 	minted   atomic.Int64
 	reaped   atomic.Int64
+
+	// Refusals by reason, one labeled series each.
+	rejSessions  *obs.Counter
+	rejAdmission *obs.Counter
+	rejDraining  *obs.Counter
 }
 
 // session is one client's serialized statement stream.
@@ -95,8 +124,9 @@ type session struct {
 	id string
 	mu sync.Mutex // statements within a session run in order
 
-	lastUsed atomic.Int64 // unix nanos
-	seq      atomic.Int64 // statements executed
+	lastUsed  atomic.Int64  // unix nanos
+	seq       atomic.Int64  // statements executed
+	lastWrite atomic.Uint64 // committed CSN of the session's last write (read-your-writes floor)
 }
 
 // New builds a server over db and registers its metrics in the engine's
@@ -128,7 +158,13 @@ func (s *Server) registerMetrics(r *obs.Registry) {
 		return float64(n)
 	})
 	r.GaugeFunc("tensorbase_http_inflight", "statements currently executing over HTTP", func() float64 { return float64(len(s.inflight)) })
+	s.rejSessions = r.CounterLabeled("tensorbase_http_rejected_total", `reason="sessions"`, "statements refused with 503, by reason")
+	s.rejAdmission = r.CounterLabeled("tensorbase_http_rejected_total", `reason="admission"`, "statements refused with 503, by reason")
+	s.rejDraining = r.CounterLabeled("tensorbase_http_rejected_total", `reason="draining"`, "statements refused with 503, by reason")
 }
+
+// SetRouter attaches a replica read router. Call before serving traffic.
+func (s *Server) SetRouter(rt *Router) { s.router = rt }
 
 // Attach mounts the server's endpoints on mux.
 func (s *Server) Attach(mux *http.ServeMux) {
@@ -147,6 +183,36 @@ func (s *Server) Close() {
 	close(s.stopJanitor)
 	s.janitorWG.Wait()
 }
+
+// Shutdown drains the server for a clean exit: new statements are refused
+// with 503 + Retry-After, in-flight statements finish (bounded by ctx),
+// and the engine is checkpointed so the next open replays no WAL. Returns
+// ctx.Err() if the drain deadline expired with statements still running —
+// the checkpoint still happens; those statements' effects are either
+// committed (and checkpointed) or rolled back by recovery, never half-kept.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	drained := func() bool { return s.inflightN.Load() == 0 }
+	var derr error
+	for !drained() {
+		select {
+		case <-ctx.Done():
+			derr = ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+		if derr != nil {
+			break
+		}
+	}
+	s.Close()
+	if err := s.db.Checkpoint(); err != nil {
+		return err
+	}
+	return derr
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // janitor reaps sessions idle past Options.IdleTimeout.
 func (s *Server) janitor() {
@@ -181,10 +247,20 @@ type queryRequest struct {
 type queryResponse struct {
 	Session      string   `json:"session"`
 	Seq          int64    `json:"seq,omitempty"`
+	Node         string   `json:"node,omitempty"` // which node served a routed read
 	Columns      []string `json:"columns,omitempty"`
 	Rows         [][]any  `json:"rows,omitempty"`
 	RowsAffected int64    `json:"rows_affected,omitempty"`
 	Error        string   `json:"error,omitempty"`
+}
+
+// reject refuses a statement with 503 and a Retry-After so well-behaved
+// clients back off instead of hammering; reason lands in the labeled
+// tensorbase_http_rejected_total series.
+func (s *Server) reject(w http.ResponseWriter, session string, c *obs.Counter, msg string) {
+	c.Inc()
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, queryResponse{Session: session, Error: msg})
 }
 
 // ServeHTTP handles POST /query.
@@ -202,25 +278,58 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, queryResponse{Error: "empty sql"})
 		return
 	}
+	if s.draining.Load() {
+		s.reject(w, req.Session, s.rejDraining, "server: shutting down")
+		return
+	}
 
 	sess, status, err := s.session(req.Session)
 	if err != nil {
+		if status == http.StatusServiceUnavailable {
+			s.reject(w, req.Session, s.rejSessions, err.Error())
+			return
+		}
 		writeJSON(w, status, queryResponse{Session: req.Session, Error: err.Error()})
 		return
 	}
 
-	// Admission: wait for an execution slot, give up if the client does.
+	// Admission: wait (bounded) for an execution slot, give up if the
+	// client does; past AdmitWait the statement is refused, not queued.
+	admit := time.NewTimer(s.opts.AdmitWait)
 	select {
 	case s.inflight <- struct{}{}:
-		defer func() { <-s.inflight }()
+		admit.Stop()
+		s.inflightN.Add(1)
+		defer func() {
+			<-s.inflight
+			s.inflightN.Add(-1)
+		}()
+	case <-admit.C:
+		s.reject(w, sess.id, s.rejAdmission, "server: execution slots saturated")
+		return
 	case <-r.Context().Done():
+		admit.Stop()
 		return
 	}
 
 	// Statements within one session execute in order; the engine's lock
-	// manager handles cross-session conflicts.
+	// manager handles cross-session conflicts. Reads fan out across
+	// replicas when a router is attached, floored at the session's last
+	// write CSN; writes always run on the primary.
 	sess.mu.Lock()
-	res, qerr := s.db.QueryContext(r.Context(), req.SQL)
+	var res *engine.Result
+	var qerr error
+	node := ""
+	if isRead := IsRead(req.SQL); isRead && s.router != nil {
+		res, node, qerr = s.router.Route(r.Context(), req.SQL, sess.lastWrite.Load())
+	} else {
+		res, qerr = s.db.QueryContext(r.Context(), req.SQL)
+		if qerr == nil && !isRead {
+			// The committed horizon is ≥ this write's CSN: a conservative
+			// read-your-writes floor.
+			sess.lastWrite.Store(s.db.CommittedCSN())
+		}
+	}
 	seq := sess.seq.Add(1)
 	sess.mu.Unlock()
 	sess.lastUsed.Store(time.Now().UnixNano())
@@ -228,10 +337,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	if qerr != nil {
 		s.errors.Add(1)
-		writeJSON(w, http.StatusBadRequest, queryResponse{Session: sess.id, Seq: seq, Error: qerr.Error()})
+		writeJSON(w, http.StatusBadRequest, queryResponse{Session: sess.id, Seq: seq, Node: node, Error: qerr.Error()})
 		return
 	}
-	resp := queryResponse{Session: sess.id, Seq: seq, RowsAffected: res.RowsAffected}
+	resp := queryResponse{Session: sess.id, Seq: seq, Node: node, RowsAffected: res.RowsAffected}
 	if res.Schema != nil {
 		for _, c := range res.Schema.Cols {
 			resp.Columns = append(resp.Columns, c.Name)

@@ -462,6 +462,16 @@ func (l *Log) Abandon() error {
 
 // --- record encoding ---
 
+// EncodeRecord serialises r into the payload bytes the log frames — the
+// replication stream reuses it so replicas ship and replay the exact WAL
+// record format.
+func EncodeRecord(r *Record) []byte { return encodeRecord(r) }
+
+// DecodeRecord parses a payload produced by EncodeRecord. It validates
+// structure fully (field bounds, trailing bytes), so it is safe on
+// untrusted wire input once the caller has checked the frame CRC.
+func DecodeRecord(b []byte) (*Record, error) { return decodeRecord(b) }
+
 func appendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
