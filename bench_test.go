@@ -15,6 +15,7 @@ package tensorbase_test
 // batch size, HNSW efSearch, optimizer threshold.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -38,6 +39,8 @@ import (
 	"tensorbase/internal/experiments"
 	"tensorbase/internal/memlimit"
 	"tensorbase/internal/nn"
+	"tensorbase/internal/shard"
+	"tensorbase/internal/sql"
 	"tensorbase/internal/storage"
 	"tensorbase/internal/table"
 	"tensorbase/internal/tensor"
@@ -917,4 +920,67 @@ func BenchmarkSnapshotReadUnderWrites(b *testing.B) {
 		stop.Store(true)
 		wg.Wait()
 	})
+}
+
+// ---- PR 9: sharded scatter-gather scan ----
+
+// BenchmarkShardedScan measures a full PREDICT table scan through the
+// scatter-gather coordinator at 1, 2, and 4 shards. Each shard owns a
+// hash slice of the rows and runs its subplan (decode, inference,
+// projection) on its own engine, so on a multi-core host throughput
+// should scale toward linear until the coordinator merge dominates; on a
+// single-core runner the numbers are informational (the sub-benchmarks
+// still validate bit-stable row counts through the merge).
+func BenchmarkShardedScan(b *testing.B) {
+	const nRows, hidden = 4096, 32
+	d := data.Fraud(21, nRows)
+	model := nn.FraudFC(rand.New(rand.NewSource(22)), hidden)
+	query := fmt.Sprintf("SELECT id, PREDICT(%s, features) FROM txns ORDER BY id", model.Name())
+	rows, schema, err := d.FeatureRows()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cl, err := shard.NewLocalCluster(filepath.Join(b.TempDir(), "cluster"), shards, engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { cl.Close() })
+			ctx := context.Background()
+			if _, err := cl.Exec(ctx, sql.Render(&sql.CreateTable{Name: "txns", Cols: schema.Cols}), nil); err != nil {
+				b.Fatal(err)
+			}
+			ins := &sql.Insert{Table: "txns", Rows: make([][]sql.Literal, len(rows))}
+			for i, r := range rows {
+				lits := make([]sql.Literal, len(r))
+				for j, v := range r {
+					lits[j] = sql.Literal{Value: v}
+				}
+				ins.Rows[i] = lits
+			}
+			if _, err := cl.Exec(ctx, sql.Render(ins), nil); err != nil {
+				b.Fatal(err)
+			}
+			if err := cl.LoadModel(model, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cl.Exec(ctx, query, nil); err != nil { // warm pools
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cl.Exec(ctx, query, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != nRows {
+					b.Fatalf("rows = %d", len(res.Rows))
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*nRows/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
 }

@@ -24,6 +24,13 @@
 //	--replicas N            spin up N in-process replicas and route HTTP
 //	                        reads across them (single-process cluster)
 //
+// Sharding (see internal/shard):
+//
+//	--shards N              hash-partition tables by their first column
+//	                        across N in-process shard engines under
+//	                        <db>.shards/; reads that pin the shard key run
+//	                        on one shard, everything else scatter-gathers
+//
 // SIGTERM with --serve drains gracefully: new statements get 503 +
 // Retry-After, in-flight ones finish, the engine checkpoints, and the
 // process exits 0.
@@ -53,6 +60,8 @@ import (
 	"tensorbase/internal/repl"
 	"tensorbase/internal/retry"
 	"tensorbase/internal/server"
+	"tensorbase/internal/shard"
+	"tensorbase/internal/sql"
 	"tensorbase/internal/table"
 )
 
@@ -73,6 +82,7 @@ func main() {
 	replListen := flag.String("repl-listen", "", "accept replica log-shipping connections on this address (e.g. :9191)")
 	replicateFrom := flag.String("replicate-from", "", "run as a read replica following the primary at this address; writes are rejected")
 	nReplicas := flag.Int("replicas", 0, "spin up N in-process read replicas and route HTTP reads across them")
+	nShards := flag.Int("shards", 0, "hash-shard tables across N in-process engines under <db>.shards/ and scatter-gather queries over them")
 	flag.Parse()
 
 	eopts := engine.Options{
@@ -92,7 +102,26 @@ func main() {
 	// local statements read the applied snapshot, writes are rejected.
 	var follower *repl.Replica
 	var db *engine.DB
-	if *replicateFrom != "" {
+	var cluster *shard.Cluster
+	var shellSess *shard.Session
+	if *nShards > 1 {
+		if *replicateFrom != "" || *replListen != "" || *nReplicas > 0 {
+			fmt.Fprintln(os.Stderr, "tensorbase: --shards does not combine with replication flags")
+			os.Exit(1)
+		}
+		cl, err := shard.NewLocalCluster(*path+".shards", *nShards, eopts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tensorbase:", err)
+			os.Exit(1)
+		}
+		cluster = cl
+		defer cl.Close()
+		shellSess = cl.NewSession()
+		// Node 0 anchors the session/metrics plumbing; statements go
+		// through the cluster.
+		db = cl.Nodes()[0].(*shard.LocalNode).DB()
+		fmt.Fprintf(os.Stderr, "sharding across %d in-process engines under %s.shards\n", *nShards, *path)
+	} else if *replicateFrom != "" {
 		addr := *replicateFrom
 		rep, err := repl.NewReplica(*path, repl.ReplicaOptions{
 			Name:   "replica@" + addr,
@@ -122,7 +151,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tensorbase: --demo cannot seed a read replica")
 			os.Exit(1)
 		}
-		if err := seedDemo(db); err != nil {
+		seed := seedDemo
+		if cluster != nil {
+			seed = func(*engine.DB) error { return seedDemoCluster(cluster) }
+		}
+		if err := seed(db); err != nil {
 			fmt.Fprintln(os.Stderr, "tensorbase: demo seed:", err)
 			db.Close()
 			os.Exit(1)
@@ -181,6 +214,9 @@ func main() {
 		if len(nodes) > 0 {
 			srv.SetRouter(server.NewRouter(db, nodes, retry.Policy{}))
 		}
+		if cluster != nil {
+			srv.SetCluster(cluster)
+		}
 		mux := obs.Mux(db.Registry())
 		srv.Attach(mux)
 		ln, err := net.Listen("tcp", *serve)
@@ -207,9 +243,12 @@ func main() {
 			}
 			cancel()
 		}
-		if follower != nil {
+		switch {
+		case follower != nil:
 			follower.Close()
-		} else {
+		case cluster != nil:
+			cluster.Close()
+		default:
 			db.Close()
 		}
 		os.Exit(0)
@@ -232,7 +271,11 @@ func main() {
 				continue
 			}
 			fmt.Fprintln(os.Stderr, "\ninterrupt")
-			db.Close()
+			if cluster != nil {
+				cluster.Close()
+			} else {
+				db.Close()
+			}
 			os.Exit(130)
 		}
 	}()
@@ -259,7 +302,13 @@ repl:
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		inflight.Store(&cancel)
-		res, err := db.QueryContext(ctx, line)
+		var res *engine.Result
+		var err error
+		if cluster != nil {
+			res, err = cluster.Exec(ctx, line, shellSess)
+		} else {
+			res, err = db.QueryContext(ctx, line)
+		}
 		inflight.Store(nil)
 		cancel()
 		if err != nil {
@@ -298,6 +347,38 @@ func seedDemo(db *engine.DB) error {
 		return err
 	}
 	return db.LoadModel(m, 0.9)
+}
+
+// seedDemoCluster seeds the demo through the shard coordinator: the DDL
+// broadcasts, the rows hash-split on id, and the model loads onto every
+// shard so pushed-down PREDICT subplans run next to their slice of data.
+func seedDemoCluster(cl *shard.Cluster) error {
+	d := data.Fraud(1, 4096)
+	rows, schema, err := d.FeatureRows()
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	create := &sql.CreateTable{Name: "txns", Cols: schema.Cols}
+	if _, err := cl.Exec(ctx, sql.Render(create), nil); err != nil {
+		return err
+	}
+	ins := &sql.Insert{Table: "txns", Rows: make([][]sql.Literal, len(rows))}
+	for i, r := range rows {
+		lits := make([]sql.Literal, len(r))
+		for j, v := range r {
+			lits[j] = sql.Literal{Value: v}
+		}
+		ins.Rows[i] = lits
+	}
+	if _, err := cl.Exec(ctx, sql.Render(ins), nil); err != nil {
+		return err
+	}
+	m := nn.FraudFC(rand.New(rand.NewSource(2)), 32)
+	if _, err := nn.Train(m, d.X, d.Labels, nn.TrainConfig{Epochs: 3, BatchSize: 32, LR: 0.05, Seed: 3}); err != nil {
+		return err
+	}
+	return cl.LoadModel(m, 0.9)
 }
 
 // shellCommand handles backslash commands; it returns true to exit.

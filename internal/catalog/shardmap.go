@@ -1,0 +1,67 @@
+package catalog
+
+import (
+	"sort"
+	"sync"
+
+	"tensorbase/internal/table"
+)
+
+// ShardInfo records how one table is hash-partitioned: the key column whose
+// hash picks the shard, and the table's schema (the coordinator needs it to
+// coerce key literals and split INSERT rows without a round-trip).
+type ShardInfo struct {
+	Key    string
+	Schema *table.Schema
+}
+
+// ShardMap is the catalog's record of table → shard-key placement across a
+// fixed number of shards. It lives on the scatter-gather coordinator; each
+// shard node's own Catalog keeps holding that node's local tables.
+type ShardMap struct {
+	mu     sync.RWMutex
+	shards int
+	tables map[string]ShardInfo
+}
+
+// NewShardMap returns an empty map over shards nodes.
+func NewShardMap(shards int) *ShardMap {
+	return &ShardMap{shards: shards, tables: make(map[string]ShardInfo)}
+}
+
+// Shards returns the shard count.
+func (m *ShardMap) Shards() int { return m.shards }
+
+// Set records table as hash-partitioned by key.
+func (m *ShardMap) Set(tbl, key string, schema *table.Schema) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tables[tbl] = ShardInfo{Key: key, Schema: schema}
+}
+
+// Info returns the placement for tbl.
+func (m *ShardMap) Info(tbl string) (ShardInfo, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	info, ok := m.tables[tbl]
+	return info, ok
+}
+
+// Drop forgets tbl.
+func (m *ShardMap) Drop(tbl string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.tables, tbl)
+}
+
+// Tables returns the sharded table names, sorted.
+func (m *ShardMap) Tables() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.tables))
+	for n := range m.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -71,10 +71,17 @@ func EncodeBatch(rows [][]float32) ([]byte, error) {
 	if width == 0 {
 		return nil, fmt.Errorf("connector: zero-width rows")
 	}
+	// Mirror DecodeBatch's shape cap with overflow-safe arithmetic: a
+	// hostile or buggy caller must not be able to wrap the allocation
+	// size (n + 4*rows*width can overflow int) into a small frame.
+	elems := uint64(len(rows)) * uint64(width)
+	if elems/uint64(width) != uint64(len(rows)) || elems > maxFrameElems {
+		return nil, fmt.Errorf("connector: implausible batch shape %d×%d", len(rows), width)
+	}
 	var hdr [2 * binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(rows)))
 	n += binary.PutUvarint(hdr[n:], uint64(width))
-	frame := make([]byte, n+4*len(rows)*width+frameCRCSize)
+	frame := make([]byte, n+int(4*elems)+frameCRCSize)
 	copy(frame, hdr[:n])
 	off := n
 	for i, row := range rows {

@@ -1,6 +1,7 @@
 package connector
 
 import (
+	"encoding/binary"
 	"math"
 	"testing"
 )
@@ -12,6 +13,76 @@ func mustEncode(rows [][]float32) []byte {
 		panic(err)
 	}
 	return frame
+}
+
+// FuzzEncodeBatch drives the encoder with arbitrary shapes and payloads: it
+// must never panic or mis-size an allocation, and every frame it emits must
+// decode back to bit-identical values.
+func FuzzEncodeBatch(f *testing.F) {
+	f.Add(uint8(1), uint16(3), false, []byte{1, 2, 3, 4})
+	f.Add(uint8(0), uint16(4), false, []byte(nil))
+	f.Add(uint8(5), uint16(0), false, []byte(nil))
+	f.Add(uint8(3), uint16(7), true, []byte{0xff, 0x80, 0x7f, 0x00, 0xc0})
+	f.Fuzz(func(t *testing.T, nrows uint8, width uint16, ragged bool, data []byte) {
+		w := int(width) % 512
+		rows := make([][]float32, int(nrows))
+		for i := range rows {
+			rw := w
+			if ragged && i == len(rows)-1 && w > 0 {
+				rw = w - 1
+			}
+			row := make([]float32, rw)
+			for j := range row {
+				if idx := (i*rw + j) * 4; idx+4 <= len(data) {
+					row[j] = math.Float32frombits(binary.LittleEndian.Uint32(data[idx:]))
+				}
+			}
+			rows[i] = row
+		}
+		frame, err := EncodeBatch(rows)
+		if err != nil {
+			return // rejected cleanly
+		}
+		dec, err := DecodeBatch(frame)
+		if err != nil {
+			t.Fatalf("decoding just-encoded frame: %v", err)
+		}
+		if dec.Dim(0) != len(rows) || dec.Dim(1) != w {
+			t.Fatalf("shape %v, want %d×%d", dec.Shape(), len(rows), w)
+		}
+		for i, row := range rows {
+			got := dec.Row(i)
+			for j := range row {
+				if math.Float32bits(got[j]) != math.Float32bits(row[j]) {
+					t.Fatalf("row %d col %d: %x != %x", i, j, math.Float32bits(got[j]), math.Float32bits(row[j]))
+				}
+			}
+		}
+	})
+}
+
+// TestEncodeBatchCapsShape is the regression for the encoder's missing
+// element-count guard: a batch whose shape exceeds the decoder's cap must be
+// rejected before the frame allocation, not allocate gigabytes (or wrap the
+// size) on the send side.
+func TestEncodeBatchCapsShape(t *testing.T) {
+	shared := make([]float32, 1<<10)
+	rows := make([][]float32, 1<<20) // 2^30 elems, 4 GiB frame if allocated
+	for i := range rows {
+		rows[i] = shared
+	}
+	if _, err := EncodeBatch(rows); err == nil {
+		t.Fatal("oversized batch must be rejected")
+	}
+	// The boundary itself still encodes: shape product == maxFrameElems is
+	// legal on the decode side.
+	ok := make([][]float32, 4)
+	for i := range ok {
+		ok[i] = make([]float32, 8)
+	}
+	if _, err := EncodeBatch(ok); err != nil {
+		t.Fatalf("small batch rejected: %v", err)
+	}
 }
 
 // FuzzDecodeBatch drives DecodeBatch with arbitrary frames: it must never

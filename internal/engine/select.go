@@ -45,25 +45,50 @@ func (db *DB) runSelect(st *sql.Select, profile bool, tok *lifecycle.Token) (*Re
 		stages = append(stages, ins)
 		return ins
 	}
-	te, err := db.resolveForRead(st.From)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer te.Heap.EndRead()
-	db.mSnapshotReads.Inc()
-	scan := exec.NewHeapScanAt(te.Heap, db.snapshotCSN())
-	scan.SetCancel(tok)
-	op := wrap("scan", scan)
-	if profile {
-		// Surface observability warnings (e.g. a stale vector index over
-		// this table) on the scan stage of the profile.
-		for _, w := range db.staleVindexWarnings(st.From) {
-			stages[0].AddNote(w)
+	// Source: a CTE from the WITH clause materialises through a recursive
+	// runSelect into a memory scan; anything else is a snapshot heap scan.
+	// Each CTE sees only the bindings before it, so chained CTEs resolve
+	// left-to-right and cycles are impossible.
+	var (
+		op        exec.Operator
+		srcSchema *table.Schema
+		snap      uint64
+	)
+	if i := cteIndex(st); i >= 0 {
+		body := *st.With[i].Query
+		body.With = st.With[:i]
+		inner, _, err := db.runSelect(&body, false, tok)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: CTE %q: %w", st.From, err)
+		}
+		snap = inner.SnapshotCSN
+		srcSchema = inner.Schema
+		ms := exec.NewMemScan(inner.Schema, inner.Rows)
+		ms.SetCancel(tok)
+		op = wrap("cte", ms)
+	} else {
+		te, err := db.resolveForRead(st.From)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer te.Heap.EndRead()
+		db.mSnapshotReads.Inc()
+		snap = db.snapshotCSN()
+		scan := exec.NewHeapScanAt(te.Heap, snap)
+		scan.SetCancel(tok)
+		srcSchema = te.Heap.Schema()
+		op = wrap("scan", scan)
+		if profile {
+			// Surface observability warnings (e.g. a stale vector index over
+			// this table) on the scan stage of the profile.
+			for _, w := range db.staleVindexWarnings(st.From) {
+				stages[0].AddNote(w)
+			}
 		}
 	}
 
 	if st.Where != nil {
-		pred, err := compileWhere(te.Heap.Schema(), st.Where)
+		pred, err := compileWhere(srcSchema, st.Where)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -80,6 +105,42 @@ func (db *DB) runSelect(st *sql.Select, profile bool, tok *lifecycle.Token) (*Re
 			predict = item.Predict
 		}
 	}
+
+	// Aggregation: COUNT/SUM/AVG/MIN/MAX with an optional single GROUP BY
+	// column. GROUP BY without aggregates is DISTINCT over the group column.
+	if st.GroupBy != "" || st.HasAggregate() {
+		if predict != nil {
+			return nil, nil, fmt.Errorf("engine: PREDICT cannot be combined with aggregates")
+		}
+		var groupBy []string
+		if st.GroupBy != "" {
+			groupBy = []string{st.GroupBy}
+		}
+		var specs []exec.AggSpec
+		for _, item := range st.Items {
+			if item.Agg == nil {
+				if item.Star {
+					return nil, nil, fmt.Errorf("engine: '*' cannot be combined with aggregates")
+				}
+				if item.Col != st.GroupBy {
+					return nil, nil, fmt.Errorf("engine: column %q must appear in GROUP BY", item.Col)
+				}
+				continue
+			}
+			kind, ok := aggKinds[item.Agg.Fn]
+			if !ok {
+				return nil, nil, fmt.Errorf("engine: unknown aggregate %q", item.Agg.Fn)
+			}
+			specs = append(specs, exec.AggSpec{Kind: kind, Col: item.Agg.Col, As: item.Agg.OutName()})
+		}
+		agg, err := exec.NewHashAggregate(op, groupBy, specs)
+		if err != nil {
+			return nil, nil, err
+		}
+		agg.SetCancel(tok)
+		op = wrap("aggregate", agg)
+	}
+
 	if predict != nil {
 		// Quantized serving: per-query OPTIONS (quantized) or the engine-wide
 		// default routes to the model's int8-resident twin, with its own
@@ -131,6 +192,8 @@ func (db *DB) runSelect(st *sql.Select, profile bool, tok *lifecycle.Token) (*Re
 			star = true
 		case item.Predict != nil:
 			cols = append(cols, "prediction")
+		case item.Agg != nil:
+			cols = append(cols, item.Agg.OutName())
 		default:
 			cols = append(cols, item.Col)
 		}
@@ -169,7 +232,27 @@ func (db *DB) runSelect(st *sql.Select, profile bool, tok *lifecycle.Token) (*Re
 	for i, j := 0, len(stages)-1; i < j; i, j = i+1, j-1 {
 		stages[i], stages[j] = stages[j], stages[i]
 	}
-	return &Result{Schema: op.Schema(), Rows: rows}, exec.Profile(stages), nil
+	return &Result{Schema: op.Schema(), Rows: rows, SnapshotCSN: snap}, exec.Profile(stages), nil
+}
+
+// aggKinds maps parsed aggregate names to exec kinds.
+var aggKinds = map[string]exec.AggKind{
+	"COUNT": exec.Count,
+	"SUM":   exec.Sum,
+	"AVG":   exec.Avg,
+	"MIN":   exec.Min,
+	"MAX":   exec.Max,
+}
+
+// cteIndex returns the index of the WITH binding the FROM clause names, or
+// -1 when FROM is a base table. The last binding with a given name wins.
+func cteIndex(st *sql.Select) int {
+	for i := len(st.With) - 1; i >= 0; i-- {
+		if st.With[i].Name == st.From {
+			return i
+		}
+	}
+	return -1
 }
 
 // compileWhere builds a predicate for `col op literal`.

@@ -2,12 +2,12 @@ package server
 
 import (
 	"context"
-	"strings"
 	"sync/atomic"
 
 	"tensorbase/internal/engine"
 	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/retry"
+	"tensorbase/internal/sql"
 )
 
 // ReadNode is a replica the router can steer reads to. repl.Replica
@@ -46,6 +46,7 @@ type Router struct {
 	primaryReads atomic.Uint64
 	retries      atomic.Uint64
 	fallbacks    atomic.Uint64
+	lagged       atomic.Uint64
 }
 
 // NewRouter builds a router over the primary engine and its replicas and
@@ -58,14 +59,23 @@ func NewRouter(primary *engine.DB, nodes []ReadNode, policy retry.Policy) *Route
 	r.CounterFunc("tensorbase_router_primary_reads_total", "reads served by the primary (no eligible replica or fallback)", func() float64 { return float64(rt.primaryReads.Load()) })
 	r.CounterFunc("tensorbase_router_retries_total", "reads retried on a different node after a node failure", func() float64 { return float64(rt.retries.Load()) })
 	r.CounterFunc("tensorbase_router_fallbacks_total", "reads that fell back to the primary after replica failures", func() float64 { return float64(rt.fallbacks.Load()) })
+	r.CounterFunc("tensorbase_router_lagged_total", "replica results discarded because the pinned snapshot fell below the session floor", func() float64 { return float64(rt.lagged.Load()) })
 	return rt
 }
 
-// IsRead reports whether sql is routable to a replica: SELECTs, which
-// includes PREDICT and vector-distance queries — every other statement
-// form is a write and belongs to the primary.
-func IsRead(sql string) bool {
-	return strings.HasPrefix(strings.ToUpper(strings.TrimSpace(sql)), "SELECT")
+// IsRead reports whether sqlText is routable to a replica: any statement
+// that parses to a SELECT, which includes PREDICT and vector-distance
+// queries. Classification is by the parsed statement's kind, not a text
+// prefix — `WITH ... SELECT`, parenthesized `(SELECT ...)`, and
+// comment-prefixed reads are reads too, and a prefix check would misroute
+// all three to the primary. Statements that do not parse are sent to the
+// primary, which produces the authoritative error.
+func IsRead(sqlText string) bool {
+	st, err := sql.Parse(sqlText)
+	if err != nil {
+		return false
+	}
+	return sql.ReadOnly(st)
 }
 
 // Route executes a read, preferring healthy replicas at or past minCSN
@@ -92,6 +102,16 @@ func (rt *Router) Route(ctx context.Context, sql string, minCSN uint64) (*engine
 			tried++
 			res, err := node.DB().QueryContext(ctx, sql)
 			if err == nil {
+				if res.SnapshotCSN < minCSN {
+					// The eligibility check above saw AppliedCSN >= minCSN,
+					// but the node raced below the floor before the query
+					// pinned its snapshot (crash/reopen, resync rewind, a
+					// throttled apply loop). These rows are stale for this
+					// session — discard them and retry elsewhere rather
+					// than break read-your-writes.
+					rt.lagged.Add(1)
+					continue
+				}
 				rt.replicaReads.Add(1)
 				return res, node.Name(), nil
 			}

@@ -51,10 +51,63 @@ func TestIsRead(t *testing.T) {
 		"INSERT INTO t VALUES (1)":      false,
 		"CREATE TABLE t (a INT)":        false,
 		"DROP TABLE t":                  false,
+		// Classification is by parsed statement kind. A literal-prefix
+		// check misrouted every one of these reads to the primary:
+		"WITH c AS (SELECT a FROM t) SELECT a FROM c": true,
+		"(SELECT a FROM t)":                           true,
+		"-- warm cache\nSELECT a FROM t":              true,
+		"/* routed */ SELECT a FROM t":                true,
+		"/* comment */ INSERT INTO t VALUES (1)":      false,
+		"-- nothing here":                             false,
+		"EXPLAIN NONSENSE":                            false,
 	} {
 		if got := IsRead(sql); got != want {
 			t.Fatalf("IsRead(%q) = %v, want %v", sql, got, want)
 		}
+	}
+}
+
+// TestRouteDiscardsStaleSnapshot is the regression for the floor race: a
+// replica whose AppliedCSN *claims* eligibility (a throttled apply loop
+// reporting optimistically, or a crash/reopen between the eligibility
+// check and the query) but whose engine pins a snapshot below the
+// session's floor. Route must discard those rows — they are stale for this
+// session — and serve from a node that satisfies the floor.
+func TestRouteDiscardsStaleSnapshot(t *testing.T) {
+	primary, err := engine.Open(filepath.Join(t.TempDir(), "p.db"), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { primary.Close() })
+	if _, err := primary.Exec("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.Exec("INSERT INTO t VALUES (7)"); err != nil {
+		t.Fatal(err)
+	}
+	floor := primary.CommittedCSN()
+
+	// The throttled replica has the table but not the row, yet its health
+	// endpoint claims it has applied far past the session's floor.
+	n := newFakeNode(t, "r1")
+	if _, err := n.db.Exec("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	n.applied.Store(floor + 100)
+	rt := NewRouter(primary, []ReadNode{n}, fastRetry())
+
+	res, node, err := rt.Route(context.Background(), "SELECT a FROM t", floor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node == "r1" {
+		t.Fatal("Route served rows from a replica pinned below the session floor")
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 7 {
+		t.Fatalf("Route returned stale rows %v; read-your-writes is broken", res.Rows)
+	}
+	if rt.lagged.Load() == 0 {
+		t.Fatal("the discarded stale snapshot was not counted")
 	}
 }
 

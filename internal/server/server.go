@@ -43,6 +43,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -52,6 +53,7 @@ import (
 	"tensorbase/internal/engine"
 	"tensorbase/internal/obs"
 	"tensorbase/internal/parallel"
+	"tensorbase/internal/shard"
 	"tensorbase/internal/table"
 )
 
@@ -92,9 +94,10 @@ func (o Options) withDefaults() Options {
 
 // Server is the session-based SQL-over-HTTP front end.
 type Server struct {
-	db     *engine.DB
-	router *Router // nil = primary-only
-	opts   Options
+	db      *engine.DB
+	router  *Router        // nil = primary-only
+	cluster *shard.Cluster // nil = unsharded; set, every statement routes through it
+	opts    Options
 
 	inflight  chan struct{} // admission semaphore
 	inflightN atomic.Int64  // drain watermark
@@ -117,6 +120,7 @@ type Server struct {
 	rejSessions  *obs.Counter
 	rejAdmission *obs.Counter
 	rejDraining  *obs.Counter
+	rejShard     *obs.Counter
 }
 
 // session is one client's serialized statement stream.
@@ -127,6 +131,11 @@ type session struct {
 	lastUsed  atomic.Int64  // unix nanos
 	seq       atomic.Int64  // statements executed
 	lastWrite atomic.Uint64 // committed CSN of the session's last write (read-your-writes floor)
+
+	// shardSess carries per-shard read-your-writes floors when the server
+	// fronts a cluster: one CSN floor per shard rather than one global
+	// lastWrite, since shards commit in independent CSN spaces.
+	shardSess *shard.Session
 }
 
 // New builds a server over db and registers its metrics in the engine's
@@ -161,10 +170,23 @@ func (s *Server) registerMetrics(r *obs.Registry) {
 	s.rejSessions = r.CounterLabeled("tensorbase_http_rejected_total", `reason="sessions"`, "statements refused with 503, by reason")
 	s.rejAdmission = r.CounterLabeled("tensorbase_http_rejected_total", `reason="admission"`, "statements refused with 503, by reason")
 	s.rejDraining = r.CounterLabeled("tensorbase_http_rejected_total", `reason="draining"`, "statements refused with 503, by reason")
+	s.rejShard = r.CounterLabeled("tensorbase_http_rejected_total", `reason="shard"`, "statements refused with 503, by reason")
 }
 
 // SetRouter attaches a replica read router. Call before serving traffic.
 func (s *Server) SetRouter(rt *Router) { s.router = rt }
+
+// SetCluster attaches a shard cluster: every statement then routes through
+// the scatter-gather coordinator (pinned reads to one shard, scatters to
+// all, writes hash-split or broadcast), and a shard that is down or
+// lagging a session's floor refuses the statement with 503 + Retry-After
+// instead of serving partial or stale results. Call before serving
+// traffic; the cluster's pinned/scatter counters register in the anchor
+// engine's registry.
+func (s *Server) SetCluster(cl *shard.Cluster) {
+	s.cluster = cl
+	cl.RegisterMetrics(s.db.Registry())
+}
 
 // Attach mounts the server's endpoints on mux.
 func (s *Server) Attach(mux *http.ServeMux) {
@@ -320,9 +342,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var res *engine.Result
 	var qerr error
 	node := ""
-	if isRead := IsRead(req.SQL); isRead && s.router != nil {
+	switch {
+	case s.cluster != nil:
+		if sess.shardSess == nil {
+			sess.shardSess = s.cluster.NewSession()
+		}
+		res, qerr = s.cluster.Exec(r.Context(), req.SQL, sess.shardSess)
+		node = "cluster"
+	case IsRead(req.SQL) && s.router != nil:
 		res, node, qerr = s.router.Route(r.Context(), req.SQL, sess.lastWrite.Load())
-	} else {
+	default:
+		isRead := IsRead(req.SQL)
 		res, qerr = s.db.QueryContext(r.Context(), req.SQL)
 		if qerr == nil && !isRead {
 			// The committed horizon is ≥ this write's CSN: a conservative
@@ -337,6 +367,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	if qerr != nil {
 		s.errors.Add(1)
+		if errors.Is(qerr, shard.ErrUnavailable) || errors.Is(qerr, shard.ErrLag) {
+			// A down or lagging shard is a serving-capacity condition, not
+			// a statement error: refuse retriably like any other overload.
+			s.reject(w, sess.id, s.rejShard, qerr.Error())
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, queryResponse{Session: sess.id, Seq: seq, Node: node, Error: qerr.Error()})
 		return
 	}

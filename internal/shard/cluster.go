@@ -1,0 +1,602 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tensorbase/internal/catalog"
+	"tensorbase/internal/engine"
+	"tensorbase/internal/exec"
+	"tensorbase/internal/nn"
+	"tensorbase/internal/obs"
+	"tensorbase/internal/sql"
+	"tensorbase/internal/table"
+)
+
+// Cluster is the scatter-gather coordinator over a fixed set of shard
+// nodes. It owns the shard map (table → key column) and plans every
+// statement: pinned single-shard reads, scattered reads with exec-tree
+// merges, hash-split INSERTs, and broadcast DDL/model loads.
+type Cluster struct {
+	nodes     []Node
+	smap      *catalog.ShardMap
+	pinned    atomic.Uint64
+	scattered atomic.Uint64
+}
+
+// NewCluster wraps nodes with a coordinator using smap for placement.
+func NewCluster(nodes []Node, smap *catalog.ShardMap) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("shard: cluster needs at least one node")
+	}
+	if smap == nil {
+		smap = catalog.NewShardMap(len(nodes))
+	}
+	if smap.Shards() != len(nodes) {
+		return nil, fmt.Errorf("shard: map is over %d shards, cluster has %d nodes", smap.Shards(), len(nodes))
+	}
+	return &Cluster{nodes: nodes, smap: smap}, nil
+}
+
+// NewLocalCluster opens n in-process shard nodes under dir (one engine per
+// shard-i subdirectory) and rebuilds the shard map from node 0's catalog
+// using the package convention: the shard key is the first schema column.
+// That convention is what makes the map recoverable — it is derivable from
+// any node's durable catalog rather than separately persisted state.
+func NewLocalCluster(dir string, n int, opts engine.Options) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: cluster size %d < 1", n)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	nodes := make([]Node, n)
+	for i := range nodes {
+		ln, err := NewLocalNode(fmt.Sprintf("shard-%d", i), filepath.Join(dir, fmt.Sprintf("shard-%d", i)), opts)
+		if err != nil {
+			for _, prev := range nodes[:i] {
+				prev.(*LocalNode).Close()
+			}
+			return nil, err
+		}
+		nodes[i] = ln
+	}
+	smap := catalog.NewShardMap(n)
+	cat := nodes[0].(*LocalNode).DB().Catalog()
+	for _, name := range cat.Tables() {
+		te, err := cat.Table(name)
+		if err != nil {
+			continue
+		}
+		s := te.Heap.Schema()
+		smap.Set(name, s.Cols[0].Name, s)
+	}
+	return &Cluster{nodes: nodes, smap: smap}, nil
+}
+
+// Nodes returns the cluster's nodes in shard order.
+func (c *Cluster) Nodes() []Node { return c.nodes }
+
+// Map returns the shard map.
+func (c *Cluster) Map() *catalog.ShardMap { return c.smap }
+
+// PinnedCount and ScatterCount report how many reads took each path.
+func (c *Cluster) PinnedCount() uint64  { return c.pinned.Load() }
+func (c *Cluster) ScatterCount() uint64 { return c.scattered.Load() }
+
+// RegisterMetrics exposes the pinned/scatter split on reg, so the serving
+// fast path is observable: a workload that should pin but scatters shows
+// up immediately in the counter ratio.
+func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("tensorbase_shard_pinned_total",
+		"Reads routed to exactly one shard via a shard-key pin.",
+		func() float64 { return float64(c.pinned.Load()) })
+	reg.CounterFunc("tensorbase_shard_scatter_total",
+		"Reads scattered to all shards and merged at the coordinator.",
+		func() float64 { return float64(c.scattered.Load()) })
+}
+
+// Close shuts down every node that supports closing.
+func (c *Cluster) Close() error {
+	var first error
+	for _, n := range c.nodes {
+		if cl, ok := n.(interface{ Close() error }); ok {
+			if err := cl.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Session carries a client's per-shard read-your-writes floors: the
+// committed CSN each shard must have applied before serving this client a
+// read. A nil *Session is a floorless (best-effort) client.
+type Session struct {
+	mu     sync.Mutex
+	floors []uint64
+}
+
+// NewSession returns a fresh session over the cluster's shards.
+func (c *Cluster) NewSession() *Session {
+	return &Session{floors: make([]uint64, len(c.nodes))}
+}
+
+func (s *Session) floor(i int) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.floors[i]
+}
+
+// observe raises shard i's floor to csn (floors never regress).
+func (s *Session) observe(i int, csn uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if csn > s.floors[i] {
+		s.floors[i] = csn
+	}
+}
+
+// Exec parses and runs one SQL statement against the cluster.
+func (c *Cluster) Exec(ctx context.Context, sqlText string, sess *Session) (*engine.Result, error) {
+	st, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	switch st := st.(type) {
+	case *sql.Select:
+		return c.Select(ctx, st, sess)
+	case *sql.Insert:
+		return c.insert(ctx, st, sess)
+	case *sql.CreateTable:
+		return c.createTable(ctx, st, sess)
+	case *sql.DropTable:
+		res, err := c.broadcastExec(ctx, sql.Render(st), sess)
+		if err == nil {
+			c.smap.Drop(st.Name)
+		}
+		return res, err
+	default:
+		return nil, fmt.Errorf("shard: unsupported statement %T", st)
+	}
+}
+
+// broadcastExec runs one write statement on every shard in parallel and
+// folds the results. Any failure fails the statement (shards that already
+// applied it stay applied — broadcast DDL is not atomic across shards).
+func (c *Cluster) broadcastExec(ctx context.Context, sqlText string, sess *Session) (*engine.Result, error) {
+	results := make([]*engine.Result, len(c.nodes))
+	csns := make([]uint64, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			results[i], csns[i], errs[i] = n.Exec(ctx, sqlText)
+		}(i, n)
+	}
+	wg.Wait()
+	total := &engine.Result{}
+	for i := range c.nodes {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("shard %s: %w", c.nodes[i].Name(), errs[i])
+		}
+		sess.observe(i, csns[i])
+		total.RowsAffected += results[i].RowsAffected
+	}
+	return total, nil
+}
+
+// createTable broadcasts the DDL and records the placement: the first
+// column is the shard key.
+func (c *Cluster) createTable(ctx context.Context, st *sql.CreateTable, sess *Session) (*engine.Result, error) {
+	if len(st.Cols) == 0 {
+		return nil, fmt.Errorf("shard: CREATE TABLE with no columns")
+	}
+	schema, err := table.NewSchema(st.Cols...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.broadcastExec(ctx, sql.Render(st), sess)
+	if err != nil {
+		return nil, err
+	}
+	c.smap.Set(st.Name, st.Cols[0].Name, schema)
+	return res, nil
+}
+
+// insert splits the VALUES rows by hash of the key column and sends each
+// shard its slice. The split is not atomic: a failing shard leaves other
+// shards' rows applied, and the error says so.
+func (c *Cluster) insert(ctx context.Context, st *sql.Insert, sess *Session) (*engine.Result, error) {
+	info, ok := c.smap.Info(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("shard: unknown table %q", st.Table)
+	}
+	keyIdx := info.Schema.ColIndex(info.Key)
+	if keyIdx < 0 {
+		return nil, fmt.Errorf("shard: table %q lost key column %q", st.Table, info.Key)
+	}
+	parts := make([][][]sql.Literal, len(c.nodes))
+	for _, row := range st.Rows {
+		if keyIdx >= len(row) {
+			return nil, fmt.Errorf("shard: row has %d values, key column is #%d", len(row), keyIdx+1)
+		}
+		key, err := coerceKey(row[keyIdx].Value, info.Schema.Cols[keyIdx].Type)
+		if err != nil {
+			return nil, err
+		}
+		i := ShardOf(key, len(c.nodes))
+		parts[i] = append(parts[i], row)
+	}
+	results := make([]*engine.Result, len(c.nodes))
+	csns := make([]uint64, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i := range c.nodes {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub := sql.Render(&sql.Insert{Table: st.Table, Rows: parts[i]})
+			results[i], csns[i], errs[i] = c.nodes[i].Exec(ctx, sub)
+		}(i)
+	}
+	wg.Wait()
+	total := &engine.Result{}
+	for i := range c.nodes {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("shard %s (insert split partially applied): %w", c.nodes[i].Name(), errs[i])
+		}
+		if results[i] != nil {
+			sess.observe(i, csns[i])
+			total.RowsAffected += results[i].RowsAffected
+		}
+	}
+	return total, nil
+}
+
+// Select plans and runs one read. A WHERE that pins the shard key with `=`
+// routes to that key's shard alone; everything else scatters.
+func (c *Cluster) Select(ctx context.Context, st *sql.Select, sess *Session) (*engine.Result, error) {
+	if len(st.With) > 0 {
+		return c.selectCTE(ctx, st, sess)
+	}
+	info, ok := c.smap.Info(st.From)
+	if !ok {
+		return nil, fmt.Errorf("shard: unknown table %q", st.From)
+	}
+	if lit, pinned := st.KeyPin(info.Key); pinned {
+		keyIdx := info.Schema.ColIndex(info.Key)
+		if key, err := coerceKey(lit.Value, info.Schema.Cols[keyIdx].Type); err == nil {
+			i := ShardOf(key, len(c.nodes))
+			c.pinned.Add(1)
+			res, err := c.nodes[i].Query(ctx, sql.Render(st), sess.floor(i))
+			if err != nil {
+				return nil, fmt.Errorf("shard %s: %w", c.nodes[i].Name(), err)
+			}
+			return res, nil
+		}
+		// A key literal the engine cannot store (e.g. 1.5 against an INT
+		// key) pins nowhere; the scatter returns the same empty result a
+		// single node would.
+	}
+	c.scattered.Add(1)
+	if st.GroupBy != "" || st.HasAggregate() {
+		return c.scatterAggregate(ctx, st, sess)
+	}
+	return c.scatterScan(ctx, st, sess)
+}
+
+// scatter fans one read to every shard and gathers the partial results in
+// shard order.
+func (c *Cluster) scatter(ctx context.Context, sqlText string, sess *Session) ([]*engine.Result, error) {
+	results := make([]*engine.Result, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			results[i], errs[i] = n.Query(ctx, sqlText, sess.floor(i))
+		}(i, n)
+	}
+	wg.Wait()
+	for i := range c.nodes {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("shard %s: %w", c.nodes[i].Name(), errs[i])
+		}
+	}
+	return results, nil
+}
+
+// mergeResult collects a merge operator tree into a Result. The reported
+// snapshot is the minimum across shards — the conservative bound a
+// floor re-check may hold against.
+func mergeResult(op exec.Operator, results []*engine.Result) (*engine.Result, error) {
+	rows, err := exec.Collect(op)
+	if err != nil {
+		return nil, err
+	}
+	snap := ^uint64(0)
+	for _, r := range results {
+		if r.SnapshotCSN < snap {
+			snap = r.SnapshotCSN
+		}
+	}
+	return &engine.Result{Schema: op.Schema(), Rows: rows, SnapshotCSN: snap}, nil
+}
+
+// scatterScan pushes the whole SELECT (filter, PREDICT, projection, order,
+// limit) to every shard and merges: an ordered merge preserves a pushed
+// ORDER BY, otherwise partials concatenate in shard order. A pushed LIMIT
+// is correct per shard (each returns its local top-n) and re-applied
+// globally after the merge.
+func (c *Cluster) scatterScan(ctx context.Context, st *sql.Select, sess *Session) (*engine.Result, error) {
+	results, err := c.scatter(ctx, sql.Render(st), sess)
+	if err != nil {
+		return nil, err
+	}
+	ins := make([]exec.Operator, len(results))
+	for i, r := range results {
+		ins[i] = exec.NewMemScan(r.Schema, r.Rows)
+	}
+	var op exec.Operator
+	if st.OrderBy != "" {
+		om, err := exec.NewOrderedMerge(ins, st.OrderBy, st.OrderDesc)
+		if err != nil {
+			return nil, err
+		}
+		op = om
+	} else {
+		cc, err := exec.NewConcat(ins...)
+		if err != nil {
+			return nil, err
+		}
+		op = cc
+	}
+	if st.Limit >= 0 {
+		op = exec.NewLimit(op, st.Limit)
+	}
+	return mergeResult(op, results)
+}
+
+// scatterAggregate decomposes the aggregate into per-shard partials and a
+// coordinator merge: COUNT/SUM/MIN/MAX push down unchanged, AVG becomes
+// SUM+COUNT on the shards and a quotient at the merge, GROUP BY groups
+// merge by key. The merged output then goes through the original
+// projection order, ORDER BY, and LIMIT.
+func (c *Cluster) scatterAggregate(ctx context.Context, st *sql.Select, sess *Session) (*engine.Result, error) {
+	var partialItems []sql.SelectItem
+	index := make(map[string]int)
+	add := func(it sql.SelectItem, name string) int {
+		if i, ok := index[name]; ok {
+			return i
+		}
+		index[name] = len(partialItems)
+		partialItems = append(partialItems, it)
+		return len(partialItems) - 1
+	}
+	groupN := 0
+	if st.GroupBy != "" {
+		add(sql.SelectItem{Col: st.GroupBy}, st.GroupBy)
+		groupN = 1
+	}
+	var finals []exec.FinalAgg
+	for _, it := range st.Items {
+		if it.Agg == nil {
+			if it.Star || it.Col != st.GroupBy {
+				return nil, fmt.Errorf("shard: column %q must appear in GROUP BY", it.Col)
+			}
+			continue
+		}
+		agg := it.Agg
+		switch agg.Fn {
+		case "COUNT":
+			arg := add(sql.SelectItem{Agg: &sql.AggExpr{Fn: "COUNT"}}, "count")
+			finals = append(finals, exec.FinalAgg{Kind: exec.Count, Arg: arg, As: agg.OutName()})
+		case "SUM":
+			arg := add(sql.SelectItem{Agg: &sql.AggExpr{Fn: "SUM", Col: agg.Col}}, "sum_"+agg.Col)
+			finals = append(finals, exec.FinalAgg{Kind: exec.Sum, Arg: arg, As: agg.OutName()})
+		case "AVG":
+			sumArg := add(sql.SelectItem{Agg: &sql.AggExpr{Fn: "SUM", Col: agg.Col}}, "sum_"+agg.Col)
+			cntArg := add(sql.SelectItem{Agg: &sql.AggExpr{Fn: "COUNT"}}, "count")
+			finals = append(finals, exec.FinalAgg{Kind: exec.Avg, Arg: sumArg, Count: cntArg, As: agg.OutName()})
+		case "MIN":
+			arg := add(sql.SelectItem{Agg: &sql.AggExpr{Fn: "MIN", Col: agg.Col}}, "min_"+agg.Col)
+			finals = append(finals, exec.FinalAgg{Kind: exec.Min, Arg: arg, As: agg.OutName()})
+		case "MAX":
+			arg := add(sql.SelectItem{Agg: &sql.AggExpr{Fn: "MAX", Col: agg.Col}}, "max_"+agg.Col)
+			finals = append(finals, exec.FinalAgg{Kind: exec.Max, Arg: arg, As: agg.OutName()})
+		default:
+			return nil, fmt.Errorf("shard: unknown aggregate %q", agg.Fn)
+		}
+	}
+	partial := &sql.Select{Items: partialItems, From: st.From, Where: st.Where, GroupBy: st.GroupBy, Limit: -1}
+	results, err := c.scatter(ctx, sql.Render(partial), sess)
+	if err != nil {
+		return nil, err
+	}
+	ins := make([]exec.Operator, len(results))
+	for i, r := range results {
+		ins[i] = exec.NewMemScan(r.Schema, r.Rows)
+	}
+	var op exec.Operator
+	ma, err := exec.NewMergeAggregate(ins, groupN, finals)
+	if err != nil {
+		return nil, err
+	}
+	op = ma
+	// Re-project to the query's item order (the merge emits group cols
+	// first, then finals in partial order).
+	var cols []string
+	for _, it := range st.Items {
+		if it.Agg != nil {
+			cols = append(cols, it.Agg.OutName())
+		} else {
+			cols = append(cols, it.Col)
+		}
+	}
+	proj, err := exec.NewProject(op, cols...)
+	if err != nil {
+		return nil, err
+	}
+	op = proj
+	if st.OrderBy != "" {
+		srt, err := exec.NewSort(op, st.OrderBy, st.OrderDesc)
+		if err != nil {
+			return nil, err
+		}
+		op = srt
+	}
+	if st.Limit >= 0 {
+		op = exec.NewLimit(op, st.Limit)
+	}
+	return mergeResult(op, results)
+}
+
+// selectCTE materialises the referenced CTE body through the cluster
+// (scattering as needed), then evaluates the outer query at the
+// coordinator over the gathered rows — identical semantics to the
+// engine's recursive materialisation, minus PREDICT (which must run next
+// to a model, i.e. inside a shard subplan, not over gathered rows).
+func (c *Cluster) selectCTE(ctx context.Context, st *sql.Select, sess *Session) (*engine.Result, error) {
+	idx := -1
+	for i := len(st.With) - 1; i >= 0; i-- {
+		if st.With[i].Name == st.From {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		// FROM names a base table; the WITH bindings are unused.
+		plain := *st
+		plain.With = nil
+		return c.Select(ctx, &plain, sess)
+	}
+	body := *st.With[idx].Query
+	body.With = st.With[:idx]
+	inner, err := c.Select(ctx, &body, sess)
+	if err != nil {
+		return nil, fmt.Errorf("shard: CTE %q: %w", st.From, err)
+	}
+	outer := *st
+	outer.With = nil
+	res, err := engine.RunMemSelect(&outer, inner.Schema, inner.Rows)
+	if err != nil {
+		return nil, err
+	}
+	res.SnapshotCSN = inner.SnapshotCSN
+	return res, nil
+}
+
+// Nearest scatters a top-k vector search and merges by distance: the
+// gathered candidates (each shard's local top-k, sorted ascending) merge
+// into the global top-k. Ties keep shard order, then shard-local order —
+// a deterministic total order under any fault schedule.
+func (c *Cluster) Nearest(ctx context.Context, tbl, col string, query []float32, k int, sess *Session) ([]table.Tuple, []float64, error) {
+	c.scattered.Add(1)
+	type part struct {
+		schema *table.Schema
+		rows   []table.Tuple
+		dists  []float64
+	}
+	parts := make([]part, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			s, rows, dists, err := n.Nearest(ctx, tbl, col, query, k, sess.floor(i))
+			parts[i], errs[i] = part{s, rows, dists}, err
+		}(i, n)
+	}
+	wg.Wait()
+	for i := range c.nodes {
+		if errs[i] != nil {
+			return nil, nil, fmt.Errorf("shard %s: %w", c.nodes[i].Name(), errs[i])
+		}
+	}
+	type cand struct {
+		shard, pos int
+	}
+	var all []cand
+	for i, p := range parts {
+		for j := range p.rows {
+			all = append(all, cand{i, j})
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		return parts[all[a].shard].dists[all[a].pos] < parts[all[b].shard].dists[all[b].pos]
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	rows := make([]table.Tuple, len(all))
+	dists := make([]float64, len(all))
+	for i, cd := range all {
+		rows[i] = parts[cd.shard].rows[cd.pos]
+		dists[i] = parts[cd.shard].dists[cd.pos]
+	}
+	return rows, dists, nil
+}
+
+// LoadModel broadcasts a model to every shard, so pushed-down PREDICT
+// subplans run next to their slice of the data.
+func (c *Cluster) LoadModel(m *nn.Model, accuracy float64) error {
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			errs[i] = n.LoadModel(m, accuracy)
+		}(i, n)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %s: %w", c.nodes[i].Name(), err)
+		}
+	}
+	return nil
+}
+
+// CreateVectorIndex broadcasts an ANN index build and returns the total
+// indexed row count.
+func (c *Cluster) CreateVectorIndex(tbl, col string) (int, error) {
+	counts := make([]int, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			counts[i], errs[i] = n.CreateVectorIndex(tbl, col)
+		}(i, n)
+	}
+	wg.Wait()
+	total := 0
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("shard %s: %w", c.nodes[i].Name(), err)
+		}
+		total += counts[i]
+	}
+	return total, nil
+}

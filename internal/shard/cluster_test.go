@@ -1,0 +1,333 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tensorbase/internal/engine"
+	"tensorbase/internal/nn"
+	"tensorbase/internal/obs"
+	"tensorbase/internal/table"
+)
+
+// seedSQL returns the statements that build the test table on any engine
+// or cluster: id INT (the shard key), amount DOUBLE, who TEXT, f VECTOR.
+// Amounts are distinct multiples of 0.25, so partial SUM/AVG across shards
+// re-associate without rounding — scatter results stay bit-identical to
+// single-node (arbitrary doubles would not: float addition is not
+// associative, which DESIGN.md calls out).
+func seedSQL(rows int) []string {
+	stmts := []string{"CREATE TABLE tx (id INT, amount DOUBLE, who TEXT, f VECTOR)"}
+	people := []string{"alice", "bob", "carol"}
+	var b strings.Builder
+	b.WriteString("INSERT INTO tx VALUES ")
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		amount := float64(i) + 0.25
+		fmt.Fprintf(&b, "(%d, %s, '%s', [%d, %d, %d, %d])",
+			i, fmt.Sprintf("%g", amount), people[i%len(people)], i, 2*i%7, (i*i)%11, 3+i%5)
+	}
+	stmts = append(stmts, b.String())
+	return stmts
+}
+
+// testModel is a tiny deterministic FC model over the 4-dim feature column.
+func testModel() *nn.Model {
+	rng := rand.New(rand.NewSource(7))
+	m, err := nn.NewModel("m4", []int{1, 4}, nn.NewLinear(rng, 4, 1))
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// newRefEngine builds the single-node reference: all rows in one engine.
+func newRefEngine(t *testing.T, rows int) *engine.DB {
+	t.Helper()
+	db, err := engine.Open(filepath.Join(t.TempDir(), "ref"), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	for _, s := range seedSQL(rows) {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.LoadModel(testModel(), 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateVectorIndex("tx", "f"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// newTestCluster builds an n-shard local cluster with the same data,
+// loaded through the coordinator's own statement path.
+func newTestCluster(t *testing.T, shards, rows int) *Cluster {
+	t.Helper()
+	cl, err := NewLocalCluster(t.TempDir(), shards, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	sess := cl.NewSession()
+	for _, s := range seedSQL(rows) {
+		if _, err := cl.Exec(context.Background(), s, sess); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.LoadModel(testModel(), 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.CreateVectorIndex("tx", "f"); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// mustEqualResults asserts bit-identical schema and rows.
+func mustEqualResults(t *testing.T, query string, want, got *engine.Result) {
+	t.Helper()
+	if len(want.Schema.Cols) != len(got.Schema.Cols) {
+		t.Fatalf("%s: schema %v != %v", query, got.Schema.Cols, want.Schema.Cols)
+	}
+	for i := range want.Schema.Cols {
+		if want.Schema.Cols[i] != got.Schema.Cols[i] {
+			t.Fatalf("%s: schema col %d: %v != %v", query, i, got.Schema.Cols[i], want.Schema.Cols[i])
+		}
+	}
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("%s: %d rows, want %d", query, len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if !want.Rows[i][j].Equal(got.Rows[i][j]) {
+				t.Fatalf("%s: row %d col %d: %v != %v", query, i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+}
+
+// matrixQueries is the scatter-vs-single-node identity matrix: plain and
+// filtered scans, ordered scans with pushed limits, global and grouped
+// aggregates, PREDICT push-down, CTEs, and pinned point reads — including
+// the comment/CTE/parenthesized forms the read classifier must route.
+var matrixQueries = []string{
+	"SELECT id, amount, who FROM tx ORDER BY id",
+	"SELECT id, amount FROM tx WHERE amount > 10 ORDER BY id DESC",
+	"SELECT id, amount FROM tx ORDER BY amount LIMIT 5",
+	"SELECT who, id FROM tx WHERE who = 'bob' ORDER BY id",
+	"SELECT COUNT(*), SUM(amount), MIN(amount), MAX(amount), AVG(amount) FROM tx",
+	"SELECT who, COUNT(*), SUM(amount), AVG(amount) FROM tx GROUP BY who ORDER BY who",
+	"SELECT who FROM tx GROUP BY who ORDER BY who",
+	"SELECT id, PREDICT(m4, f) FROM tx ORDER BY id",
+	"SELECT id, PREDICT(m4, f) FROM tx WHERE id = 7",
+	"WITH big AS (SELECT id, amount FROM tx WHERE amount >= 5) SELECT COUNT(*), SUM(amount) FROM big",
+	"WITH b AS (SELECT id, amount, who FROM tx WHERE amount < 20) SELECT who, MAX(amount) FROM b GROUP BY who ORDER BY who",
+	"(SELECT id, who FROM tx WHERE id = 3)",
+	"-- point read\nSELECT id, amount FROM tx WHERE id = 11",
+	"SELECT id FROM tx WHERE id = 999", // pinned, empty everywhere
+}
+
+func TestScatterMatchesSingleNode(t *testing.T) {
+	const rows = 24
+	ref := newRefEngine(t, rows)
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cl := newTestCluster(t, shards, rows)
+			sess := cl.NewSession()
+			for _, q := range matrixQueries {
+				want, err := ref.Query(q)
+				if err != nil {
+					t.Fatalf("ref %s: %v", q, err)
+				}
+				got, err := cl.Exec(context.Background(), q, sess)
+				if err != nil {
+					t.Fatalf("cluster %s: %v", q, err)
+				}
+				mustEqualResults(t, q, want, got)
+			}
+
+			// Nearest: the shards' local top-k merge to the global top-k.
+			query := []float32{5, 3, 2, 4}
+			wantRows, wantDists, err := ref.Nearest("tx", "f", query, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRows, gotDists, err := cl.Nearest(context.Background(), "tx", "f", query, 3, sess)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gotRows) != len(wantRows) {
+				t.Fatalf("nearest: %d rows, want %d", len(gotRows), len(wantRows))
+			}
+			for i := range wantRows {
+				if gotDists[i] != wantDists[i] {
+					t.Fatalf("nearest %d: dist %v != %v", i, gotDists[i], wantDists[i])
+				}
+				for j := range wantRows[i] {
+					if !wantRows[i][j].Equal(gotRows[i][j]) {
+						t.Fatalf("nearest row %d col %d: %v != %v", i, j, gotRows[i][j], wantRows[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPinnedVsScatterCounters checks the fast-path split is observable:
+// key-pinned point reads increment the pinned counter only.
+func TestPinnedVsScatterCounters(t *testing.T) {
+	cl := newTestCluster(t, 4, 12)
+	sess := cl.NewSession()
+	p0, s0 := cl.PinnedCount(), cl.ScatterCount()
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Exec(ctx, fmt.Sprintf("SELECT id, amount FROM tx WHERE id = %d", i), sess); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Exec(ctx, "SELECT COUNT(*) FROM tx", sess); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.PinnedCount() - p0; got != 5 {
+		t.Fatalf("pinned = %d, want 5", got)
+	}
+	if got := cl.ScatterCount() - s0; got != 1 {
+		t.Fatalf("scattered = %d, want 1", got)
+	}
+
+	reg := obs.NewRegistry()
+	cl.RegisterMetrics(reg)
+	snap := reg.Snapshot()
+	if snap.Counter("tensorbase_shard_pinned_total") == 0 {
+		t.Fatal("pinned counter not exported")
+	}
+	if snap.Counter("tensorbase_shard_scatter_total") == 0 {
+		t.Fatal("scatter counter not exported")
+	}
+}
+
+// TestKillRestartConvergence kills one shard: pinned reads for other
+// shards keep serving, scattered reads and pinned reads for the dead shard
+// fail retriably with ErrUnavailable, and a restart restores everything
+// from the shard's durable state.
+func TestKillRestartConvergence(t *testing.T) {
+	const rows = 16
+	cl := newTestCluster(t, 4, rows)
+	sess := cl.NewSession()
+	ctx := context.Background()
+
+	// Pick two ids on different shards.
+	deadID, liveID := -1, -1
+	for i := 0; i < rows; i++ {
+		switch ShardOf(table.IntVal(int64(i)), 4) {
+		case 1:
+			if deadID < 0 {
+				deadID = i
+			}
+		case 2:
+			if liveID < 0 {
+				liveID = i
+			}
+		}
+	}
+	if deadID < 0 || liveID < 0 {
+		t.Fatal("seed rows do not cover shards 1 and 2")
+	}
+
+	if err := cl.Nodes()[1].(*LocalNode).Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := cl.Exec(ctx, fmt.Sprintf("SELECT id FROM tx WHERE id = %d", liveID), sess); err != nil {
+		t.Fatalf("pinned read for a live shard must survive: %v", err)
+	}
+	if _, err := cl.Exec(ctx, fmt.Sprintf("SELECT id FROM tx WHERE id = %d", deadID), sess); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("pinned read for the dead shard = %v, want ErrUnavailable", err)
+	}
+	if _, err := cl.Exec(ctx, "SELECT COUNT(*) FROM tx", sess); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("scattered read with a dead shard = %v, want ErrUnavailable", err)
+	}
+
+	if err := cl.Nodes()[1].(*LocalNode).Restart(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Exec(ctx, "SELECT COUNT(*) FROM tx", sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int; got != rows {
+		t.Fatalf("count after restart = %d, want %d", got, rows)
+	}
+}
+
+// TestSessionFloors checks read-your-writes: a write raises the owning
+// shard's floor, a node below the floor answers ErrLag, and the error is
+// typed retriable rather than serving stale rows.
+func TestSessionFloors(t *testing.T) {
+	cl := newTestCluster(t, 2, 8)
+	sess := cl.NewSession()
+	ctx := context.Background()
+
+	if _, err := cl.Exec(ctx, "INSERT INTO tx VALUES (100, 1.25, 'dana', [9, 9, 9, 9])", sess); err != nil {
+		t.Fatal(err)
+	}
+	owner := ShardOf(table.IntVal(100), 2)
+	if sess.floor(owner) == 0 {
+		t.Fatal("write did not raise the owner shard's floor")
+	}
+
+	// Read-your-writes: the pinned read sees the insert immediately.
+	res, err := cl.Exec(ctx, "SELECT id, who FROM tx WHERE id = 100", sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].Str != "dana" {
+		t.Fatalf("read-your-writes returned %v", res.Rows)
+	}
+
+	// A floor the shard has not reached yet is a typed, retriable lag.
+	node := cl.Nodes()[owner]
+	if _, err := node.Query(ctx, "SELECT id FROM tx", sess.floor(owner)+1000); !errors.Is(err, ErrLag) {
+		t.Fatalf("future floor = %v, want ErrLag", err)
+	}
+}
+
+// TestHashDeterminism pins the property the shard map depends on: equal
+// values hash equally across types' canonical forms, and the int→float
+// coercion matches what the engine stores.
+func TestHashDeterminism(t *testing.T) {
+	if HashValue(table.IntVal(42)) != HashValue(table.IntVal(42)) {
+		t.Fatal("int hash not deterministic")
+	}
+	if HashValue(table.TextVal("alice")) == HashValue(table.TextVal("bob")) {
+		t.Fatal("suspicious text collision in test vectors")
+	}
+	v, err := coerceKey(table.IntVal(3), table.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Type != table.Float64 || v.Float != 3.0 {
+		t.Fatalf("coerced key = %v", v)
+	}
+	if _, err := coerceKey(table.FloatVal(1.5), table.Int64); err == nil {
+		t.Fatal("1.5 must not coerce to an INT key")
+	}
+	spread := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		spread[ShardOf(table.IntVal(int64(i)), 4)] = true
+	}
+	if len(spread) != 4 {
+		t.Fatalf("64 keys landed on %d of 4 shards", len(spread))
+	}
+}

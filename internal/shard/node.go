@@ -1,0 +1,211 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tensorbase/internal/engine"
+	"tensorbase/internal/nn"
+	"tensorbase/internal/table"
+)
+
+// Node is one shard's serving endpoint, local or remote. floor is the
+// session's read-your-writes floor for this shard: the minimum committed
+// CSN the read's snapshot must include. Reads against a snapshot below the
+// floor fail with ErrLag; a down node fails with ErrUnavailable.
+type Node interface {
+	Name() string
+
+	// Query runs one read-only statement and returns its rows plus the
+	// snapshot CSN the statement actually pinned (>= floor on success).
+	Query(ctx context.Context, sqlText string, floor uint64) (*engine.Result, error)
+
+	// Exec runs one write statement and returns its result plus the
+	// node's committed CSN afterwards — the session's new floor.
+	Exec(ctx context.Context, sqlText string) (*engine.Result, uint64, error)
+
+	// Nearest runs a vector top-k search on this shard's slice of tbl,
+	// returning the table schema alongside the rows and distances (sorted
+	// ascending) so callers can merge without a catalog round-trip.
+	Nearest(ctx context.Context, tbl, col string, query []float32, k int, floor uint64) (*table.Schema, []table.Tuple, []float64, error)
+
+	// LoadModel registers (or upgrades) a model on this shard.
+	LoadModel(m *nn.Model, accuracy float64) error
+
+	// CreateVectorIndex builds an ANN index over tbl.col on this shard.
+	CreateVectorIndex(tbl, col string) (int, error)
+
+	// Healthy reports whether the node is believed reachable.
+	Healthy() bool
+}
+
+// LocalNode is an in-process shard: a full engine at its own path. Kill and
+// Restart simulate node failure with the engine's own crash machinery, so a
+// killed shard loses nothing durable and recovers by WAL replay.
+type LocalNode struct {
+	name string
+	path string
+	opts engine.Options
+
+	mu    sync.Mutex // serialises Kill/Restart
+	db    atomic.Pointer[engine.DB]
+	alive atomic.Bool
+}
+
+// NewLocalNode opens an engine at path and wraps it as a shard node.
+func NewLocalNode(name, path string, opts engine.Options) (*LocalNode, error) {
+	db, err := engine.Open(path, opts)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: %w", name, err)
+	}
+	n := &LocalNode{name: name, path: path, opts: opts}
+	n.db.Store(db)
+	n.alive.Store(true)
+	return n, nil
+}
+
+// Name implements Node.
+func (n *LocalNode) Name() string { return n.name }
+
+// Healthy implements Node.
+func (n *LocalNode) Healthy() bool { return n.alive.Load() }
+
+// DB exposes the underlying engine (nil while killed), for tests and for
+// wiring a TCP server in front of the same store.
+func (n *LocalNode) DB() *engine.DB {
+	if !n.alive.Load() {
+		return nil
+	}
+	return n.db.Load()
+}
+
+// Kill crashes the node: the engine drops its volatile state as a real
+// crash would, and every subsequent call fails with ErrUnavailable until
+// Restart.
+func (n *LocalNode) Kill() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive.Load() {
+		return nil
+	}
+	n.alive.Store(false)
+	return n.db.Load().Crash()
+}
+
+// Restart reopens the engine from its durable state.
+func (n *LocalNode) Restart() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.alive.Load() {
+		return nil
+	}
+	db, err := engine.Open(n.path, n.opts)
+	if err != nil {
+		return fmt.Errorf("shard %s: restart: %w", n.name, err)
+	}
+	n.db.Store(db)
+	n.alive.Store(true)
+	return nil
+}
+
+// Close shuts the node down cleanly.
+func (n *LocalNode) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive.Load() {
+		return nil
+	}
+	n.alive.Store(false)
+	return n.db.Load().Close()
+}
+
+// live returns the engine or ErrUnavailable.
+func (n *LocalNode) live() (*engine.DB, error) {
+	if !n.alive.Load() {
+		return nil, fmt.Errorf("%w: %s is down", ErrUnavailable, n.name)
+	}
+	return n.db.Load(), nil
+}
+
+// Query implements Node. The floor is checked twice: before the query for
+// an early retriable error, and after against the snapshot the query
+// actually pinned — the pre-check alone races with concurrent restarts.
+func (n *LocalNode) Query(ctx context.Context, sqlText string, floor uint64) (*engine.Result, error) {
+	db, err := n.live()
+	if err != nil {
+		return nil, err
+	}
+	if db.CommittedCSN() < floor {
+		return nil, fmt.Errorf("%w: %s at %d, floor %d", ErrLag, n.name, db.CommittedCSN(), floor)
+	}
+	res, err := db.QueryContext(ctx, sqlText)
+	if err != nil {
+		if !n.alive.Load() {
+			return nil, fmt.Errorf("%w: %s died mid-query: %v", ErrUnavailable, n.name, err)
+		}
+		return nil, err
+	}
+	if res.SnapshotCSN < floor {
+		return nil, fmt.Errorf("%w: %s pinned %d, floor %d", ErrLag, n.name, res.SnapshotCSN, floor)
+	}
+	return res, nil
+}
+
+// Exec implements Node.
+func (n *LocalNode) Exec(ctx context.Context, sqlText string) (*engine.Result, uint64, error) {
+	db, err := n.live()
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := db.ExecContext(ctx, sqlText)
+	if err != nil {
+		if !n.alive.Load() {
+			return nil, 0, fmt.Errorf("%w: %s died mid-statement: %v", ErrUnavailable, n.name, err)
+		}
+		return nil, 0, err
+	}
+	return res, db.CommittedCSN(), nil
+}
+
+// Nearest implements Node.
+func (n *LocalNode) Nearest(ctx context.Context, tbl, col string, query []float32, k int, floor uint64) (*table.Schema, []table.Tuple, []float64, error) {
+	db, err := n.live()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if db.CommittedCSN() < floor {
+		return nil, nil, nil, fmt.Errorf("%w: %s, floor %d", ErrLag, n.name, floor)
+	}
+	rows, dists, err := db.Nearest(tbl, col, query, k)
+	if err != nil {
+		if !n.alive.Load() {
+			return nil, nil, nil, fmt.Errorf("%w: %s died mid-search: %v", ErrUnavailable, n.name, err)
+		}
+		return nil, nil, nil, err
+	}
+	te, err := db.Catalog().Table(tbl)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return te.Heap.Schema(), rows, dists, nil
+}
+
+// LoadModel implements Node.
+func (n *LocalNode) LoadModel(m *nn.Model, accuracy float64) error {
+	db, err := n.live()
+	if err != nil {
+		return err
+	}
+	return db.LoadModel(m, accuracy)
+}
+
+// CreateVectorIndex implements Node.
+func (n *LocalNode) CreateVectorIndex(tbl, col string) (int, error) {
+	db, err := n.live()
+	if err != nil {
+		return 0, err
+	}
+	return db.CreateVectorIndex(tbl, col)
+}

@@ -42,8 +42,29 @@ func (l *lexer) errf(pos int, format string, args ...any) error {
 }
 
 func (l *lexer) next() (token, error) {
-	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
-		l.pos++
+	for {
+		for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		// Comments: `-- ...\n` and `/* ... */`. A `--` fused to an
+		// identifier stays part of the identifier ('-' is an ident
+		// character for model names), so comments need a token boundary
+		// before them — which the whitespace skip above established.
+		if l.pos+1 < len(l.src) && l.src[l.pos] == '-' && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if l.pos+1 < len(l.src) && l.src[l.pos] == '/' && l.src[l.pos+1] == '*' {
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return token{}, l.errf(l.pos, "unterminated block comment")
+			}
+			l.pos += 2 + end + 2
+			continue
+		}
+		break
 	}
 	if l.pos >= len(l.src) {
 		return token{kind: tokEOF, pos: l.pos}, nil

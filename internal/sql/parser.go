@@ -41,11 +41,29 @@ type PredictExpr struct {
 	Quantized bool
 }
 
-// SelectItem is one projection item: `*`, a column, or PREDICT(...).
+// AggExpr is an aggregate call: COUNT(*), COUNT(col), SUM(col), AVG(col),
+// MIN(col), or MAX(col).
+type AggExpr struct {
+	Fn  string // upper-cased: COUNT, SUM, AVG, MIN, MAX
+	Col string // empty for COUNT(*)
+}
+
+// OutName is the aggregate's output column name: `count` for COUNT,
+// otherwise `<fn>_<col>` (e.g. `sum_amount`).
+func (a *AggExpr) OutName() string {
+	if a.Fn == "COUNT" {
+		return "count"
+	}
+	return strings.ToLower(a.Fn) + "_" + a.Col
+}
+
+// SelectItem is one projection item: `*`, a column, an aggregate, or
+// PREDICT(...).
 type SelectItem struct {
 	Star    bool
 	Col     string
 	Predict *PredictExpr
+	Agg     *AggExpr
 }
 
 // Condition is a simple comparison `col op literal`.
@@ -55,12 +73,21 @@ type Condition struct {
 	Lit Literal
 }
 
-// Select is `SELECT items FROM table [WHERE cond] [ORDER BY col [DESC]]
-// [LIMIT n]`.
+// CTE is one `name AS (SELECT ...)` binding in a WITH clause. The body may
+// not itself carry a WITH clause (one level of nesting).
+type CTE struct {
+	Name  string
+	Query *Select
+}
+
+// Select is `[WITH name AS (SELECT ...), ...] SELECT items FROM table
+// [WHERE cond] [GROUP BY col] [ORDER BY col [DESC]] [LIMIT n]`.
 type Select struct {
+	With      []CTE
 	Items     []SelectItem
 	From      string
 	Where     *Condition
+	GroupBy   string // empty when absent
 	OrderBy   string // empty when absent
 	OrderDesc bool
 	Limit     int // -1 when absent
@@ -145,11 +172,72 @@ func (p *parser) statement() (Statement, error) {
 		return p.insert()
 	case p.at(tokIdent, "SELECT"):
 		return p.selectStmt()
+	case p.at(tokIdent, "WITH"):
+		return p.withSelect()
+	case p.at(tokPunct, "("):
+		// A parenthesized statement: `(SELECT ...)`. Only reads make
+		// sense wrapped — clients emit this form for subquery-shaped
+		// tooling output.
+		p.pos++
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, ok := st.(*Select); !ok {
+			return nil, p.errf("only SELECT may be parenthesized")
+		}
+		return st, nil
 	case p.at(tokIdent, "DROP"):
 		return p.dropTable()
 	default:
-		return nil, p.errf("expected CREATE, DROP, INSERT or SELECT, found %q", p.cur().text)
+		return nil, p.errf("expected CREATE, DROP, INSERT, SELECT or WITH, found %q", p.cur().text)
 	}
+}
+
+// withSelect parses `WITH name AS (SELECT ...) [, ...] SELECT ...`.
+func (p *parser) withSelect() (Statement, error) {
+	p.pos++ // WITH
+	var ctes []CTE
+	for {
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "AS"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		if !p.at(tokIdent, "SELECT") {
+			return nil, p.errf("CTE body must be a SELECT, found %q", p.cur().text)
+		}
+		body, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		ctes = append(ctes, CTE{Name: name.text, Query: body.(*Select)})
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if !p.at(tokIdent, "SELECT") {
+		return nil, p.errf("expected SELECT after WITH clause, found %q", p.cur().text)
+	}
+	st, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	sel := st.(*Select)
+	sel.With = ctes
+	return sel, nil
 }
 
 func (p *parser) createTable() (Statement, error) {
@@ -336,6 +424,16 @@ func (p *parser) selectStmt() (Statement, error) {
 		}
 		sel.Where = &Condition{Col: col.text, Op: op.text, Lit: lit}
 	}
+	if p.accept(tokIdent, "GROUP") {
+		if _, err := p.expect(tokIdent, "BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		sel.GroupBy = col.text
+	}
 	if p.accept(tokIdent, "ORDER") {
 		if _, err := p.expect(tokIdent, "BY"); err != nil {
 			return nil, err
@@ -377,6 +475,8 @@ func (p *parser) dropTable() (Statement, error) {
 	return &DropTable{Name: name.text}, nil
 }
 
+var aggFns = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
 func (p *parser) selectItem() (SelectItem, error) {
 	if p.accept(tokPunct, "*") {
 		return SelectItem{Star: true}, nil
@@ -384,6 +484,23 @@ func (p *parser) selectItem() (SelectItem, error) {
 	id, err := p.expect(tokIdent, "")
 	if err != nil {
 		return SelectItem{}, err
+	}
+	if fn := strings.ToUpper(id.text); aggFns[fn] && p.at(tokPunct, "(") {
+		p.pos++
+		if fn == "COUNT" && p.accept(tokPunct, "*") {
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return SelectItem{}, err
+			}
+			return SelectItem{Agg: &AggExpr{Fn: fn}}, nil
+		}
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Agg: &AggExpr{Fn: fn, Col: col.text}}, nil
 	}
 	if strings.EqualFold(id.text, "PREDICT") && p.at(tokPunct, "(") {
 		p.pos++
