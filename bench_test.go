@@ -984,3 +984,60 @@ func BenchmarkShardedScan(b *testing.B) {
 		})
 	}
 }
+
+// ---- PR 10: content-addressed weight-block store ----
+
+// BenchmarkModelLoadDedup measures many-model capacity through the
+// content-addressed block store: each iteration loads 8 fine-tuned
+// Fraud-FC variants (shared trunk, fresh classifier head) against a
+// resident base model, then drops them. Reported metrics feed the CI
+// dedup gate: marginal_frac_of_model — the resident bytes one extra
+// variant costs, as a fraction of a full model — must stay at or under
+// 0.30, and dedup_hit_rate is the block-level hit rate across the run.
+func BenchmarkModelLoadDedup(b *testing.B) {
+	const hidden, variants = 2048, 8
+	db, err := engine.Open(filepath.Join(b.TempDir(), "bench.db"), engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	rng := rand.New(rand.NewSource(23))
+	base := nn.FraudFC(rng, hidden)
+	if err := db.LoadModel(base, 0); err != nil {
+		b.Fatal(err)
+	}
+	single := db.BlockStats().ResidentBytes
+	vs := make([]*nn.Model, variants)
+	for i := range vs {
+		m, err := nn.NewModel(fmt.Sprintf("Fraud-FC-v%d", i), []int{1, 28},
+			base.Layers[0], base.Layers[1],
+			nn.NewLinear(rng, hidden, 2), nn.Softmax{},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vs[i] = m
+	}
+	var peak int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range vs {
+			if err := db.LoadModel(v, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		peak = db.BlockStats().ResidentBytes
+		for _, v := range vs {
+			if err := db.DropModel(v.Name()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	st := db.BlockStats()
+	marginal := float64(peak-single) / variants
+	b.ReportMetric(marginal, "marginal_bytes_per_variant")
+	b.ReportMetric(marginal/float64(single), "marginal_frac_of_model")
+	b.ReportMetric(float64(peak)/float64(variants+1), "resident_bytes_per_model")
+	b.ReportMetric(float64(st.DedupHits)/float64(st.DedupHits+st.BlocksAdded), "dedup_hit_rate")
+}

@@ -1,0 +1,413 @@
+// Package blockstore is the content-addressed weight-block store behind
+// many-model serving (ROADMAP item 3; arXiv 2201.10442): model tensors are
+// split into fixed-size blocks, each block is keyed by the SHA-256 of its
+// exact f32 bytes, and blocks are shared — on disk, in the WAL, on the
+// replication wire, and in memory — across every model variant that
+// contains them. Fine-tuned variants of a base model then cost only their
+// delta blocks.
+//
+// Two kinds of objects live in the store:
+//
+//   - Blocks: immutable []float32 runs of at most BlockElems elements,
+//     keyed by content hash. A block's refcount is the number of times it
+//     occurs across the manifests of currently-registered models, so the
+//     counts are rebuildable from manifests alone after a crash.
+//   - Assemblies: the contiguous serving form of one tensor (the
+//     concatenation of its blocks), keyed by a hash over the block list.
+//     Two models whose tensors are bit-identical share one assembly — N
+//     variants share memory, not just disk. Blocks alias into the first
+//     assembly that contains them, so resident bytes are not double
+//     counted.
+//
+// Release never frees immediately: the engine calls Sweep at the points
+// where orphans can exist (after a model drop, after a replicated group,
+// after WAL replay), so a resync that drops and reloads a model inside one
+// atomic group never loses the blocks the reload is about to re-reference.
+package blockstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// BlockBytes is the block size: 64 KiB, i.e. two storage pages. Large
+// enough that hash/bookkeeping overhead is noise against the payload,
+// small enough that a head-only fine-tune of a multi-megabyte model
+// shares all but a few blocks. The last block of a tensor may be short.
+const BlockBytes = 64 << 10
+
+// BlockElems is the block size in float32 elements.
+const BlockElems = BlockBytes / 4
+
+// Hash is the SHA-256 of a block's little-endian f32 bytes.
+type Hash [sha256.Size]byte
+
+// String returns the hash in hex — block file names use it.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// ParseHash parses a hex block hash (a block file name).
+func ParseHash(s string) (Hash, error) {
+	var h Hash
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(h) {
+		return Hash{}, fmt.Errorf("blockstore: bad hash %q", s)
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// Encode serialises a block payload as little-endian f32 bytes — the byte
+// form hashed, written to block files, logged in RecBlock records, and
+// shipped to replicas.
+func Encode(data []float32) []byte {
+	out := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// Decode parses little-endian f32 block bytes.
+func Decode(raw []byte) ([]float32, error) {
+	if len(raw) == 0 || len(raw)%4 != 0 || len(raw) > BlockBytes {
+		return nil, fmt.Errorf("blockstore: bad block payload length %d", len(raw))
+	}
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}
+
+// HashOf returns the content hash of a block payload.
+func HashOf(data []float32) Hash { return sha256.Sum256(Encode(data)) }
+
+// TensorRef names one tensor's content: its element count and the ordered
+// hashes of its blocks. It is the unit manifests are made of.
+type TensorRef struct {
+	Elems  int
+	Blocks []Hash
+}
+
+// BlockCount returns the number of blocks an n-element tensor splits into.
+func BlockCount(n int) int { return (n + BlockElems - 1) / BlockElems }
+
+// valid checks that the ref's block count matches its element count.
+func (r TensorRef) valid() error {
+	if r.Elems <= 0 || len(r.Blocks) != BlockCount(r.Elems) {
+		return fmt.Errorf("blockstore: ref of %d elems with %d blocks", r.Elems, len(r.Blocks))
+	}
+	return nil
+}
+
+// key is the assembly key: a hash over the ordered block list and the
+// element count, so tensors with identical content share one assembly.
+func (r TensorRef) key() Hash {
+	h := sha256.New()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(r.Elems))
+	h.Write(n[:])
+	for _, b := range r.Blocks {
+		h.Write(b[:])
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+type block struct {
+	refs int
+	// data holds the block's elements. It is either a standalone array or
+	// a subslice of owner.data (owner non-nil) — aliased blocks own no
+	// memory of their own.
+	data  []float32
+	owner *assembly
+}
+
+type assembly struct {
+	refs int
+	data []float32
+	// owned lists the blocks whose data aliases this assembly; Sweep
+	// copies a still-referenced owned block back out before freeing.
+	owned []Hash
+}
+
+// Stats is a snapshot of the store's counters. The *Added counters are
+// monotonic (metric-counter semantics); Resident* describe live memory.
+type Stats struct {
+	BlocksAdded    uint64 // distinct blocks ever admitted
+	BytesAdded     uint64 // payload bytes of distinct blocks ever admitted
+	DedupHits      uint64 // Intern chunks that matched a resident block
+	ResidentBlocks int
+	ResidentBytes  int64 // assemblies + standalone (un-aliased) blocks
+}
+
+// Store is the in-memory block store. Safe for concurrent use.
+type Store struct {
+	mu         sync.Mutex
+	blocks     map[Hash]*block
+	assemblies map[Hash]*assembly
+
+	blocksAdded uint64
+	bytesAdded  uint64
+	dedupHits   uint64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		blocks:     make(map[Hash]*block),
+		assemblies: make(map[Hash]*assembly),
+	}
+}
+
+// Intern splits one tensor's elements into blocks and admits the blocks
+// the store does not already hold. It takes NO references — a reference is
+// taken per occurrence when the tensor is Assembled — and returns the
+// tensor's ref plus the hashes that were new to the store (the ones a
+// durable load must log). Chunks that matched a resident block count as
+// dedup hits.
+func (s *Store) Intern(data []float32) (TensorRef, []Hash, error) {
+	if len(data) == 0 {
+		return TensorRef{}, nil, fmt.Errorf("blockstore: empty tensor")
+	}
+	ref := TensorRef{Elems: len(data)}
+	var fresh []Hash
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for off := 0; off < len(data); off += BlockElems {
+		end := min(off+BlockElems, len(data))
+		chunk := data[off:end]
+		h := HashOf(chunk)
+		ref.Blocks = append(ref.Blocks, h)
+		if _, ok := s.blocks[h]; ok {
+			s.dedupHits++
+			continue
+		}
+		s.admit(h, append([]float32(nil), chunk...))
+		fresh = append(fresh, h)
+	}
+	return ref, fresh, nil
+}
+
+// admit inserts a new block (caller holds the lock and owns data).
+func (s *Store) admit(h Hash, data []float32) {
+	s.blocks[h] = &block{data: data}
+	s.blocksAdded++
+	s.bytesAdded += uint64(4 * len(data))
+}
+
+// PutStaged admits one block payload without taking a reference — the
+// staging path for WAL replay, checkpoint load, and replication. Returns
+// the payload's hash. Re-staging a resident block is a no-op.
+func (s *Store) PutStaged(data []float32) (Hash, error) {
+	if len(data) == 0 || len(data) > BlockElems {
+		return Hash{}, fmt.Errorf("blockstore: staged block of %d elems", len(data))
+	}
+	h := HashOf(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blocks[h]; !ok {
+		s.admit(h, append([]float32(nil), data...))
+	}
+	return h, nil
+}
+
+// PutStagedBytes stages a block from its wire/file byte form.
+func (s *Store) PutStagedBytes(raw []byte) (Hash, error) {
+	data, err := Decode(raw)
+	if err != nil {
+		return Hash{}, err
+	}
+	return s.PutStaged(data)
+}
+
+// Has reports whether the store holds the block.
+func (s *Store) Has(h Hash) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.blocks[h]
+	return ok
+}
+
+// Refs returns a block's reference count (0 for absent blocks).
+func (s *Store) Refs(h Hash) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.blocks[h]; ok {
+		return b.refs
+	}
+	return 0
+}
+
+// RefCounts snapshots every resident block's reference count.
+func (s *Store) RefCounts() map[Hash]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Hash]int, len(s.blocks))
+	for h, b := range s.blocks {
+		out[h] = b.refs
+	}
+	return out
+}
+
+// BlockData returns a block's elements. The slice aliases store memory —
+// callers must treat it as read-only and not retain it past a Sweep.
+func (s *Store) BlockData(h Hash) ([]float32, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blocks[h]
+	if !ok {
+		return nil, false
+	}
+	return b.data, true
+}
+
+// ReferencedHashes returns the hashes of every block with refs > 0, in a
+// deterministic (sorted) order — the set a checkpoint must persist.
+func (s *Store) ReferencedHashes() []Hash {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Hash, 0, len(s.blocks))
+	for h, b := range s.blocks {
+		if b.refs > 0 {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Assemble returns the contiguous serving slice for one tensor,
+// referencing each block occurrence and the assembly. Identical tensors
+// across models share one slice; every Assemble must be paired with one
+// Release. The returned slice is shared — callers must not mutate it.
+func (s *Store) Assemble(ref TensorRef) ([]float32, error) {
+	if err := ref.valid(); err != nil {
+		return nil, err
+	}
+	key := ref.key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Every block must be resident before anything is referenced, so a
+	// dangling manifest fails cleanly.
+	for _, h := range ref.Blocks {
+		if _, ok := s.blocks[h]; !ok {
+			return nil, fmt.Errorf("blockstore: dangling block %s", h)
+		}
+	}
+	asm, ok := s.assemblies[key]
+	if !ok {
+		asm = &assembly{data: make([]float32, ref.Elems)}
+		for i, h := range ref.Blocks {
+			b := s.blocks[h]
+			off := i * BlockElems
+			copy(asm.data[off:], b.data)
+			// Re-point standalone blocks into the assembly so resident
+			// bytes are counted once. A block already aliased into another
+			// assembly keeps that owner.
+			if b.owner == nil {
+				b.data = asm.data[off : off+len(b.data)]
+				b.owner = asm
+				asm.owned = append(asm.owned, h)
+			}
+		}
+		s.assemblies[key] = asm
+	}
+	asm.refs++
+	for _, h := range ref.Blocks {
+		s.blocks[h].refs++
+	}
+	return asm.data, nil
+}
+
+// Release undoes one Assemble: the assembly and each block occurrence lose
+// one reference. Memory is reclaimed by the next Sweep, never here.
+func (s *Store) Release(ref TensorRef) {
+	if ref.valid() != nil {
+		return
+	}
+	key := ref.key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if asm, ok := s.assemblies[key]; ok {
+		asm.refs--
+	}
+	for _, h := range ref.Blocks {
+		if b, ok := s.blocks[h]; ok {
+			b.refs--
+		}
+	}
+}
+
+// Sweep frees every assembly and block whose reference count has reached
+// zero. A still-referenced block that aliased a dying assembly gets its
+// bytes copied back out first, so block data survives its first owner.
+func (s *Store) Sweep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, asm := range s.assemblies {
+		if asm.refs > 0 {
+			continue
+		}
+		for _, h := range asm.owned {
+			b, ok := s.blocks[h]
+			if !ok || b.owner != asm {
+				continue
+			}
+			if b.refs > 0 {
+				b.data = append([]float32(nil), b.data...)
+				b.owner = nil
+			}
+		}
+		delete(s.assemblies, key)
+	}
+	for h, b := range s.blocks {
+		if b.refs <= 0 && (b.owner == nil || s.dead(b.owner)) {
+			delete(s.blocks, h)
+		}
+	}
+}
+
+// dead reports whether asm was freed by this Sweep (no longer indexed).
+func (s *Store) dead(asm *assembly) bool {
+	for _, a := range s.assemblies {
+		if a == asm {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		BlocksAdded:    s.blocksAdded,
+		BytesAdded:     s.bytesAdded,
+		DedupHits:      s.dedupHits,
+		ResidentBlocks: len(s.blocks),
+	}
+	for _, a := range s.assemblies {
+		st.ResidentBytes += int64(4 * len(a.data))
+	}
+	for _, b := range s.blocks {
+		if b.owner == nil {
+			st.ResidentBytes += int64(4 * len(b.data))
+		}
+	}
+	return st
+}

@@ -1,0 +1,273 @@
+package blockstore
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func randTensor(seed int64, n int) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = rng.Float32()
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	data := randTensor(1, 1000)
+	back, err := Decode(Encode(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if data[i] != back[i] {
+			t.Fatalf("elem %d: %v != %v", i, back[i], data[i])
+		}
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if _, err := Decode(make([]byte, 7)); err == nil {
+		t.Fatal("misaligned payload accepted")
+	}
+	if _, err := Decode(make([]byte, BlockBytes+4)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestInternDedupAndAssemble(t *testing.T) {
+	st := New()
+	data := randTensor(2, BlockElems*2+100) // three blocks, last short
+	ref, fresh, err := st.Intern(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Blocks) != 3 || len(fresh) != 3 {
+		t.Fatalf("want 3 blocks all fresh, got %d/%d", len(ref.Blocks), len(fresh))
+	}
+	ref2, fresh2, err := st.Intern(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh2) != 0 {
+		t.Fatalf("re-intern added %d blocks", len(fresh2))
+	}
+	if st.Stats().DedupHits != 3 {
+		t.Fatalf("want 3 dedup hits, got %d", st.Stats().DedupHits)
+	}
+	got, err := st.Assemble(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("assembled elem %d differs", i)
+		}
+	}
+	// The identical ref assembles to the same backing slice.
+	got2, err := st.Assemble(ref2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &got2[0] {
+		t.Fatal("identical tensors do not share an assembly")
+	}
+	for _, h := range ref.Blocks {
+		if r := st.Refs(h); r != 2 {
+			t.Fatalf("block refs = %d, want 2", r)
+		}
+	}
+	st.Release(ref)
+	st.Release(ref2)
+	st.Sweep()
+	if s := st.Stats(); s.ResidentBlocks != 0 || s.ResidentBytes != 0 {
+		t.Fatalf("store not empty: %+v", s)
+	}
+}
+
+// TestSharedBlockSurvivesOwnerSweep: two tensors share a block; the
+// assembly that owns the block's memory dies, the other tensor lives —
+// the block must be copied out, not freed with its owner.
+func TestSharedBlockSurvivesOwnerSweep(t *testing.T) {
+	st := New()
+	shared := randTensor(3, BlockElems) // exactly one block
+	long := append(append([]float32(nil), shared...), randTensor(4, 50)...)
+	refLong, _, err := st.Intern(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refShared, fresh, err := st.Intern(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 0 {
+		t.Fatal("shared prefix block was not deduplicated")
+	}
+	if _, err := st.Assemble(refLong); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Assemble(refShared); err != nil {
+		t.Fatal(err)
+	}
+	st.Release(refLong) // long tensor dies; it owns the shared block's bytes
+	st.Sweep()
+	if r := st.Refs(refShared.Blocks[0]); r != 1 {
+		t.Fatalf("shared block refs = %d, want 1", r)
+	}
+	got, err := st.Assemble(refShared) // must still assemble correctly
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range shared {
+		if got[i] != shared[i] {
+			t.Fatalf("shared block corrupted at %d after owner sweep", i)
+		}
+	}
+	st.Release(refShared)
+	st.Release(refShared)
+	st.Sweep()
+	if s := st.Stats(); s.ResidentBlocks != 0 {
+		t.Fatalf("store not empty: %+v", s)
+	}
+}
+
+// TestReleaseDoesNotFreeUntilSweep: drop-then-reload inside one atomic
+// group must be able to re-reference blocks whose count hit zero.
+func TestReleaseDoesNotFreeUntilSweep(t *testing.T) {
+	st := New()
+	data := randTensor(5, 100)
+	ref, _, err := st.Intern(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Assemble(ref); err != nil {
+		t.Fatal(err)
+	}
+	st.Release(ref)
+	// No sweep yet: the block must still be assemblable.
+	if _, err := st.Assemble(ref); err != nil {
+		t.Fatalf("block freed before sweep: %v", err)
+	}
+	st.Release(ref)
+	st.Sweep()
+	if _, err := st.Assemble(ref); err == nil {
+		t.Fatal("block survived sweep at zero refs")
+	}
+}
+
+func TestStagedBytesAndReferencedHashes(t *testing.T) {
+	st := New()
+	data := randTensor(6, 200)
+	h, err := st.PutStagedBytes(Encode(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != HashOf(data) {
+		t.Fatal("staged hash mismatch")
+	}
+	if !st.Has(h) || st.Refs(h) != 0 {
+		t.Fatal("staged block must be resident with zero refs")
+	}
+	if got := st.ReferencedHashes(); len(got) != 0 {
+		t.Fatalf("unreferenced block listed as referenced: %v", got)
+	}
+	ref := TensorRef{Elems: 200, Blocks: []Hash{h}}
+	if _, err := st.Assemble(ref); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.ReferencedHashes(); len(got) != 1 || got[0] != h {
+		t.Fatalf("want [%s], got %v", h, got)
+	}
+	st.Sweep() // referenced: survives
+	if !st.Has(h) {
+		t.Fatal("referenced block swept")
+	}
+}
+
+// TestRefCountsRebuildDeterministic: refcounts derived from the same set
+// of manifest refs are identical regardless of assembly order — the
+// property recovery relies on.
+func TestRefCountsRebuildDeterministic(t *testing.T) {
+	build := func(order []int) map[Hash]int {
+		st := New()
+		tensors := [][]float32{
+			randTensor(7, BlockElems+10),
+			randTensor(8, 300),
+			randTensor(7, BlockElems+10), // duplicate of the first
+		}
+		refs := make([]TensorRef, len(tensors))
+		for i, d := range tensors {
+			r, _, err := st.Intern(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs[i] = r
+		}
+		for _, i := range order {
+			if _, err := st.Assemble(refs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st.RefCounts()
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{2, 1, 0})
+	if len(a) != len(b) {
+		t.Fatalf("refcount sets differ: %d vs %d", len(a), len(b))
+	}
+	for h, n := range a {
+		if b[h] != n {
+			t.Fatalf("refcount for %s: %d vs %d", h, n, b[h])
+		}
+	}
+}
+
+func TestConcurrentInternAssemble(t *testing.T) {
+	st := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				data := randTensor(int64(i%5), 500) // heavy cross-goroutine overlap
+				ref, _, err := st.Intern(data)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := st.Assemble(ref)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got[0] != data[0] {
+					t.Error("assembled data mismatch")
+					return
+				}
+				st.Release(ref)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st.Sweep()
+	if s := st.Stats(); s.ResidentBlocks != 0 {
+		t.Fatalf("store not empty after concurrent churn: %+v", s)
+	}
+}
+
+func TestParseHash(t *testing.T) {
+	h := HashOf([]float32{1, 2, 3})
+	back, err := ParseHash(h.String())
+	if err != nil || back != h {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if _, err := ParseHash("zz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if _, err := ParseHash("abcd"); err == nil {
+		t.Fatal("short hash accepted")
+	}
+}

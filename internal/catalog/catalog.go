@@ -109,6 +109,19 @@ func (c *Catalog) Tables() []string {
 	return out
 }
 
+// DropModel removes the named model (all versions) from the catalog.
+// Weight-block reclamation is the engine's job: it releases the model's
+// manifest references and sweeps the block store after calling this.
+func (c *Catalog) DropModel(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.models[name]; !ok {
+		return fmt.Errorf("catalog: no model %q", name)
+	}
+	delete(c.models, name)
+	return nil
+}
+
 // RegisterModel stores m as the original version under its model name.
 func (c *Catalog) RegisterModel(m *nn.Model, accuracy float64, trainedOn string) error {
 	c.mu.Lock()

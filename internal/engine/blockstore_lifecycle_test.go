@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tensorbase/internal/blockstore"
+	"tensorbase/internal/fault"
+	"tensorbase/internal/nn"
+	"tensorbase/internal/tensor"
+	"tensorbase/internal/wal"
+)
+
+// Tests for the content-addressed weight-block store wired through the
+// model lifecycle: LOAD dedups against resident blocks, DROP frees only
+// blocks no other model references, and recovery rebuilds the exact same
+// refcounts from the surviving manifests.
+
+// fraudHidden is sized so the shared trunk spans several 64 KiB blocks
+// (Linear(28, 2048).W is 57344 floats ≈ 3.5 blocks) while the per-variant
+// classifier head stays tiny — the fine-tuned-variant shape the dedup
+// design targets.
+const fraudHidden = 2048
+
+// fraudVariant builds a fine-tuned variant of base: same trunk layers (by
+// reference — interning hashes the bytes, so sharing the objects just
+// mirrors that the weights are equal), fresh classifier head.
+func fraudVariant(t *testing.T, base *nn.Model, name string, headSeed int64) *nn.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(headSeed))
+	m, err := nn.NewModel(name, []int{1, 28},
+		base.Layers[0], base.Layers[1],
+		nn.NewLinear(rng, fraudHidden, 2), nn.Softmax{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// forwardBits runs m over a deterministic batch and returns a copy of the
+// raw output for bit-exact comparison.
+func forwardBits(m *nn.Model, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	shape := append([]int(nil), m.InShape...)
+	shape[0] = 4
+	x := tensor.New(shape...)
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float32()*2 - 1
+	}
+	return append([]float32(nil), m.Forward(x).Data()...)
+}
+
+func manifestHashSet(t *testing.T, db *DB, model string) map[blockstore.Hash]bool {
+	t.Helper()
+	mf, ok := db.manifestFor(model)
+	if !ok {
+		t.Fatalf("model %s has no manifest", model)
+	}
+	set := make(map[blockstore.Hash]bool)
+	for _, h := range mf.Hashes() {
+		set[h] = true
+	}
+	return set
+}
+
+// TestModelLoadDedupAndBitIdentity: loading fine-tuned variants reuses the
+// trunk's resident blocks, and every loaded model — served from
+// block-backed tensors — answers bit-identically to the original weights.
+func TestModelLoadDedupAndBitIdentity(t *testing.T) {
+	db, err := Open(filepath.Join(t.TempDir(), "d.db"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	base := nn.FraudFC(rand.New(rand.NewSource(1)), fraudHidden)
+	v1 := fraudVariant(t, base, "Fraud-FC-v1", 2)
+	v2 := fraudVariant(t, base, "Fraud-FC-v2", 3)
+
+	for _, m := range []*nn.Model{base, v1, v2} {
+		want := forwardBits(m, 42)
+		if err := db.LoadModel(m, 0.9); err != nil {
+			t.Fatalf("load %s: %v", m.Name(), err)
+		}
+		loaded, err := db.Catalog().Model(m.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := forwardBits(loaded, 42); !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: block-backed model diverges from original weights", m.Name())
+		}
+	}
+
+	st := db.BlockStats()
+	if st.DedupHits == 0 {
+		t.Fatalf("loading shared-trunk variants produced no dedup hits: %+v", st)
+	}
+	// The variants' heads are all the store grew by; three models must cost
+	// far less than three full copies.
+	baseBytes := base.ParamBytes()
+	if st.ResidentBytes >= 2*baseBytes {
+		t.Fatalf("3 variants resident in %d bytes, want < 2x the %d-byte model", st.ResidentBytes, baseBytes)
+	}
+}
+
+// TestManyVariantsResidentBytes is the capacity acceptance bar: eight
+// fine-tuned variants resident with total blockstore bytes under 3x a
+// single model.
+func TestManyVariantsResidentBytes(t *testing.T) {
+	db, err := Open(filepath.Join(t.TempDir(), "v.db"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	base := nn.FraudFC(rand.New(rand.NewSource(1)), fraudHidden)
+	if err := db.LoadModel(base, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	single := db.BlockStats().ResidentBytes
+	if single == 0 {
+		t.Fatal("no resident bytes after loading the base model")
+	}
+	for i := 1; i < 8; i++ {
+		v := fraudVariant(t, base, fmt.Sprintf("Fraud-FC-v%d", i), int64(i))
+		if err := db.LoadModel(v, 0.9); err != nil {
+			t.Fatalf("load variant %d: %v", i, err)
+		}
+	}
+	st := db.BlockStats()
+	if st.ResidentBytes >= 3*single {
+		t.Fatalf("8 variants resident in %d bytes, want < 3x single model (%d)", st.ResidentBytes, single)
+	}
+	if got := len(db.Catalog().Models()); got != 8 {
+		t.Fatalf("models registered = %d, want 8", got)
+	}
+}
+
+// TestBlockGCUnderVersionChurn: base + two fine-tuned variants, then the
+// base is dropped. Shared blocks must survive (still referenced by the
+// variants), the base's unique head blocks must be freed, and a crash +
+// reopen must rebuild the exact same refcounts from the surviving
+// manifests. Run under -race in CI.
+func TestBlockGCUnderVersionChurn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "churn.db")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := nn.FraudFC(rand.New(rand.NewSource(1)), fraudHidden)
+	v1 := fraudVariant(t, base, "Fraud-FC-v1", 2)
+	v2 := fraudVariant(t, base, "Fraud-FC-v2", 3)
+	wantV1 := forwardBits(v1, 7)
+	wantV2 := forwardBits(v2, 7)
+	for _, m := range []*nn.Model{base, v1, v2} {
+		if err := db.LoadModel(m, 0.9); err != nil {
+			t.Fatalf("load %s: %v", m.Name(), err)
+		}
+	}
+	baseHashes := manifestHashSet(t, db, base.Name())
+	variantHashes := manifestHashSet(t, db, "Fraud-FC-v1")
+	for h := range manifestHashSet(t, db, "Fraud-FC-v2") {
+		variantHashes[h] = true
+	}
+	var shared, unique []blockstore.Hash
+	for h := range baseHashes {
+		if variantHashes[h] {
+			shared = append(shared, h)
+		} else {
+			unique = append(unique, h)
+		}
+	}
+	if len(shared) == 0 || len(unique) == 0 {
+		t.Fatalf("degenerate split: %d shared, %d unique base blocks", len(shared), len(unique))
+	}
+
+	if err := db.DropModel(base.Name()); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range shared {
+		if db.blocks.Refs(h) <= 0 {
+			t.Fatalf("shared block %s unreferenced after dropping the base", h)
+		}
+	}
+	for _, h := range unique {
+		if db.blocks.Has(h) {
+			t.Fatalf("base-only block %s survives the drop", h)
+		}
+	}
+	for name, want := range map[string][]float32{"Fraud-FC-v1": wantV1, "Fraud-FC-v2": wantV2} {
+		m, err := db.Catalog().Model(name)
+		if err != nil {
+			t.Fatalf("variant %s lost after dropping the base: %v", name, err)
+		}
+		if got := forwardBits(m, 7); !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s diverged after block GC", name)
+		}
+	}
+	refsAfterDrop := db.blocks.RefCounts()
+
+	// Crash (no checkpoint): the whole churn lives in the WAL. Recovery
+	// must land on identical refcounts.
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen after churn crash: %v", err)
+	}
+	defer re.Close()
+	if got := re.blocks.RefCounts(); !reflect.DeepEqual(refsAfterDrop, got) {
+		t.Fatalf("recovery rebuilt different refcounts:\nbefore crash: %d blocks\nafter reopen: %d blocks", len(refsAfterDrop), len(got))
+	}
+	if models := re.Catalog().Models(); len(models) != 2 {
+		t.Fatalf("models after reopen = %v, want the two variants", models)
+	}
+	for name, want := range map[string][]float32{"Fraud-FC-v1": wantV1, "Fraud-FC-v2": wantV2} {
+		m, err := re.Catalog().Model(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := forwardBits(m, 7); !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s diverged across crash recovery", name)
+		}
+	}
+}
+
+// TestKillMidLoadModelManifestsResolve kills the engine at every WAL fault
+// point inside LoadModel's commit, at several occurrences, and asserts the
+// reopened catalog is never left with a manifest whose blocks are missing:
+// Open itself assembles every manifest, and each surviving model answers a
+// plan request.
+func TestKillMidLoadModelManifestsResolve(t *testing.T) {
+	for _, point := range []string{wal.FPAppend, wal.FPFrame, wal.FPSync} {
+		for _, occ := range []uint64{1, 2, 4, 6} {
+			t.Run(fmt.Sprintf("%s/occ%d", point, occ), func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "k.db")
+				db, err := Open(path, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				base := nn.FraudFC(rand.New(rand.NewSource(1)), fraudHidden)
+				if err := db.LoadModel(base, 0.9); err != nil {
+					t.Fatal(err)
+				}
+				if err := db.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+				inj := fault.New()
+				inj.FailAt(point, errInjected, occ)
+				db.SetFaults(inj)
+				v := fraudVariant(t, base, "Fraud-FC-v1", 2)
+				loadErr := db.LoadModel(v, 0.8)
+				if err := db.Crash(); err != nil {
+					t.Fatal(err)
+				}
+				re, err := Open(path, Options{})
+				if err != nil {
+					t.Fatalf("reopen after kill at %s/%d: %v", point, occ, err)
+				}
+				defer re.Close()
+				models := re.Catalog().Models()
+				if len(models) != 1 && len(models) != 2 {
+					t.Fatalf("catalog after kill at %s/%d: %v", point, occ, models)
+				}
+				if loadErr == nil && len(models) != 2 {
+					t.Fatalf("acknowledged LOAD MODEL lost after kill at %s/%d", point, occ)
+				}
+				for _, name := range models {
+					if _, err := re.ExplainPredict(name, 4); err != nil {
+						t.Fatalf("model %s unusable after kill at %s/%d: %v", name, point, occ, err)
+					}
+				}
+				// Every manifest must resolve against resident blocks.
+				for _, name := range models {
+					set := manifestHashSet(t, re, name)
+					for h := range set {
+						if !re.blocks.Has(h) {
+							t.Fatalf("dangling block %s in %s's manifest after kill at %s/%d", h, name, point, occ)
+						}
+					}
+				}
+			})
+		}
+	}
+}

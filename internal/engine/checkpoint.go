@@ -50,9 +50,9 @@ func (db *DB) Checkpoint() error {
 	}
 	db.checkpoints.Add(1)
 	// Tell the replication primary (if any) that the log through the
-	// committed horizon is gone: model files referenced by buffered
-	// RecLoadModel records may be GCed from now on, so a replica too far
-	// behind must full-resync instead of replaying the stream.
+	// committed horizon is gone: block files left unreferenced since the
+	// last save may be GCed from now on, so a replica too far behind must
+	// full-resync instead of replaying the stream.
 	db.pubMu.Lock()
 	s := db.shipper
 	db.pubMu.Unlock()

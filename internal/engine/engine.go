@@ -10,11 +10,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tensorbase/internal/blockstore"
 	"tensorbase/internal/cache"
 	"tensorbase/internal/catalog"
 	"tensorbase/internal/core"
@@ -173,6 +173,21 @@ type DB struct {
 	// mPredictQuantized counts PREDICTs served by an int8-resident twin.
 	mPredictQuantized *obs.Counter
 
+	// blocks is the content-addressed weight-block store: every loaded
+	// model's tensors alias assemblies of refcounted 64 KiB blocks, shared
+	// across fine-tuned variants (see internal/blockstore). manifests maps
+	// each durable model to the manifest whose references it holds; models
+	// with a nil manifest entry are memory-resident only (unserializable
+	// layers) and skipped by the catalog checkpoint and the WAL.
+	blocks    *blockstore.Store
+	manMu     sync.Mutex
+	manifests map[string]*nn.Manifest
+	// persistedBlocks tracks which block files already exist under
+	// .blocks/, so an unchanged checkpoint writes zero model bytes. Only
+	// loadCatalog (open) and saveCatalog (serialized by the checkpoint
+	// path) touch it.
+	persistedBlocks map[blockstore.Hash]bool
+
 	// gen is the committed catalog generation (see persist.go).
 	gen uint64
 	// faults injects crashes into catalog persistence (tests only).
@@ -244,6 +259,10 @@ func Open(path string, opts Options) (*DB, error) {
 		reg:        obs.NewRegistry(),
 		wal:        wlog,
 		faults:     opts.Faults,
+
+		blocks:          blockstore.New(),
+		manifests:       make(map[string]*nn.Manifest),
+		persistedBlocks: make(map[blockstore.Hash]bool),
 	}
 	db.pubCond = sync.NewCond(&db.pubMu)
 	db.registerMetrics()
@@ -350,6 +369,12 @@ func (db *DB) registerMetrics() {
 	r.CounterFunc("tensorbase_checkpoints_total", "checkpoints completed", func() float64 { return float64(db.checkpoints.Load()) })
 	r.GaugeFunc("tensorbase_wal_bytes", "current WAL length", func() float64 { return float64(db.wal.Size()) })
 	r.GaugeFunc("tensorbase_committed_csn", "latest published commit sequence number", func() float64 { return float64(db.committedCSN.Load()) })
+
+	r.CounterFunc("tensorbase_blockstore_blocks_total", "distinct weight blocks admitted to the block store", func() float64 { return float64(db.blocks.Stats().BlocksAdded) })
+	r.CounterFunc("tensorbase_blockstore_bytes_total", "payload bytes of distinct weight blocks admitted", func() float64 { return float64(db.blocks.Stats().BytesAdded) })
+	r.CounterFunc("tensorbase_blockstore_dedup_hits_total", "model-load tensor chunks deduplicated against resident blocks", func() float64 { return float64(db.blocks.Stats().DedupHits) })
+	r.GaugeFunc("tensorbase_blockstore_resident_bytes", "weight bytes resident in the block store (assemblies + standalone blocks)", func() float64 { return float64(db.blocks.Stats().ResidentBytes) })
+	r.GaugeFunc("tensorbase_blockstore_resident_blocks", "weight blocks currently resident", func() float64 { return float64(db.blocks.Stats().ResidentBlocks) })
 
 	r.GaugeFunc("tensorbase_compute_tokens_total", "process-wide compute token budget", func() float64 { return float64(parallel.Default().Total()) })
 	r.GaugeFunc("tensorbase_compute_tokens_in_use", "compute tokens currently held", func() float64 { return float64(parallel.Default().InUse()) })
@@ -494,11 +519,16 @@ func (db *DB) EnableOffload(rt *dlruntime.Runtime, minFlopsPerByte float64) {
 // predictions differ in bits from f32, so the two modes must never share
 // cached results or model invocations.
 //
-// The load is durable: the model file is written (tmp + fsync + rename)
-// into the models directory before a WAL record commits the load, so a
-// crash at any later point replays it. If the durability step itself fails
-// the model stays registered in memory — still served, and persisted by
-// the next successful checkpoint — but LoadModel reports the error.
+// The load is durable and deduplicated: the model's tensors are split
+// into content-addressed 64 KiB blocks, blocks already resident (shared
+// with other loaded models) are reused, and only the NEW blocks plus the
+// model's manifest are WAL-logged in one commit group — a fine-tuned
+// variant costs its delta, not its size. The served model's tensors alias
+// the shared block assemblies; inference stays bit-identical because
+// blocks are exact byte slices of the original f32 tensors. If the
+// durability step fails the model stays registered in memory — still
+// served, its blocks pinned, persisted by the next successful checkpoint —
+// but LoadModel reports the error.
 func (db *DB) LoadModel(m *nn.Model, accuracy float64) error {
 	if db.follower.Load() {
 		return ErrReadOnly
@@ -508,53 +538,99 @@ func (db *DB) LoadModel(m *nn.Model, accuracy float64) error {
 		return err
 	}
 	defer held.Release()
-	if err := db.registerModel(m, accuracy); err != nil {
-		return err
-	}
-	// A model whose layers cannot be serialised (synthetic test layers,
+	// A model whose layers cannot be blocked (synthetic test layers,
 	// runtime-only ops) stays memory-resident — served until Close, exactly
 	// the pre-WAL contract — rather than poisoning the log with a load no
 	// recovery could replay.
-	if err := nn.Save(io.Discard, m); err != nil {
-		return nil
+	mf, fresh, err := nn.BlockModel(m, db.blocks)
+	if err != nil {
+		db.blocks.Sweep()
+		return db.registerModel(m, accuracy, nil)
+	}
+	am, err := nn.ModelFromManifest(mf, db.blocks)
+	if err != nil {
+		db.blocks.Sweep()
+		return fmt.Errorf("engine: reassembling model %q from blocks: %w", m.Name(), err)
+	}
+	if err := db.registerModel(am, accuracy, mf); err != nil {
+		nn.ReleaseManifest(mf, db.blocks)
+		db.blocks.Sweep()
+		return err
 	}
 	csn := db.beginCSN()
-	rec, err := db.commitModelLoad(m, accuracy, csn)
+	recs, err := db.commitModelLoad(mf, fresh, accuracy, csn)
 	if err != nil {
 		db.abortCSN(csn)
 		return fmt.Errorf("engine: model %q is registered but its load did not commit durably: %w", m.Name(), err)
 	}
-	db.publish(csn, []*wal.Record{rec})
+	db.publish(csn, recs)
 	return nil
 }
 
-// commitModelLoad writes the model file durably under a WAL-generation
-// name and commits the load through the log, returning the logged record.
-func (db *DB) commitModelLoad(m *nn.Model, accuracy float64, csn uint64) (*wal.Record, error) {
-	if err := os.MkdirAll(db.modelsDir(), 0o755); err != nil {
-		return nil, fmt.Errorf("engine: creating models dir: %w", err)
+// commitModelLoad logs the load's NEW blocks followed by the model
+// manifest under one CSN and commits the group — recovery either replays
+// the whole load (blocks, then a manifest whose hashes all resolve) or
+// none of it.
+func (db *DB) commitModelLoad(mf *nn.Manifest, fresh []blockstore.Hash, accuracy float64, csn uint64) ([]*wal.Record, error) {
+	recs := make([]*wal.Record, 0, len(fresh)+1)
+	for _, h := range fresh {
+		data, ok := db.blocks.BlockData(h)
+		if !ok {
+			return nil, fmt.Errorf("engine: block %s vanished during load", h)
+		}
+		recs = append(recs, &wal.Record{Type: wal.RecBlock, CSN: csn, Data: blockstore.Encode(data)})
 	}
-	file := filepath.Join(db.modelsDir(), fmt.Sprintf("wal-%08d.tbm", csn))
-	if err := db.saveModelDurable(file, m); err != nil {
-		return nil, err
-	}
-	if err := syncDir(db.modelsDir()); err != nil {
-		return nil, err
-	}
-	rec := &wal.Record{
+	recs = append(recs, &wal.Record{
 		Type: wal.RecLoadModel, CSN: csn,
-		Model: m.Name(), File: file, Acc: accuracy,
+		Model: mf.Name, Acc: accuracy, Data: nn.EncodeManifest(mf),
+	})
+	for _, rec := range recs {
+		if _, err := db.wal.Append(rec); err != nil {
+			return nil, err
+		}
 	}
+	return recs, db.wal.Commit(csn)
+}
+
+// DropModel removes a model from serving: the catalog entry, its UDFs and
+// serving state go away, its manifest's block references are released, and
+// blocks no other model shares are reclaimed (disk reclamation follows at
+// the next checkpoint). The drop is WAL-logged and replicated. Blocks
+// shared with other loaded models survive untouched.
+func (db *DB) DropModel(name string) error {
+	if db.follower.Load() {
+		return ErrReadOnly
+	}
+	held, err := db.locks.Acquire(nil, lockmgr.Request{DDL: true})
+	if err != nil {
+		return err
+	}
+	defer held.Release()
+	if _, err := db.cat.ModelEntryFor(name); err != nil {
+		return err
+	}
+	csn := db.beginCSN()
+	rec := &wal.Record{Type: wal.RecDropModel, CSN: csn, Model: name}
 	if _, err := db.wal.Append(rec); err != nil {
-		return nil, err
+		db.abortCSN(csn)
+		return err
 	}
-	return rec, db.wal.Commit(csn)
+	if err := db.wal.Commit(csn); err != nil {
+		db.abortCSN(csn)
+		return err
+	}
+	db.unregisterModel(name)
+	db.publish(csn, []*wal.Record{rec})
+	db.blocks.Sweep()
+	return nil
 }
 
 // registerModel installs a model in memory only: the catalog entry, the
 // adaptive and quantized UDFs, and the serving state. loadCatalog and WAL
 // replay call it directly — their durability is the meta file and the log.
-func (db *DB) registerModel(m *nn.Model, accuracy float64) error {
+// mf, when non-nil, is the manifest whose block references the model holds;
+// a nil manifest marks the model memory-resident (not persisted).
+func (db *DB) registerModel(m *nn.Model, accuracy float64, mf *nn.Manifest) error {
 	if err := db.cat.RegisterModel(m, accuracy, ""); err != nil {
 		return err
 	}
@@ -565,7 +641,9 @@ func (db *DB) registerModel(m *nn.Model, accuracy float64) error {
 		return err
 	}
 	// A model whose layers cannot be quantized simply has no twin; asking
-	// for OPTIONS (quantized) over it is a query-time error.
+	// for OPTIONS (quantized) over it is a query-time error. The twin is
+	// built from the reassembled (block-backed) tensors, so quantized
+	// serving is byte-for-byte what it was before deduplication.
 	if q, qerr := nn.QuantizeResident(m); qerr == nil {
 		if err := db.udfs.Register(udf.NewQuantizedUDF(q, m.Name(), db.budget)); err != nil {
 			return err
@@ -574,8 +652,47 @@ func (db *DB) registerModel(m *nn.Model, accuracy float64) error {
 			return err
 		}
 	}
+	if mf != nil {
+		db.manMu.Lock()
+		db.manifests[m.Name()] = mf
+		db.manMu.Unlock()
+	}
 	return nil
 }
+
+// unregisterModel removes a model's in-memory state — catalog entry, UDFs,
+// caches, coalescers — and releases its manifest's block references. The
+// caller sweeps the store once its atomic unit (drop statement, replicated
+// group, replay) is complete.
+func (db *DB) unregisterModel(name string) {
+	db.cat.DropModel(name)
+	db.udfs.Unregister("adaptive:" + name)
+	db.udfs.Unregister("quantized:" + name)
+	db.cmu.Lock()
+	delete(db.caches, name)
+	delete(db.caches, quantizedKey(name))
+	delete(db.coalescers, name)
+	delete(db.coalescers, quantizedKey(name))
+	db.cmu.Unlock()
+	db.manMu.Lock()
+	mf := db.manifests[name]
+	delete(db.manifests, name)
+	db.manMu.Unlock()
+	if mf != nil {
+		nn.ReleaseManifest(mf, db.blocks)
+	}
+}
+
+// manifestFor returns the named model's manifest, if it has one.
+func (db *DB) manifestFor(name string) (*nn.Manifest, bool) {
+	db.manMu.Lock()
+	defer db.manMu.Unlock()
+	mf, ok := db.manifests[name]
+	return mf, ok
+}
+
+// BlockStats exposes the weight-block store's counters (tests, tools).
+func (db *DB) BlockStats() blockstore.Stats { return db.blocks.Stats() }
 
 // quantizedKey is the cache/coalescer key for a model's quantized serving
 // mode; the NUL cannot appear in a model name, so keys never collide.

@@ -1,12 +1,10 @@
 package engine
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 
+	"tensorbase/internal/blockstore"
 	"tensorbase/internal/lockmgr"
 	"tensorbase/internal/nn"
 	"tensorbase/internal/storage"
@@ -62,11 +60,16 @@ func (db *DB) followerAdvance(csn uint64) {
 // and a commit record gates the whole group, so recovery after a crash
 // mid-apply restores the pre-group state and the stream re-delivers.
 //
+// Model weights travel as RecBlock records (deduplicated: the stream
+// carries only blocks the replica reported missing) followed by the
+// manifest-bearing RecLoadModel, so a shipped group is self-contained in
+// the replica's WAL — no side-channel files to stage or leak.
+//
 // With resync set, the group is a full snapshot: every local table is
-// dropped first (inside the same WAL commit group — recovery handles
-// drop-then-recreate of a name within one group), then the snapshot's
-// creates/inserts/model loads apply. nil recs advance the applied CSN only
-// (the primary published an abort).
+// dropped and every local model unloaded first (inside the same WAL commit
+// group — recovery handles drop-then-recreate of a name within one group),
+// then the snapshot's creates/inserts/model loads apply. nil recs advance
+// the applied CSN only (the primary published an abort).
 //
 // Contract on error: the engine may hold a half-applied group in memory.
 // The caller must Crash() and re-Open — recovery rolls the group back
@@ -90,17 +93,23 @@ func (db *DB) ApplyReplicated(csn uint64, recs []*wal.Record, resync bool) error
 		case wal.RecCreateTable, wal.RecDropTable:
 			ddl = true
 			tableSet[r.Table] = true
-		case wal.RecLoadModel:
+		case wal.RecLoadModel, wal.RecBlock, wal.RecDropModel:
 			ddl = true
 		}
 	}
 	if resync {
-		// The snapshot replaces everything: the replica's current tables are
-		// dropped inside the group.
+		// The snapshot replaces everything: the replica's current tables
+		// and models are dropped inside the group. Shared weight blocks
+		// survive the drop-then-reload — Release never frees, only the
+		// post-commit Sweep does, by which point the reloaded manifests
+		// hold their references again.
 		var drops []*wal.Record
 		for _, name := range db.cat.Tables() {
 			tableSet[name] = true
 			drops = append(drops, &wal.Record{Type: wal.RecDropTable, CSN: csn, Table: name})
+		}
+		for _, name := range db.cat.Models() {
+			drops = append(drops, &wal.Record{Type: wal.RecDropModel, CSN: csn, Model: name})
 		}
 		recs = append(drops, recs...)
 	}
@@ -178,21 +187,32 @@ func (db *DB) ApplyReplicated(csn uint64, recs []*wal.Record, resync bool) error
 			}
 			db.vmu.Unlock()
 			dropped = append(dropped, droppedHeap{te.Heap, pages})
+		case wal.RecBlock:
+			if _, err := db.blocks.PutStagedBytes(r.Data); err != nil {
+				return fmt.Errorf("engine: apply weight block: %w", err)
+			}
 		case wal.RecLoadModel:
 			if _, err := db.cat.Model(r.Model); err == nil {
 				continue // already registered (models are immutable once named)
 			}
-			f, err := os.Open(r.File)
+			if len(r.Data) == 0 {
+				return fmt.Errorf("engine: apply LOAD MODEL %q: record carries no manifest", r.Model)
+			}
+			mf, err := nn.DecodeManifest(r.Data)
 			if err != nil {
 				return fmt.Errorf("engine: apply LOAD MODEL %q: %w", r.Model, err)
 			}
-			m, lerr := nn.Load(f)
-			f.Close()
-			if lerr != nil {
-				return fmt.Errorf("engine: apply LOAD MODEL %q: %w", r.Model, lerr)
-			}
-			if err := db.registerModel(m, r.Acc); err != nil {
+			am, err := nn.ModelFromManifest(mf, db.blocks)
+			if err != nil {
 				return fmt.Errorf("engine: apply LOAD MODEL %q: %w", r.Model, err)
+			}
+			if err := db.registerModel(am, r.Acc, mf); err != nil {
+				nn.ReleaseManifest(mf, db.blocks)
+				return fmt.Errorf("engine: apply LOAD MODEL %q: %w", r.Model, err)
+			}
+		case wal.RecDropModel:
+			if _, err := db.cat.ModelEntryFor(r.Model); err == nil {
+				db.unregisterModel(r.Model)
 			}
 		default:
 			return fmt.Errorf("engine: apply: unexpected record type %d", r.Type)
@@ -202,8 +222,9 @@ func (db *DB) ApplyReplicated(csn uint64, recs []*wal.Record, resync bool) error
 		return fmt.Errorf("engine: apply csn %d: commit: %w", csn, err)
 	}
 	// Post-commit reclamation, as in execDrop: wait out in-flight snapshot
-	// scans of the dropped heaps, then free their pages. A failure here
-	// leaks pages — never corruption — so the applied CSN still advances.
+	// scans of the dropped heaps, then free their pages, and sweep weight
+	// blocks no surviving manifest references. A failure here leaks pages —
+	// never corruption — so the applied CSN still advances.
 	var leakErr error
 	for _, d := range dropped {
 		d.heap.Drain()
@@ -214,15 +235,19 @@ func (db *DB) ApplyReplicated(csn uint64, recs []*wal.Record, resync bool) error
 			}
 		}
 	}
+	db.blocks.Sweep()
 	db.followerAdvance(csn)
 	return leakErr
 }
 
-// ModelBlob is one serialised model inside a replica snapshot.
-type ModelBlob struct {
-	Name string
-	Acc  float64
-	Data []byte
+// ModelManifest is one model inside a replica snapshot: its identity plus
+// the encoded block manifest. The weight bytes themselves are NOT here —
+// the replica reports which blocks it is missing and the primary ships
+// only those (see MissingBlocks / BlockPayload).
+type ModelManifest struct {
+	Name     string
+	Acc      float64
+	Manifest []byte
 }
 
 // ReplicaSnapshot captures a full logical copy of the committed database —
@@ -230,10 +255,10 @@ type ModelBlob struct {
 // holds the DDL latch throughout, pinning the committed horizon against
 // CREATE/DROP/LoadModel; concurrent INSERTs may publish during the scan but
 // their rows are stamped above the pinned CSN and invisible to it. Every
-// returned record is stamped with the snapshot CSN. Models that cannot be
-// serialised (memory-resident test layers) are skipped, matching their
-// single-process durability contract.
-func (db *DB) ReplicaSnapshot() (uint64, []*wal.Record, []ModelBlob, error) {
+// returned record is stamped with the snapshot CSN. Memory-resident models
+// (no manifest) are skipped, matching their single-process durability
+// contract.
+func (db *DB) ReplicaSnapshot() (uint64, []*wal.Record, []ModelManifest, error) {
 	ddl, err := db.locks.Acquire(nil, lockmgr.Request{DDL: true})
 	if err != nil {
 		return 0, nil, nil, err
@@ -268,55 +293,57 @@ func (db *DB) ReplicaSnapshot() (uint64, []*wal.Record, []ModelBlob, error) {
 			recs = append(recs, &wal.Record{Type: wal.RecInsert, CSN: csn, Table: name, Data: data})
 		}
 	}
-	var models []ModelBlob
+	var models []ModelManifest
 	for _, name := range db.cat.Models() {
 		entry, err := db.cat.ModelEntryFor(name)
 		if err != nil {
 			return 0, nil, nil, err
 		}
-		var buf bytes.Buffer
-		if err := nn.Save(&buf, entry.Versions[0].Model); err != nil {
+		mf, ok := db.manifestFor(name)
+		if !ok {
 			continue
 		}
-		models = append(models, ModelBlob{Name: name, Acc: entry.Versions[0].Accuracy, Data: buf.Bytes()})
+		models = append(models, ModelManifest{
+			Name:     name,
+			Acc:      entry.Versions[0].Accuracy,
+			Manifest: nn.EncodeManifest(mf),
+		})
 	}
 	return csn, recs, models, nil
 }
 
-// StageReplicatedModel writes shipped model bytes durably into this
-// engine's models directory (tmp + fsync + rename, like every model save)
-// and returns the local path for the RecLoadModel record that will commit
-// the load. csn and seq make the name unique within a shipped group.
-//
-// The file becomes catalog-referenced only when its group's ApplyReplicated
-// commits; until then a checkpoint's model GC may remove it, in which case
-// the apply fails and the stream resyncs — staging is always retryable.
-func (db *DB) StageReplicatedModel(csn uint64, seq int, data []byte) (string, error) {
-	dir := db.modelsDir()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", fmt.Errorf("engine: creating models dir: %w", err)
+// MissingBlocks decodes each encoded manifest and returns the hashes of
+// every referenced block not resident in this engine's store, deduplicated,
+// in first-reference order — the replica's "send me these" list during a
+// resync handshake.
+func (db *DB) MissingBlocks(manifests [][]byte) ([]blockstore.Hash, error) {
+	seen := make(map[blockstore.Hash]bool)
+	var missing []blockstore.Hash
+	for _, raw := range manifests {
+		mf, err := nn.DecodeManifest(raw)
+		if err != nil {
+			return nil, fmt.Errorf("engine: resync manifest: %w", err)
+		}
+		for _, h := range mf.Hashes() {
+			if seen[h] || db.blocks.Has(h) {
+				continue
+			}
+			seen[h] = true
+			missing = append(missing, h)
+		}
 	}
-	file := filepath.Join(dir, fmt.Sprintf("repl-%08d-%03d.tbm", csn, seq))
-	tmp := file + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return "", fmt.Errorf("engine: creating %s: %w", tmp, err)
+	return missing, nil
+}
+
+// BlockPayload returns the encoded bytes of a resident block — the primary
+// side of the resync block fetch. ok is false when no block with that hash
+// is resident (the replica asked for something this primary never had, or
+// a drop swept it between snapshot and fetch; the replica treats that as a
+// failed resync and reconnects).
+func (db *DB) BlockPayload(h blockstore.Hash) ([]byte, bool) {
+	data, ok := db.blocks.BlockData(h)
+	if !ok {
+		return nil, false
 	}
-	_, err = f.Write(data)
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return "", fmt.Errorf("engine: writing %s: %w", tmp, err)
-	}
-	if err := os.Rename(tmp, file); err != nil {
-		return "", fmt.Errorf("engine: committing %s: %w", file, err)
-	}
-	if err := syncDir(dir); err != nil {
-		return "", err
-	}
-	return file, nil
+	return blockstore.Encode(data), true
 }

@@ -1,11 +1,14 @@
 package engine
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"tensorbase/internal/blockstore"
 	"tensorbase/internal/nn"
 	"tensorbase/internal/storage"
 	"tensorbase/internal/table"
@@ -13,32 +16,37 @@ import (
 
 // Catalog persistence. Table metadata (schemas, heap page chains, row
 // counts) is written as JSON to <db>.meta on Close and restored on Open;
-// models are written as TBM1 files into a <db>.models/ directory. Page data
-// itself lives in the database file, so a reopened engine sees every table
-// and model that was present at the last clean Close.
+// model weights live as content-addressed block files in a <db>.blocks/
+// directory (one immutable file per distinct 64 KiB block, named by its
+// SHA-256), with each model's manifest embedded in the meta file. Page
+// data itself lives in the database file, so a reopened engine sees every
+// table and model that was present at the last clean Close.
 //
 // Durability contract: a crash at ANY point during saveCatalog leaves the
 // database openable with either the previous catalog or the new one, never
-// a hybrid. The save is generation-structured:
+// a hybrid. The save is structured around block immutability:
 //
-//  1. Model files are written under generation-unique names
-//     (g<gen>-m<idx>.tbm) via tmp + fsync + rename, so files referenced by
-//     the committed meta are never truncated or overwritten in place.
-//  2. The models directory is fsynced so the renames are durable.
-//  3. The meta file is written via tmp + fsync + rename + parent-dir fsync;
-//     the rename is the commit point.
-//  4. Only after the commit are previous-generation model files deleted.
+//  1. Block files are content-addressed and never overwritten: only blocks
+//     missing from <db>.blocks/ are written (tmp + fsync + rename), so a
+//     checkpoint where no model changed writes zero model bytes, and files
+//     referenced by the committed meta are never touched.
+//  2. The blocks directory is fsynced when anything was written.
+//  3. The meta file — carrying every model's manifest — is written via
+//     tmp + fsync + rename + parent-dir fsync; the rename is the commit
+//     point.
+//  4. Only after the commit are unreferenced block files (and any legacy
+//     pre-blockstore .models directory) deleted.
 //
 // Every step carries a fault point ("persist.*") so tests can kill the save
 // mid-way and assert the old-or-new invariant.
 
 // Fault points exercised by the persistence crash tests, in save order.
 const (
-	fpModelCreate   = "persist.model.create"
-	fpModelWrite    = "persist.model.write"
-	fpModelSync     = "persist.model.sync"
-	fpModelRename   = "persist.model.rename"
-	fpModelsDirSync = "persist.modelsdir.sync"
+	fpBlockCreate   = "persist.block.create"
+	fpBlockWrite    = "persist.block.write"
+	fpBlockSync     = "persist.block.sync"
+	fpBlockRename   = "persist.block.rename"
+	fpBlocksDirSync = "persist.blocksdir.sync"
 	fpMetaWrite     = "persist.meta.write"
 	fpMetaSync      = "persist.meta.sync"
 	fpMetaRename    = "persist.meta.rename"
@@ -49,19 +57,18 @@ const (
 // they are visited — the crash test iterates it so a new step cannot be
 // added without being covered.
 var PersistFaultPoints = []string{
-	fpModelCreate, fpModelWrite, fpModelSync, fpModelRename,
-	fpModelsDirSync, fpMetaWrite, fpMetaSync, fpMetaRename, fpMetaDirSync,
+	fpBlockCreate, fpBlockWrite, fpBlockSync, fpBlockRename,
+	fpBlocksDirSync, fpMetaWrite, fpMetaSync, fpMetaRename, fpMetaDirSync,
 }
 
-// metaFile is the serialised catalog. Version 2 adds the WAL checkpoint's
-// recovery inputs (CommitCSN, NumPages, per-table tail state); version 1
-// files (pre-WAL) are still read, and the open-time checkpoint rewrites
-// them as v2 before any record can enter the log.
+// metaFile is the serialised catalog. Version 3 stores models as block
+// manifests against the content-addressed <db>.blocks/ directory; version
+// 2 added the WAL checkpoint's recovery inputs; versions 1 and 2 (whole
+// TBM1 model files) are still read, their models interned into the block
+// store at open, and the next checkpoint rewrites them as v3.
 type metaFile struct {
 	Version int `json:"version"`
-	// Generation increments on every committed save; model files carry it
-	// in their names so a new save never touches files the previous
-	// committed meta references.
+	// Generation increments on every committed save.
 	Generation uint64      `json:"generation"`
 	Tables     []metaTable `json:"tables"`
 	Models     []metaModel `json:"models"`
@@ -99,14 +106,28 @@ type metaColumn struct {
 }
 
 type metaModel struct {
-	Name     string  `json:"name"`
-	File     string  `json:"file"`
+	Name string `json:"name"`
+	// File is the legacy (v1/v2) whole-model TBM1 path; empty in v3.
+	File     string  `json:"file,omitempty"`
 	Accuracy float64 `json:"accuracy"`
+	// Manifest is the model's TBMF manifest, base64-encoded (v3). The
+	// weight bytes live as block files under <db>.blocks/.
+	Manifest string `json:"manifest,omitempty"`
 }
 
 func (db *DB) metaPath() string { return db.path + ".meta" }
 
+// modelsDir is the legacy pre-blockstore model directory; still read for
+// old catalogs, removed by the first committed checkpoint.
 func (db *DB) modelsDir() string { return db.path + ".models" }
+
+// blocksDir holds one immutable file per distinct weight block, named by
+// the block's content hash.
+func (db *DB) blocksDir() string { return db.path + ".blocks" }
+
+func (db *DB) blockPath(h blockstore.Hash) string {
+	return filepath.Join(db.blocksDir(), h.String()+".blk")
+}
 
 // syncDir fsyncs a directory so renames inside it are durable.
 func syncDir(dir string) error {
@@ -121,24 +142,26 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// saveModelDurable writes one model file via tmp + fsync + rename. A
+// saveBlockDurable writes one block file via tmp + fsync + rename. A
 // failure (or injected crash) at any step leaves at most a *.tmp leftover;
-// the final name never holds partial bytes.
-func (db *DB) saveModelDurable(file string, m *nn.Model) error {
+// the final name never holds partial bytes — and since block files are
+// content-addressed, a committed name is never rewritten.
+func (db *DB) saveBlockDurable(h blockstore.Hash, data []float32) error {
+	file := db.blockPath(h)
 	tmp := file + ".tmp"
-	if err := db.faults.Check(fpModelCreate); err != nil {
+	if err := db.faults.Check(fpBlockCreate); err != nil {
 		return err
 	}
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("engine: creating %s: %w", tmp, err)
 	}
-	err = db.faults.Check(fpModelWrite)
+	err = db.faults.Check(fpBlockWrite)
 	if err == nil {
-		err = nn.Save(f, m)
+		_, err = f.Write(blockstore.Encode(data))
 	}
 	if err == nil {
-		if err = db.faults.Check(fpModelSync); err == nil {
+		if err = db.faults.Check(fpBlockSync); err == nil {
 			err = f.Sync()
 		}
 	}
@@ -148,7 +171,7 @@ func (db *DB) saveModelDurable(file string, m *nn.Model) error {
 	if err != nil {
 		return fmt.Errorf("engine: writing %s: %w", tmp, err)
 	}
-	if err := db.faults.Check(fpModelRename); err != nil {
+	if err := db.faults.Check(fpBlockRename); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, file); err != nil {
@@ -162,7 +185,7 @@ func (db *DB) saveModelDurable(file string, m *nn.Model) error {
 func (db *DB) saveCatalog() error {
 	newGen := db.gen + 1
 	meta := metaFile{
-		Version:    2,
+		Version:    3,
 		Generation: newGen,
 		CommitCSN:  db.committedCSN.Load(),
 		NumPages:   db.disk.NumPages(),
@@ -198,29 +221,53 @@ func (db *DB) saveCatalog() error {
 	for _, id := range db.disk.FreeList() {
 		meta.FreePages = append(meta.FreePages, uint32(id))
 	}
-	if names := db.cat.Models(); len(names) > 0 {
-		if err := os.MkdirAll(db.modelsDir(), 0o755); err != nil {
-			return fmt.Errorf("engine: creating models dir: %w", err)
+	// Models: embed each durable model's manifest in the meta and persist
+	// only the referenced blocks that have no file yet. Memory-resident
+	// models (nil manifest) are skipped — exactly the pre-WAL contract.
+	referenced := make(map[blockstore.Hash]bool)
+	for _, name := range db.cat.Models() {
+		mf, ok := db.manifestFor(name)
+		if !ok {
+			continue
 		}
-		for i, name := range names {
-			entry, err := db.cat.ModelEntryFor(name)
-			if err != nil {
-				return err
-			}
-			file := filepath.Join(db.modelsDir(), fmt.Sprintf("g%06d-m%04d.tbm", newGen, i))
-			if err := db.saveModelDurable(file, entry.Versions[0].Model); err != nil {
-				return fmt.Errorf("engine: saving model %s: %w", name, err)
-			}
-			meta.Models = append(meta.Models, metaModel{
-				Name:     name,
-				File:     file,
-				Accuracy: entry.Versions[0].Accuracy,
-			})
-		}
-		if err := db.faults.Check(fpModelsDirSync); err != nil {
+		entry, err := db.cat.ModelEntryFor(name)
+		if err != nil {
 			return err
 		}
-		if err := syncDir(db.modelsDir()); err != nil {
+		for _, h := range mf.Hashes() {
+			referenced[h] = true
+		}
+		meta.Models = append(meta.Models, metaModel{
+			Name:     name,
+			Accuracy: entry.Versions[0].Accuracy,
+			Manifest: base64.StdEncoding.EncodeToString(nn.EncodeManifest(mf)),
+		})
+	}
+	wrote := false
+	for _, h := range db.blocks.ReferencedHashes() {
+		if !referenced[h] || db.persistedBlocks[h] {
+			continue
+		}
+		if !wrote {
+			if err := os.MkdirAll(db.blocksDir(), 0o755); err != nil {
+				return fmt.Errorf("engine: creating blocks dir: %w", err)
+			}
+		}
+		data, ok := db.blocks.BlockData(h)
+		if !ok {
+			return fmt.Errorf("engine: referenced block %s not resident", h)
+		}
+		if err := db.saveBlockDurable(h, data); err != nil {
+			return err
+		}
+		wrote = true
+		db.persistedBlocks[h] = true
+	}
+	if wrote {
+		if err := db.faults.Check(fpBlocksDirSync); err != nil {
+			return err
+		}
+		if err := syncDir(db.blocksDir()); err != nil {
 			return err
 		}
 	}
@@ -262,27 +309,79 @@ func (db *DB) saveCatalog() error {
 		return err
 	}
 	db.gen = newGen
-	db.gcModelFiles(meta)
+	db.gcBlockFiles(referenced)
 	return nil
 }
 
-// gcModelFiles removes model files (and tmp leftovers) that the
-// just-committed meta does not reference. Best-effort: a failure here
-// leaves garbage, never corruption.
-func (db *DB) gcModelFiles(meta metaFile) {
-	live := make(map[string]bool, len(meta.Models))
-	for _, m := range meta.Models {
-		live[filepath.Base(m.File)] = true
-	}
-	entries, err := os.ReadDir(db.modelsDir())
-	if err != nil {
-		return
-	}
-	for _, e := range entries {
-		if !e.IsDir() && !live[e.Name()] {
-			os.Remove(filepath.Join(db.modelsDir(), e.Name()))
+// gcBlockFiles removes block files the just-committed meta no longer
+// references, tmp leftovers from interrupted saves, and the legacy
+// pre-blockstore .models directory (whose weight files the manifest form
+// fully supersedes — this is also what reclaims follower-staged model
+// files from old replication runs). Best-effort: a failure here leaves
+// garbage, never corruption.
+func (db *DB) gcBlockFiles(referenced map[blockstore.Hash]bool) {
+	entries, err := os.ReadDir(db.blocksDir())
+	if err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() {
+				continue
+			}
+			if strings.HasSuffix(name, ".tmp") {
+				os.Remove(filepath.Join(db.blocksDir(), name))
+				continue
+			}
+			h, perr := blockstore.ParseHash(strings.TrimSuffix(name, ".blk"))
+			if perr != nil || !referenced[h] {
+				os.Remove(filepath.Join(db.blocksDir(), name))
+				if perr == nil {
+					delete(db.persistedBlocks, h)
+				}
+			}
 		}
 	}
+	os.RemoveAll(db.modelsDir())
+}
+
+// stageBlockFile loads one block file into the store, verifying that its
+// content matches its name — a corrupt or truncated file fails here, not
+// at serving time.
+func (db *DB) stageBlockFile(h blockstore.Hash) error {
+	raw, err := os.ReadFile(db.blockPath(h))
+	if err != nil {
+		return fmt.Errorf("engine: reading block %s: %w", h, err)
+	}
+	got, err := db.blocks.PutStagedBytes(raw)
+	if err != nil {
+		return fmt.Errorf("engine: block %s: %w", h, err)
+	}
+	if got != h {
+		return fmt.Errorf("engine: block file %s content hashes to %s", h, got)
+	}
+	return nil
+}
+
+// internModel registers a model by decomposing it into the block store —
+// the path for legacy whole-file models (old catalogs, old WAL records,
+// LoadModel). Models whose layers cannot be blocked register memory-
+// resident. The interned (block-backed) model is what serves.
+func (db *DB) internModel(m *nn.Model, accuracy float64) error {
+	mf, _, err := nn.BlockModel(m, db.blocks)
+	if err != nil {
+		db.blocks.Sweep()
+		return db.registerModel(m, accuracy, nil)
+	}
+	am, err := nn.ModelFromManifest(mf, db.blocks)
+	if err != nil {
+		db.blocks.Sweep()
+		return err
+	}
+	if err := db.registerModel(am, accuracy, mf); err != nil {
+		nn.ReleaseManifest(mf, db.blocks)
+		db.blocks.Sweep()
+		return err
+	}
+	return nil
 }
 
 // loadCatalog restores tables and models from a previous Close. A missing
@@ -299,7 +398,7 @@ func (db *DB) loadCatalog() error {
 	if err := json.Unmarshal(raw, &meta); err != nil {
 		return fmt.Errorf("engine: corrupt catalog %s: %w", db.metaPath(), err)
 	}
-	if meta.Version != 1 && meta.Version != 2 {
+	if meta.Version < 1 || meta.Version > 3 {
 		return fmt.Errorf("engine: unsupported catalog version %d", meta.Version)
 	}
 	db.gen = meta.Generation
@@ -347,6 +446,16 @@ func (db *DB) loadCatalog() error {
 		}
 	}
 	for _, mm := range meta.Models {
+		if mm.Manifest != "" {
+			if err := db.loadManifestModel(mm); err != nil {
+				return err
+			}
+			continue
+		}
+		// Legacy v1/v2 whole-file model: load and intern into the block
+		// store. Its blocks have no files yet (persistedBlocks stays
+		// unset), so the next checkpoint writes them and removes the old
+		// .models directory.
 		f, err := os.Open(mm.File)
 		if err != nil {
 			return fmt.Errorf("engine: restoring model %s: %w", mm.Name, err)
@@ -356,9 +465,40 @@ func (db *DB) loadCatalog() error {
 		if err != nil {
 			return fmt.Errorf("engine: restoring model %s: %w", mm.Name, err)
 		}
-		if err := db.registerModel(m, mm.Accuracy); err != nil {
-			return err
+		if err := db.internModel(m, mm.Accuracy); err != nil {
+			return fmt.Errorf("engine: restoring model %s: %w", mm.Name, err)
 		}
+	}
+	return nil
+}
+
+// loadManifestModel restores one v3 model: decode its manifest, stage any
+// block files not already resident (verifying content hashes), and
+// assemble the serving model against the shared store.
+func (db *DB) loadManifestModel(mm metaModel) error {
+	raw, err := base64.StdEncoding.DecodeString(mm.Manifest)
+	if err != nil {
+		return fmt.Errorf("engine: restoring model %s: manifest: %w", mm.Name, err)
+	}
+	mf, err := nn.DecodeManifest(raw)
+	if err != nil {
+		return fmt.Errorf("engine: restoring model %s: %w", mm.Name, err)
+	}
+	for _, h := range mf.Hashes() {
+		if !db.blocks.Has(h) {
+			if err := db.stageBlockFile(h); err != nil {
+				return fmt.Errorf("engine: restoring model %s: %w", mm.Name, err)
+			}
+		}
+		db.persistedBlocks[h] = true
+	}
+	am, err := nn.ModelFromManifest(mf, db.blocks)
+	if err != nil {
+		return fmt.Errorf("engine: restoring model %s: %w", mm.Name, err)
+	}
+	if err := db.registerModel(am, mm.Accuracy, mf); err != nil {
+		nn.ReleaseManifest(mf, db.blocks)
+		return err
 	}
 	return nil
 }

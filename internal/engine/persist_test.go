@@ -124,10 +124,11 @@ func TestSaveCatalogCrashSafety(t *testing.T) {
 	}
 }
 
-// TestSaveCatalogGCsOldGenerations asserts that committed saves clean up
-// previous-generation model files and tmp leftovers, and that generations
-// advance across reopens.
-func TestSaveCatalogGCsOldGenerations(t *testing.T) {
+// TestSaveCatalogGCsUnreferencedBlocks asserts that committed saves leave
+// exactly the referenced block files behind — no tmp leftovers — that
+// generations advance across reopens, and that dropping a model removes
+// its now-unreferenced block files at the next checkpoint.
+func TestSaveCatalogGCsUnreferencedBlocks(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "g.db")
 	seedCrashDB(t, path, 4) // commits generation 1
 
@@ -138,11 +139,12 @@ func TestSaveCatalogGCsOldGenerations(t *testing.T) {
 	if db.gen != 1 {
 		t.Fatalf("loaded generation = %d, want 1", db.gen)
 	}
+	model := db.Catalog().Models()[0]
 	if err := db.Close(); err != nil { // commits generation 2
 		t.Fatal(err)
 	}
 
-	entries, err := os.ReadDir(path + ".models")
+	entries, err := os.ReadDir(path + ".blocks")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,42 +152,60 @@ func TestSaveCatalogGCsOldGenerations(t *testing.T) {
 		if strings.HasSuffix(e.Name(), ".tmp") {
 			t.Fatalf("tmp leftover after clean save: %s", e.Name())
 		}
-		if !strings.HasPrefix(e.Name(), "g000002-") {
-			t.Fatalf("stale generation file not GCed: %s", e.Name())
+		if !strings.HasSuffix(e.Name(), ".blk") {
+			t.Fatalf("foreign file in blocks dir: %s", e.Name())
 		}
 	}
+	if len(entries) == 0 {
+		t.Fatal("no block files after a save with a registered model")
+	}
+
 	re, err := Open(path, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer re.Close()
 	if got := re.Catalog().Models(); len(got) != 1 {
-		t.Fatalf("models after GC = %v", got)
+		t.Fatalf("models after reopen = %v", got)
+	}
+	if err := re.DropModel(model); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = os.ReadDir(path + ".blocks")
+	if err != nil && !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("unreferenced block files survive a committed save after DROP MODEL: %v", entries)
 	}
 }
 
 // TestSaveCatalogAbortLeavesCommittedFilesIntact pins the core invariant
 // the old code violated: a save that dies mid-way must not have modified
-// any file the committed catalog references.
+// any file the committed catalog references. Content-addressed block files
+// make this structural — a committed name is never rewritten — and this
+// test keeps it that way.
 func TestSaveCatalogAbortLeavesCommittedFilesIntact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "i.db")
 	seedCrashDB(t, path, 4)
 
-	// Record the committed model file bytes.
-	entries, err := os.ReadDir(path + ".models")
+	// Record the committed block file bytes.
+	entries, err := os.ReadDir(path + ".blocks")
 	if err != nil {
 		t.Fatal(err)
 	}
 	committed := make(map[string][]byte)
 	for _, e := range entries {
-		b, err := os.ReadFile(filepath.Join(path+".models", e.Name()))
+		b, err := os.ReadFile(filepath.Join(path+".blocks", e.Name()))
 		if err != nil {
 			t.Fatal(err)
 		}
 		committed[e.Name()] = b
 	}
 	if len(committed) == 0 {
-		t.Fatal("no committed model files")
+		t.Fatal("no committed block files")
 	}
 
 	db := mutateToStateB(t, path, 2)
@@ -197,12 +217,49 @@ func TestSaveCatalogAbortLeavesCommittedFilesIntact(t *testing.T) {
 	}
 
 	for name, want := range committed {
-		got, err := os.ReadFile(filepath.Join(path+".models", name))
+		got, err := os.ReadFile(filepath.Join(path+".blocks", name))
 		if err != nil {
-			t.Fatalf("committed model file %s gone after aborted save: %v", name, err)
+			t.Fatalf("committed block file %s gone after aborted save: %v", name, err)
 		}
 		if string(got) != string(want) {
-			t.Fatalf("committed model file %s modified by aborted save", name)
+			t.Fatalf("committed block file %s modified by aborted save", name)
 		}
+	}
+}
+
+// TestCheckpointUnchangedModelsWriteZeroModelBytes is the satellite
+// regression for the every-generation model rewrite: a checkpoint where no
+// model changed must not write a single model byte. The block write fault
+// point counts file writes, changed or not — its visit count across the
+// second save must be zero.
+func TestCheckpointUnchangedModelsWriteZeroModelBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "z.db")
+	seedCrashDB(t, path, 4)
+
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	inj := fault.New() // no rules: pure visit counter
+	db.SetFaults(inj)
+	if _, err := db.Exec("INSERT INTO items VALUES (99)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if n := inj.Count(fpBlockWrite); n != 0 {
+		t.Fatalf("checkpoint with unchanged models wrote %d block files, want 0", n)
+	}
+	// Sanity: the counter DOES count when a new model forces block writes.
+	if err := db.LoadModel(nn.FraudFC(rand.New(rand.NewSource(7)), 16), 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if n := inj.Count(fpBlockWrite); n == 0 {
+		t.Fatal("block write fault point never visited for a fresh model's checkpoint")
 	}
 }

@@ -201,7 +201,32 @@ func (db *DB) replayWAL() error {
 					return fmt.Errorf("engine: replaying DROP %q: %w", r.Table, err)
 				}
 			}
+		case wal.RecBlock:
+			// Stage the block so the manifest record that follows in the
+			// same group can assemble against it. Re-staging a block that
+			// is already resident (the checkpoint wrote it before the
+			// crash) is a no-op.
+			if _, err := db.blocks.PutStagedBytes(r.Data); err != nil {
+				return fmt.Errorf("engine: replaying weight block: %w", err)
+			}
 		case wal.RecLoadModel:
+			if len(r.Data) > 0 {
+				mf, err := nn.DecodeManifest(r.Data)
+				if err != nil {
+					return fmt.Errorf("engine: replaying LOAD MODEL %q: %w", r.Model, err)
+				}
+				am, err := nn.ModelFromManifest(mf, db.blocks)
+				if err != nil {
+					return fmt.Errorf("engine: replaying LOAD MODEL %q: %w", r.Model, err)
+				}
+				if err := db.registerModel(am, r.Acc, mf); err != nil {
+					nn.ReleaseManifest(mf, db.blocks)
+					return fmt.Errorf("engine: replaying LOAD MODEL %q: %w", r.Model, err)
+				}
+				return nil
+			}
+			// Legacy record: a whole-model file path. Intern it into the
+			// block store like loadCatalog does for old catalogs.
 			f, err := os.Open(r.File)
 			if err != nil {
 				return fmt.Errorf("engine: replaying LOAD MODEL %q: %w", r.Model, err)
@@ -211,8 +236,16 @@ func (db *DB) replayWAL() error {
 			if lerr != nil {
 				return fmt.Errorf("engine: replaying LOAD MODEL %q: %w", r.Model, lerr)
 			}
-			if err := db.registerModel(m, r.Acc); err != nil {
+			if err := db.internModel(m, r.Acc); err != nil {
 				return fmt.Errorf("engine: replaying LOAD MODEL %q: %w", r.Model, err)
+			}
+		case wal.RecDropModel:
+			// Tolerant: the model may be absent (a crash between the WAL
+			// append and the in-memory unregister replays the drop against
+			// a catalog that never saw the load, or the checkpoint already
+			// folded it in).
+			if _, err := db.cat.ModelEntryFor(r.Model); err == nil {
+				db.unregisterModel(r.Model)
 			}
 		default:
 			return fmt.Errorf("engine: replay: unknown WAL record type %d", r.Type)
@@ -221,6 +254,11 @@ func (db *DB) replayWAL() error {
 	}); err != nil {
 		return err
 	}
+
+	// Free blocks no surviving manifest references: a replayed DROP MODEL
+	// releases its manifest's references, and the checkpoint that ends
+	// recovery persists only referenced blocks.
+	db.blocks.Sweep()
 
 	// Resume CSNs above everything the log mentions — including uncommitted
 	// statements, whose numbers must not be reissued while their records

@@ -188,6 +188,12 @@ func TestCheckpointCrashRecoveryMatrix(t *testing.T) {
 				t.Fatal(err)
 			}
 			mustExec(t, db, "INSERT INTO t VALUES (5), (6), (7), (8)")
+			// A second model with fresh weights makes the checkpoint under
+			// test write new block files, so every persist.block.* fault
+			// point is actually visited.
+			if err := db.LoadModel(nn.FraudFC(rand.New(rand.NewSource(2)), 16), 0.8); err != nil {
+				t.Fatal(err)
+			}
 			inj := fault.New()
 			inj.FailAt(point, errInjected, 1)
 			db.SetFaults(inj)
@@ -215,7 +221,7 @@ func TestCheckpointCrashRecoveryMatrix(t *testing.T) {
 			if len(got) != 8 {
 				t.Fatalf("phantom rows after checkpoint crash at %s: %v", point, got)
 			}
-			if models := re.Catalog().Models(); len(models) != 1 {
+			if models := re.Catalog().Models(); len(models) != 2 {
 				t.Fatalf("hybrid catalog after checkpoint crash at %s: models %v", point, models)
 			}
 		})

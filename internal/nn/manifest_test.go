@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"tensorbase/internal/blockstore"
+	"tensorbase/internal/tensor"
+)
+
+// forwardBits runs a model over a deterministic batch and returns the raw
+// output slice for bit-exact comparison.
+func forwardBits(m *Model, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	shape := append([]int(nil), m.InShape...)
+	shape[0] = 4
+	x := tensor.New(shape...)
+	for i, d := range x.Data() {
+		_ = d
+		x.Data()[i] = rng.Float32()*2 - 1
+	}
+	return append([]float32(nil), m.Forward(x).Data()...)
+}
+
+// TestManifestRoundTrip: model → blocks → encode → decode → assemble must
+// reproduce the model bit-identically, and the assembled model's tensors
+// must alias store memory (shared with a second identical assembly).
+func TestManifestRoundTrip(t *testing.T) {
+	st := blockstore.New()
+	for _, build := range []func() *Model{
+		func() *Model { return FraudFC(rand.New(rand.NewSource(1)), 32) },
+		func() *Model { return CacheCNN(rand.New(rand.NewSource(2)), 6) },
+		func() *Model { return EncoderFC(rand.New(rand.NewSource(3))) },
+	} {
+		orig := build()
+		mf, _, err := BlockModel(orig, st)
+		if err != nil {
+			t.Fatalf("%s: BlockModel: %v", orig.Name(), err)
+		}
+		raw := EncodeManifest(mf)
+		back, err := DecodeManifest(raw)
+		if err != nil {
+			t.Fatalf("%s: DecodeManifest: %v", orig.Name(), err)
+		}
+		got, err := ModelFromManifest(back, st)
+		if err != nil {
+			t.Fatalf("%s: ModelFromManifest: %v", orig.Name(), err)
+		}
+		want := forwardBits(orig, 99)
+		have := forwardBits(got, 99)
+		if len(want) != len(have) {
+			t.Fatalf("%s: output length %d vs %d", orig.Name(), len(have), len(want))
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("%s: output[%d] = %v, want bit-identical %v", orig.Name(), i, have[i], want[i])
+			}
+		}
+		ReleaseManifest(back, st)
+	}
+	st.Sweep()
+	if s := st.Stats(); s.ResidentBlocks != 0 || s.ResidentBytes != 0 {
+		t.Fatalf("store not empty after release+sweep: %+v", s)
+	}
+}
+
+// TestManifestSharesAssemblies: two models with identical weights must
+// share tensor memory — the second assembly returns the same backing
+// slices, so resident bytes do not grow.
+func TestManifestSharesAssemblies(t *testing.T) {
+	st := blockstore.New()
+	a := FraudFC(rand.New(rand.NewSource(7)), 32)
+	b := FraudFC(rand.New(rand.NewSource(7)), 32)
+	mfA, _, err := BlockModel(a, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := ModelFromManifest(mfA, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resident1 := st.Stats().ResidentBytes
+	mfB, fresh, err := BlockModel(b, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 0 {
+		t.Fatalf("identical model added %d new blocks", len(fresh))
+	}
+	mb, err := ModelFromManifest(mfB, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().ResidentBytes; got != resident1 {
+		t.Fatalf("second identical model grew resident bytes %d -> %d", resident1, got)
+	}
+	wa, wb := ma.Layers[0].(*Linear).W.Data(), mb.Layers[0].(*Linear).W.Data()
+	if &wa[0] != &wb[0] {
+		t.Fatal("identical tensors do not share backing memory")
+	}
+	ReleaseManifest(mfA, st)
+	ReleaseManifest(mfB, st)
+	st.Sweep()
+}
+
+// TestManifestDanglingBlock: assembling a manifest whose blocks are absent
+// must fail cleanly without taking references.
+func TestManifestDanglingBlock(t *testing.T) {
+	st := blockstore.New()
+	m := FraudFC(rand.New(rand.NewSource(9)), 16)
+	mf, _, err := BlockModel(m, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Sweep() // nothing referenced: all staged blocks are collected
+	if _, err := ModelFromManifest(mf, st); err == nil {
+		t.Fatal("assembled a manifest with dangling blocks")
+	}
+}
+
+// TestDecodeManifestRejectsGarbage: hostile manifests fail cleanly.
+func TestDecodeManifestRejectsGarbage(t *testing.T) {
+	st := blockstore.New()
+	mf, _, err := BlockModel(FraudFC(rand.New(rand.NewSource(10)), 16), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := EncodeManifest(mf)
+	if _, err := DecodeManifest(nil); err == nil {
+		t.Fatal("nil manifest accepted")
+	}
+	if _, err := DecodeManifest([]byte("TBMF")); err == nil {
+		t.Fatal("truncated manifest accepted")
+	}
+	if _, err := DecodeManifest(append(append([]byte(nil), good...), 0xff)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	for _, cut := range []int{6, len(good) / 2, len(good) - 5} {
+		if _, err := DecodeManifest(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

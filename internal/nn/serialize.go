@@ -217,7 +217,7 @@ func readShape(br *bufio.Reader) ([]int, error) {
 		return nil, fmt.Errorf("implausible tensor rank %d", rank)
 	}
 	shape := make([]int, rank)
-	vol := 1
+	vol := uint64(1)
 	for i := range shape {
 		d, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -227,10 +227,13 @@ func readShape(br *bufio.Reader) ([]int, error) {
 			return nil, fmt.Errorf("implausible dimension %d", d)
 		}
 		shape[i] = int(d)
-		vol *= int(d)
-		if vol > 1<<33 {
+		// Pre-multiply bound: `vol *= d` with int arithmetic can wrap past
+		// the volume check (2^33 × 2^31 ≡ 0 mod 2^64), letting a hostile
+		// header demand an enormous allocation downstream.
+		if d != 0 && vol > (1<<33)/d {
 			return nil, fmt.Errorf("implausible tensor volume")
 		}
+		vol *= d
 	}
 	return shape, nil
 }

@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// mustSaveModel builds a TBM1 image (test/fuzz setup).
+func mustSaveModel(m *Model) []byte {
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// evilShapeTBM1 crafts a TBM1 image whose Conv2D kernel shape multiplies
+// to exactly 2^64 — an int product wraps to 0, sliding past a post-multiply
+// volume check while describing a 2^64-element tensor.
+func evilShapeTBM1() []byte {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	bw.WriteString(modelMagic)
+	writeString(bw, "evil")
+	writeShape(bw, []int{1, 28})
+	writeUvarint(bw, 1) // one layer
+	bw.WriteByte(tagConv2D)
+	// 2^31 × 4 × 2^31 × 1: every prefix product ≤ 2^33, the full product
+	// is 2^64 ≡ 0 in wrapped arithmetic.
+	writeShape(bw, []int{1 << 31, 4, 1 << 31, 1})
+	bw.Flush()
+	return buf.Bytes()
+}
+
+// TestLoadRejectsOverflowingShape locks in the readShape hardening: a
+// shape whose volume wraps to a small value must be rejected at the shape
+// reader, not trusted downstream.
+func TestLoadRejectsOverflowingShape(t *testing.T) {
+	_, err := Load(bytes.NewReader(evilShapeTBM1()))
+	if err == nil {
+		t.Fatal("overflowing shape was accepted")
+	}
+	if !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("want shape-bound rejection, got: %v", err)
+	}
+}
+
+// TestLoadBoundsGiantTensorClaim: a header claiming a near-limit tensor
+// backed by almost no payload must fail on the missing bytes without
+// allocating the claimed size up front (readPayload's bounded chunks).
+func TestLoadBoundsGiantTensorClaim(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	bw.WriteString(modelMagic)
+	writeString(bw, "giant")
+	writeShape(bw, []int{1, 28})
+	writeUvarint(bw, 1)
+	bw.WriteByte(tagLinear)
+	writeShape(bw, []int{1 << 20, 1 << 13}) // 2^33 elems, exactly at the cap
+	bw.Flush()
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("giant claim with no payload was accepted")
+	}
+}
+
+// TestLoadTruncated: every truncation of a valid image must error.
+func TestLoadTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	full := mustSaveModel(FraudFC(rng, 32))
+	for _, cut := range []int{0, 3, 5, len(full) / 4, len(full) / 2, len(full) - 3} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d must fail", cut)
+		}
+	}
+}
+
+// FuzzLoad drives the TBM1 loader with arbitrary bytes: it must never
+// panic or allocate unboundedly, and anything it accepts must survive a
+// Save → Load round-trip.
+func FuzzLoad(f *testing.F) {
+	rng := rand.New(rand.NewSource(48))
+	seed := mustSaveModel(FraudFC(rng, 16))
+	f.Add([]byte(nil))
+	f.Add([]byte("TBM1"))
+	f.Add(seed)
+	f.Add(seed[:len(seed)-7])
+	f.Add(mustSaveModel(CacheCNN(rng, 6)))
+	f.Add(evilShapeTBM1())
+	corrupt := append([]byte(nil), seed...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatalf("accepted model fails to re-save: %v", err)
+		}
+		if _, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-saved model fails to re-load: %v", err)
+		}
+	})
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"net"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -85,8 +84,9 @@ func (p *Primary) registerMetrics() {
 }
 
 // Ship implements engine.Shipper: called inside CSN publication, strictly
-// in order. Encoding here is memcpy-bound; file reads for model blobs are
-// deferred to send time, outside the commit path.
+// in order. Encoding here is memcpy-bound; a LOAD MODEL group is already
+// self-contained (weight blocks and manifest are WAL records), so shipping
+// never touches the filesystem.
 func (p *Primary) Ship(csn uint64, recs []*wal.Record) {
 	enc := make([][]byte, len(recs))
 	for i, r := range recs {
@@ -97,9 +97,9 @@ func (p *Primary) Ship(csn uint64, recs []*wal.Record) {
 }
 
 // Truncated implements engine.Shipper. The ring's retention is in-memory
-// and unaffected by WAL truncation; what a checkpoint does invalidate is
-// model files referenced by buffered RecLoadModel records (their GC), and
-// the send path converts that read failure into a resync.
+// and unaffected by WAL truncation; buffered groups are self-contained
+// (model weights ride as RecBlock records), so a checkpoint invalidates
+// nothing the stream still needs.
 func (p *Primary) Truncated(throughCSN uint64) { p.truncates.Add(1) }
 
 // Stats is a snapshot of the primary's shipping counters.
@@ -200,8 +200,7 @@ func (p *Primary) serve(conn net.Conn, link *fault.Link) error {
 		recs, gap, ok := p.ring.TryNext(pos + 1)
 		switch {
 		case gap:
-			seq++
-			csn, err := p.sendResync(s, seq)
+			csn, err := p.sendResync(s, conn, &seq)
 			if err != nil {
 				return err
 			}
@@ -209,17 +208,6 @@ func (p *Primary) serve(conn net.Conn, link *fault.Link) error {
 		case ok:
 			seq++
 			if err := p.sendGroup(s, seq, pos+1, recs); err != nil {
-				if err == errModelGone {
-					// A checkpoint GCed a model file a buffered record
-					// references; the snapshot has the model in memory.
-					seq++
-					csn, rerr := p.sendResync(s, seq)
-					if rerr != nil {
-						return rerr
-					}
-					pos = csn
-					continue
-				}
 				return err
 			}
 			pos = pos + 1
@@ -240,43 +228,56 @@ func (p *Primary) serve(conn net.Conn, link *fault.Link) error {
 	}
 }
 
-// errModelGone marks a buffered RecLoadModel whose file a checkpoint
-// already collected — recoverable by resync, not a transport error.
-var errModelGone = fmt.Errorf("repl: shipped model file already collected")
-
 func (p *Primary) sendGroup(s *faultySender, seq, csn uint64, recs [][]byte) error {
-	g := &groupMsg{Seq: seq, CSN: csn, Recs: recs, Blobs: make([][]byte, len(recs))}
-	for i, rb := range recs {
-		rec, err := wal.DecodeRecord(rb)
-		if err != nil {
-			return fmt.Errorf("repl: corrupt ring record: %w", err)
-		}
-		if rec.Type != wal.RecLoadModel {
-			continue
-		}
-		blob, err := os.ReadFile(rec.File)
-		if err != nil {
-			return errModelGone
-		}
-		g.Blobs[i] = blob
-	}
-	return s.send(encodeGroup(g))
+	return s.send(encodeGroup(&groupMsg{Seq: seq, CSN: csn, Recs: recs}))
 }
 
-func (p *Primary) sendResync(s *faultySender, seq uint64) (uint64, error) {
+// sendResync runs the snapshot handshake: ship the records and model
+// manifests, read back the replica's missing-block request, answer with
+// exactly those blocks. Every failure mode — the resync frame dropped by
+// the fault injector, the replica gone, a block swept between snapshot and
+// fetch — surfaces as a stream error here, and the replica's reconnect
+// path converges on a fresh hello.
+func (p *Primary) sendResync(s *faultySender, conn net.Conn, seq *uint64) (uint64, error) {
 	csn, recs, models, err := p.db.ReplicaSnapshot()
 	if err != nil {
 		return 0, err
 	}
-	m := &resyncMsg{Seq: seq, CSN: csn, Recs: make([][]byte, len(recs))}
+	*seq++
+	m := &resyncMsg{Seq: *seq, CSN: csn, Recs: make([][]byte, len(recs))}
 	for i, r := range recs {
 		m.Recs[i] = wal.EncodeRecord(r)
 	}
 	for _, mb := range models {
-		m.Models = append(m.Models, modelBlob{Name: mb.Name, Acc: mb.Acc, Data: mb.Data})
+		m.Models = append(m.Models, modelManifest{Name: mb.Name, Acc: mb.Acc, Manifest: mb.Manifest})
 	}
 	p.resyncs.Add(1)
-	return csn, s.send(encodeResync(m))
+	if err := s.send(encodeResync(m)); err != nil {
+		return 0, err
+	}
+	// The replica always answers, even with an empty request; the deadline
+	// guards against one that died mid-handshake (its conn close also
+	// unblocks this read immediately).
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	payload, err := readFrame(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		return 0, err
+	}
+	hashes, err := decodeBlockReq(payload)
+	if err != nil {
+		return 0, err
+	}
+	*seq++
+	reply := &blocksMsg{Seq: *seq, Hashes: hashes, Data: make([][]byte, len(hashes))}
+	for i, h := range hashes {
+		data, ok := p.db.BlockPayload(h)
+		if !ok {
+			return 0, fmt.Errorf("repl: replica requested unknown block %s", h)
+		}
+		reply.Data[i] = data
+	}
+	return csn, s.send(encodeBlocks(reply))
 }
 
 // faultySender frames and writes messages, routing each frame through the

@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+
+	"tensorbase/internal/blockstore"
 )
 
 // Wire protocol. Every message travels as one CRC-framed blob, the same
@@ -18,20 +20,32 @@ import (
 // carry a sequence number as their first field; the replica accepts only
 // seq == last+1 — a duplicate (seq ≤ last) is discarded, a gap or reorder
 // resets the stream and the replica reconnects with its applied CSN. The
-// replica→primary direction has exactly one message, the hello.
+// replica→primary direction has two messages: the hello, and the
+// block-request that answers a resync.
 //
-// A group message carries one published commit: the CSN and its encoded
-// WAL records; RecLoadModel records additionally carry the model file's
-// bytes inline (read at send time — the file lives on the primary), which
-// the replica stages into its own models directory before applying. A
-// resync message is a whole logical snapshot: records plus named model
-// blobs, applied as one atomic group that replaces the replica's state.
+// A group message carries one published commit verbatim: the CSN and its
+// encoded WAL records. Model weights need no side channel — a LOAD MODEL
+// group already contains its new weight blocks as RecBlock records and the
+// manifest inside the RecLoadModel record, so the stream ships exactly the
+// bytes the primary's own WAL holds, deduplicated at the source (blocks
+// the primary already had are not re-logged, hence not re-shipped).
+//
+// A resync is a handshake: the snapshot message carries the table records
+// plus each model's manifest (names + block hashes, no weights); the
+// replica answers with the hashes it is missing (always — an empty request
+// keeps the exchange symmetric); the primary replies with exactly those
+// blocks. The replica verifies each block against its requested hash,
+// synthesizes RecBlock records, and applies the whole snapshot as one
+// atomic group. A replica that already holds most blocks (it fell behind,
+// it is a restarted twin, the models share layers) fetches only the delta.
 
 const (
 	msgHello     byte = 1 // replica → primary: u64 appliedCSN
-	msgGroup     byte = 2 // u64 seq | u64 csn | recs with inline model blobs
+	msgGroup     byte = 2 // u64 seq | u64 csn | encoded WAL records
 	msgHeartbeat byte = 3 // u64 seq | u64 committedCSN
-	msgResync    byte = 4 // u64 seq | u64 snapCSN | recs | model blobs
+	msgResync    byte = 4 // u64 seq | u64 snapCSN | recs | model manifests
+	msgBlockReq  byte = 5 // replica → primary: requested block hashes
+	msgBlocks    byte = 6 // u64 seq | (hash, payload) pairs
 )
 
 // maxFrame bounds one message: a resync carries a whole database snapshot
@@ -89,20 +103,21 @@ func readBytes(b []byte) ([]byte, []byte, error) {
 	return b[sz : sz+int(n)], b[sz+int(n):], nil
 }
 
-// modelBlob is one serialised model riding a group or resync message.
-type modelBlob struct {
-	Name string
-	Acc  float64
-	Data []byte
+// modelManifest is one model riding a resync message: identity plus the
+// encoded block manifest. Weight bytes travel separately, on demand, in the
+// msgBlockReq/msgBlocks exchange.
+type modelManifest struct {
+	Name     string
+	Acc      float64
+	Manifest []byte
 }
 
-// groupMsg is one shipped commit group. Blobs parallels Recs: Blobs[i] is
-// the inline model bytes for a RecLoadModel record, nil otherwise.
+// groupMsg is one shipped commit group: the published WAL records,
+// verbatim.
 type groupMsg struct {
-	Seq   uint64
-	CSN   uint64
-	Recs  [][]byte
-	Blobs [][]byte
+	Seq  uint64
+	CSN  uint64
+	Recs [][]byte
 }
 
 func encodeGroup(g *groupMsg) []byte {
@@ -110,13 +125,8 @@ func encodeGroup(g *groupMsg) []byte {
 	b = binary.LittleEndian.AppendUint64(b, g.Seq)
 	b = binary.LittleEndian.AppendUint64(b, g.CSN)
 	b = binary.AppendUvarint(b, uint64(len(g.Recs)))
-	for i, rec := range g.Recs {
+	for _, rec := range g.Recs {
 		b = appendBytes(b, rec)
-		var blob []byte
-		if i < len(g.Blobs) {
-			blob = g.Blobs[i]
-		}
-		b = appendBytes(b, blob)
 	}
 	return b
 }
@@ -140,17 +150,8 @@ func decodeGroup(b []byte) (*groupMsg, error) {
 		if err != nil {
 			return nil, err
 		}
-		blob, rest, err := readBytes(rest)
-		if err != nil {
-			return nil, err
-		}
 		b = rest
 		g.Recs = append(g.Recs, rec)
-		if len(blob) > 0 {
-			g.Blobs = append(g.Blobs, blob)
-		} else {
-			g.Blobs = append(g.Blobs, nil)
-		}
 	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing group bytes", errStreamBroken, len(b))
@@ -159,12 +160,12 @@ func decodeGroup(b []byte) (*groupMsg, error) {
 }
 
 // resyncMsg is a whole snapshot: recs create and fill every table; models
-// are staged then applied as RecLoadModel records at the snapshot CSN.
+// arrive as manifests whose missing blocks the replica then requests.
 type resyncMsg struct {
 	Seq    uint64
 	CSN    uint64
 	Recs   [][]byte
-	Models []modelBlob
+	Models []modelManifest
 }
 
 func encodeResync(m *resyncMsg) []byte {
@@ -179,7 +180,7 @@ func encodeResync(m *resyncMsg) []byte {
 	for _, mb := range m.Models {
 		b = appendBytes(b, []byte(mb.Name))
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(mb.Acc))
-		b = appendBytes(b, mb.Data)
+		b = appendBytes(b, mb.Manifest)
 	}
 	return b
 }
@@ -225,10 +226,94 @@ func decodeResync(b []byte) (*resyncMsg, error) {
 			return nil, err
 		}
 		b = rest
-		m.Models = append(m.Models, modelBlob{Name: string(name), Acc: acc, Data: data})
+		m.Models = append(m.Models, modelManifest{Name: string(name), Acc: acc, Manifest: data})
 	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing resync bytes", errStreamBroken, len(b))
+	}
+	return m, nil
+}
+
+// blockReq is the replica's half of the resync block fetch: the hashes of
+// every manifest-referenced block it does not hold. Always sent, even
+// empty, so the primary's read after a resync never hangs on a fully
+// deduplicated replica.
+func encodeBlockReq(hashes []blockstore.Hash) []byte {
+	b := []byte{msgBlockReq}
+	b = binary.AppendUvarint(b, uint64(len(hashes)))
+	for _, h := range hashes {
+		b = append(b, h[:]...)
+	}
+	return b
+}
+
+func decodeBlockReq(b []byte) ([]blockstore.Hash, error) {
+	if len(b) < 1 || b[0] != msgBlockReq {
+		return nil, fmt.Errorf("%w: bad block request", errStreamBroken)
+	}
+	b = b[1:]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > 1<<20 {
+		return nil, fmt.Errorf("%w: bad block request count", errStreamBroken)
+	}
+	b = b[sz:]
+	if uint64(len(b)) != n*uint64(len(blockstore.Hash{})) {
+		return nil, fmt.Errorf("%w: truncated block request", errStreamBroken)
+	}
+	hashes := make([]blockstore.Hash, n)
+	for i := range hashes {
+		copy(hashes[i][:], b[:len(blockstore.Hash{})])
+		b = b[len(blockstore.Hash{}):]
+	}
+	return hashes, nil
+}
+
+// blocksMsg is the primary's reply: the requested blocks as (hash, encoded
+// payload) pairs, in request order.
+type blocksMsg struct {
+	Seq    uint64
+	Hashes []blockstore.Hash
+	Data   [][]byte
+}
+
+func encodeBlocks(m *blocksMsg) []byte {
+	b := []byte{msgBlocks}
+	b = binary.LittleEndian.AppendUint64(b, m.Seq)
+	b = binary.AppendUvarint(b, uint64(len(m.Hashes)))
+	for i, h := range m.Hashes {
+		b = append(b, h[:]...)
+		b = appendBytes(b, m.Data[i])
+	}
+	return b
+}
+
+func decodeBlocks(b []byte) (*blocksMsg, error) {
+	if len(b) < 9 || b[0] != msgBlocks {
+		return nil, fmt.Errorf("%w: bad blocks message", errStreamBroken)
+	}
+	m := &blocksMsg{Seq: binary.LittleEndian.Uint64(b[1:9])}
+	b = b[9:]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > 1<<20 {
+		return nil, fmt.Errorf("%w: bad blocks count", errStreamBroken)
+	}
+	b = b[sz:]
+	for i := uint64(0); i < n; i++ {
+		if len(b) < len(blockstore.Hash{}) {
+			return nil, fmt.Errorf("%w: truncated block hash", errStreamBroken)
+		}
+		var h blockstore.Hash
+		copy(h[:], b[:len(h)])
+		data, rest, err := readBytes(b[len(h):])
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		m.Hashes = append(m.Hashes, h)
+		m.Data = append(m.Data, data)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing blocks bytes", errStreamBroken, len(b))
 	}
 	return m, nil
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+
+	"tensorbase/internal/blockstore"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -43,10 +45,9 @@ func TestFrameRejectsInsaneLength(t *testing.T) {
 
 func TestGroupRoundTrip(t *testing.T) {
 	g := &groupMsg{
-		Seq:   7,
-		CSN:   42,
-		Recs:  [][]byte{[]byte("rec-one"), []byte("rec-two"), []byte("model-rec")},
-		Blobs: [][]byte{nil, nil, []byte("model-bytes")},
+		Seq:  7,
+		CSN:  42,
+		Recs: [][]byte{[]byte("rec-one"), []byte("rec-two"), []byte("model-rec")},
 	}
 	got, err := decodeGroup(encodeGroup(g))
 	if err != nil {
@@ -58,7 +59,7 @@ func TestGroupRoundTrip(t *testing.T) {
 }
 
 func TestGroupRejectsTrailingBytes(t *testing.T) {
-	b := encodeGroup(&groupMsg{Seq: 1, CSN: 1, Recs: [][]byte{[]byte("r")}, Blobs: [][]byte{nil}})
+	b := encodeGroup(&groupMsg{Seq: 1, CSN: 1, Recs: [][]byte{[]byte("r")}})
 	if _, err := decodeGroup(append(b, 0xEE)); !errors.Is(err, errStreamBroken) {
 		t.Fatalf("trailing bytes = %v, want errStreamBroken", err)
 	}
@@ -69,8 +70,8 @@ func TestResyncRoundTrip(t *testing.T) {
 		Seq:  3,
 		CSN:  99,
 		Recs: [][]byte{[]byte("create"), []byte("insert")},
-		Models: []modelBlob{
-			{Name: "Fraud-FC-32", Acc: 0.95, Data: []byte("weights")},
+		Models: []modelManifest{
+			{Name: "Fraud-FC-32", Acc: 0.95, Manifest: []byte("TBMF-manifest")},
 		},
 	}
 	got, err := decodeResync(encodeResync(m))
@@ -83,11 +84,46 @@ func TestResyncRoundTrip(t *testing.T) {
 }
 
 func TestResyncRejectsTruncation(t *testing.T) {
-	b := encodeResync(&resyncMsg{Seq: 1, CSN: 1, Models: []modelBlob{{Name: "m", Data: []byte("d")}}})
+	b := encodeResync(&resyncMsg{Seq: 1, CSN: 1, Models: []modelManifest{{Name: "m", Manifest: []byte("d")}}})
 	for cut := 18; cut < len(b); cut += 3 {
 		if _, err := decodeResync(b[:cut]); err == nil {
 			t.Fatalf("truncation at %d decoded cleanly", cut)
 		}
+	}
+}
+
+func TestBlockReqRoundTrip(t *testing.T) {
+	var h1, h2 blockstore.Hash
+	h1[0], h2[31] = 0xAB, 0xCD
+	got, err := decodeBlockReq(encodeBlockReq([]blockstore.Hash{h1, h2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != h1 || got[1] != h2 {
+		t.Fatalf("block request round-trip: %v", got)
+	}
+	// Empty requests are legal — a fully deduplicated replica sends one.
+	if got, err := decodeBlockReq(encodeBlockReq(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty block request round-trip: (%v, %v)", got, err)
+	}
+	if _, err := decodeBlockReq(encodeBlockReq([]blockstore.Hash{h1})[:20]); !errors.Is(err, errStreamBroken) {
+		t.Fatalf("truncated block request = %v, want errStreamBroken", err)
+	}
+}
+
+func TestBlocksRoundTrip(t *testing.T) {
+	var h blockstore.Hash
+	h[7] = 0x7E
+	m := &blocksMsg{Seq: 11, Hashes: []blockstore.Hash{h}, Data: [][]byte{[]byte("payload")}}
+	got, err := decodeBlocks(encodeBlocks(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("blocks round-trip:\nsent %+v\ngot  %+v", m, got)
+	}
+	if _, err := decodeBlocks(append(encodeBlocks(m), 0xEE)); !errors.Is(err, errStreamBroken) {
+		t.Fatalf("trailing blocks bytes = %v, want errStreamBroken", err)
 	}
 }
 

@@ -2,10 +2,13 @@ package repl
 
 import (
 	"fmt"
+	"io/fs"
 	"math/rand"
 	"net"
+	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -192,6 +195,74 @@ func TestModelShipsInLiveGroup(t *testing.T) {
 	}
 	waitConverged(t, db, r, 10*time.Second)
 	assertSameResults(t, db, r.DB(), "SELECT id, PREDICT(Fraud-FC-32, features) FROM txns")
+}
+
+// TestReplicaModelFilesDoNotLeak is the regression for the follower-staged
+// model-file leak: shipped models used to be staged as repl-%08d-%03d.tbm
+// files that nothing ever deleted. Weights now ride the stream as WAL
+// block records, so after shipping several models and checkpointing, the
+// replica's directory must hold only content-addressed block files — no
+// .tbm staging files, and any legacy .models directory (the old leak's
+// home) is removed by the first committed checkpoint.
+func TestReplicaModelFilesDoNotLeak(t *testing.T) {
+	db, p := newPrimary(t, PrimaryOptions{})
+	dir := t.TempDir()
+	rpath := filepath.Join(dir, "r.db")
+	// Seed a legacy leak: a pre-upgrade staging directory with orphans.
+	if err := os.MkdirAll(rpath+".models", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(rpath+".models", "repl-00000007-001.tbm"), []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := newReplica(t, rpath, p, nil)
+
+	d := data.Fraud(1, 64)
+	rows, schema, err := d.FeatureRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("txns", schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.InsertRows("txns", rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, hidden := range []int{16, 32, 48} {
+		if err := db.LoadModel(nn.FraudFC(rand.New(rand.NewSource(int64(hidden))), hidden), 0.9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, db, r, 10*time.Second)
+	for _, hidden := range []int{16, 32, 48} {
+		assertSameResults(t, db, r.DB(), fmt.Sprintf("SELECT id, PREDICT(Fraud-FC-%d, features) FROM txns", hidden))
+	}
+
+	if err := r.DB().Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(rpath + ".models"); !os.IsNotExist(err) {
+		t.Fatalf("legacy staging dir survives a committed checkpoint (stat err: %v)", err)
+	}
+	var leaked []string
+	if err := filepath.WalkDir(dir, func(path string, de fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !de.IsDir() && strings.HasSuffix(path, ".tbm") {
+			leaked = append(leaked, path)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(leaked) != 0 {
+		t.Fatalf("staged model files leaked on the replica: %v", leaked)
+	}
+	blocks, err := os.ReadDir(rpath + ".blocks")
+	if err != nil || len(blocks) == 0 {
+		t.Fatalf("replica checkpoint left no block files (err: %v)", err)
+	}
 }
 
 // TestReplicaKillRestartCatchUp: kill -9 a replica mid-stream; a new

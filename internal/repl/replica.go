@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tensorbase/internal/blockstore"
 	"tensorbase/internal/engine"
 	"tensorbase/internal/lifecycle"
 	"tensorbase/internal/retry"
@@ -328,7 +329,7 @@ func (r *Replica) stream(conn net.Conn) error {
 				}
 				continue
 			}
-			if err := r.applyResync(m); err != nil {
+			if err := r.applyResync(conn, m, &lastSeq); err != nil {
 				return err
 			}
 			if m.CSN > r.primaryCSN.Load() {
@@ -363,16 +364,6 @@ func (r *Replica) applyGroup(g *groupMsg) error {
 		if err != nil {
 			return fmt.Errorf("%w: corrupt record in group %d: %v", errStreamBroken, g.CSN, err)
 		}
-		if rec.Type == wal.RecLoadModel {
-			if g.Blobs[i] == nil {
-				return fmt.Errorf("%w: model record without inline bytes", errStreamBroken)
-			}
-			path, err := db.StageReplicatedModel(g.CSN, i, g.Blobs[i])
-			if err != nil {
-				return r.crashReopen(fmt.Errorf("staging model %q: %w", rec.Model, err))
-			}
-			rec.File = path
-		}
 		recs[i] = rec
 	}
 	if err := db.ApplyReplicated(g.CSN, recs, false); err != nil {
@@ -382,9 +373,63 @@ func (r *Replica) applyGroup(g *groupMsg) error {
 	return nil
 }
 
-func (r *Replica) applyResync(m *resyncMsg) error {
+// applyResync finishes the resync handshake and applies the snapshot. The
+// manifests name every weight block the snapshot's models need; only the
+// ones this replica doesn't already hold are requested, and the fetched
+// bytes are verified against their content hashes before anything touches
+// the engine. The synthesized RecBlock records go through ApplyReplicated
+// with the snapshot, so the replica's own WAL is self-contained: a crash
+// mid-apply recovers without the primary.
+func (r *Replica) applyResync(conn net.Conn, m *resyncMsg, lastSeq *uint64) error {
 	db := r.db.Load()
-	recs := make([]*wal.Record, 0, len(m.Recs)+len(m.Models))
+	manifests := make([][]byte, len(m.Models))
+	for i, mb := range m.Models {
+		manifests[i] = mb.Manifest
+	}
+	missing, err := db.MissingBlocks(manifests)
+	if err != nil {
+		return fmt.Errorf("%w: resync %d: %v", errStreamBroken, m.CSN, err)
+	}
+	if err := writeFrame(conn, encodeBlockReq(missing)); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(4 * r.opts.HeartbeatInterval))
+	payload, err := readFrame(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		return err
+	}
+	r.lastMsg.Store(time.Now().UnixNano())
+	blocks, err := decodeBlocks(payload)
+	if err != nil {
+		return err
+	}
+	if dup, err := checkSeq(lastSeq, blocks.Seq); err != nil || dup {
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("%w: duplicate blocks reply", errStreamBroken)
+	}
+	want := make(map[blockstore.Hash]bool, len(missing))
+	for _, h := range missing {
+		want[h] = true
+	}
+	recs := make([]*wal.Record, 0, len(blocks.Data)+len(m.Recs)+len(m.Models))
+	for i, raw := range blocks.Data {
+		data, err := blockstore.Decode(raw)
+		if err != nil {
+			return fmt.Errorf("%w: resync block: %v", errStreamBroken, err)
+		}
+		h := blockstore.HashOf(data)
+		if h != blocks.Hashes[i] || !want[h] {
+			return fmt.Errorf("%w: resync block %s not requested or content mismatch", errStreamBroken, blocks.Hashes[i])
+		}
+		delete(want, h)
+		recs = append(recs, &wal.Record{Type: wal.RecBlock, CSN: m.CSN, Data: raw})
+	}
+	if len(want) != 0 {
+		return fmt.Errorf("%w: resync reply missing %d requested blocks", errStreamBroken, len(want))
+	}
 	for _, rb := range m.Recs {
 		rec, err := wal.DecodeRecord(rb)
 		if err != nil {
@@ -392,17 +437,13 @@ func (r *Replica) applyResync(m *resyncMsg) error {
 		}
 		recs = append(recs, rec)
 	}
-	for i, mb := range m.Models {
-		path, err := db.StageReplicatedModel(m.CSN, len(m.Recs)+i, mb.Data)
-		if err != nil {
-			return r.crashReopen(fmt.Errorf("staging model %q: %w", mb.Name, err))
-		}
+	for _, mb := range m.Models {
 		recs = append(recs, &wal.Record{
 			Type:  wal.RecLoadModel,
 			CSN:   m.CSN,
 			Model: mb.Name,
 			Acc:   mb.Acc,
-			File:  path,
+			Data:  mb.Manifest,
 		})
 	}
 	if err := db.ApplyReplicated(m.CSN, recs, true); err != nil {

@@ -141,9 +141,9 @@ func TestKeyPin(t *testing.T) {
 		t.Fatalf("pin = %+v, %v", lit, ok)
 	}
 	for _, src := range []string{
-		"SELECT * FROM t WHERE id > 7",            // not equality
-		"SELECT * FROM t WHERE other = 7",         // not the key
-		"SELECT * FROM t",                         // no WHERE
+		"SELECT * FROM t WHERE id > 7",                               // not equality
+		"SELECT * FROM t WHERE other = 7",                            // not the key
+		"SELECT * FROM t",                                            // no WHERE
 		"WITH x AS (SELECT id FROM t WHERE id = 7) SELECT id FROM x", // CTE outer never pins
 	} {
 		if _, ok := parseSelect(t, src).KeyPin("id"); ok {

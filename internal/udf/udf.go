@@ -198,6 +198,14 @@ func (r *Registry) Register(u UDF) error {
 	return nil
 }
 
+// Unregister removes the named UDF; absent names are a no-op (a model
+// may have no quantized twin).
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.udfs, name)
+}
+
 // Lookup returns the named UDF.
 func (r *Registry) Lookup(name string) (UDF, bool) {
 	r.mu.RLock()

@@ -57,9 +57,19 @@ const (
 	RecCreateTable RecType = 3
 	// RecDropTable records a table drop.
 	RecDropTable RecType = 4
-	// RecLoadModel records a model registration; the weights live in the
-	// named generation file (written durably before the record is logged).
+	// RecLoadModel records a model registration. Data carries the model's
+	// block manifest (TBMF); the weight blocks themselves ride as RecBlock
+	// records in the same commit group (File is the legacy pre-blockstore
+	// weight-file path, kept for old logs).
 	RecLoadModel RecType = 5
+	// RecBlock carries one content-addressed weight block's raw payload
+	// (little-endian f32 bytes, at most 64 KiB). Blocks are staged into
+	// the block store at replay; the manifest in the group's RecLoadModel
+	// references them by content hash.
+	RecBlock RecType = 6
+	// RecDropModel records a model drop; the model's block references are
+	// released and unshared blocks are reclaimed.
+	RecDropModel RecType = 7
 )
 
 // Col is a schema column inside a RecCreateTable record.
@@ -74,10 +84,10 @@ type Record struct {
 	Type  RecType
 	CSN   uint64
 	Table string // Insert, CreateTable, DropTable
-	Data  []byte // Insert: encoded tuple payload
+	Data  []byte // Insert: tuple payload; LoadModel: manifest; Block: payload
 	Cols  []Col  // CreateTable
-	Model string // LoadModel
-	File  string // LoadModel: model weight file path
+	Model string // LoadModel, DropModel
+	File  string // LoadModel: legacy model weight file path
 	Acc   float64
 }
 
@@ -508,6 +518,13 @@ func encodeRecord(r *Record) []byte {
 		b = appendString(b, r.Model)
 		b = appendString(b, r.File)
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.Acc))
+		b = binary.AppendUvarint(b, uint64(len(r.Data)))
+		b = append(b, r.Data...)
+	case RecBlock:
+		b = binary.AppendUvarint(b, uint64(len(r.Data)))
+		b = append(b, r.Data...)
+	case RecDropModel:
+		b = appendString(b, r.Model)
 	}
 	return b
 }
@@ -567,6 +584,29 @@ func decodeRecord(b []byte) (*Record, error) {
 		}
 		r.Acc = math.Float64frombits(binary.LittleEndian.Uint64(b))
 		b = b[8:]
+		// The trailing manifest is absent in records from pre-blockstore
+		// logs; tolerate both forms.
+		if len(b) > 0 {
+			n, sz := binary.Uvarint(b)
+			if sz <= 0 || uint64(len(b)-sz) < n {
+				return nil, fmt.Errorf("wal: truncated model manifest")
+			}
+			if n > 0 {
+				r.Data = append([]byte(nil), b[sz:sz+int(n)]...)
+			}
+			b = b[sz+int(n):]
+		}
+	case RecBlock:
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || n == 0 || n > 1<<17 || uint64(len(b)-sz) < n {
+			return nil, fmt.Errorf("wal: bad block payload")
+		}
+		r.Data = append([]byte(nil), b[sz:sz+int(n)]...)
+		b = b[sz+int(n):]
+	case RecDropModel:
+		if r.Model, b, err = readString(b); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("wal: unknown record type %d", r.Type)
 	}

@@ -46,6 +46,11 @@ func TestRoundTripAllRecordTypes(t *testing.T) {
 		{Type: RecCommit, CSN: 3},
 		{Type: RecDropTable, CSN: 4, Table: "t"},
 		{Type: RecCommit, CSN: 4},
+		{Type: RecBlock, CSN: 5, Data: []byte{0, 0, 128, 63, 0, 0, 0, 64}},
+		{Type: RecLoadModel, CSN: 5, Model: "Fraud-FC-64", Acc: 0.93, Data: []byte("TBMF-manifest-bytes")},
+		{Type: RecCommit, CSN: 5},
+		{Type: RecDropModel, CSN: 6, Model: "Fraud-FC-64"},
+		{Type: RecCommit, CSN: 6},
 	}
 	for _, r := range recs {
 		lsn, err := l.Append(r)

@@ -19,6 +19,10 @@ for inspection):
   snapshot   BenchmarkSnapshotReadUnderWrites/underwrites throughput must
              be >= 0.8x the /readonly baseline — MVCC snapshot reads must
              keep PREDICT off the lock manager while a writer commits.
+  dedup      BenchmarkModelLoadDedup's marginal_frac_of_model must be
+             <= 0.30 — one extra fine-tuned variant may cost at most 30%
+             of a full model's resident bytes, or the block store is not
+             actually deduplicating.
 
 Trajectory: the artifact also records per-benchmark deltas against the
 newest prior BENCH_<n>.json found next to <out.json>. Deltas are
@@ -37,6 +41,10 @@ EXTRA = re.compile(r"([\d.]+) ([\w./]+)")
 
 # underwrites must retain this fraction of read-only PREDICT throughput.
 SNAPSHOT_FLOOR = 0.8
+
+# one extra fine-tuned variant may cost at most this fraction of a full
+# model's resident bytes.
+DEDUP_CEILING = 0.30
 
 
 def parse(src):
@@ -86,6 +94,26 @@ def snapshot_gate(runs):
     }
 
 
+def dedup_gate(runs):
+    entry = runs.get("BenchmarkModelLoadDedup")
+    if not entry:
+        return None
+    fracs = entry["metrics"].get("marginal_frac_of_model")
+    if not fracs:
+        return None
+    # The fraction is a property of the block layout, not of runner speed,
+    # but take the minimum across repetitions for symmetry with the other
+    # gates (it is identical across runs in practice).
+    frac = min(fracs)
+    rates = entry["metrics"].get("dedup_hit_rate", [])
+    return {
+        "marginal_frac_of_model": frac,
+        "dedup_hit_rate": max(rates) if rates else None,
+        "ceiling": DEDUP_CEILING,
+        "pass": frac <= DEDUP_CEILING,
+    }
+
+
 def latest_baseline(out_path):
     """Newest prior BENCH_<n>.json in out.json's directory, skipping the
     artifact being written."""
@@ -130,6 +158,7 @@ def main():
     runs = parse(src)
     qgate = quantized_gate(runs)
     sgate = snapshot_gate(runs)
+    dgate = dedup_gate(runs)
     traj = trajectory(runs, dst)
 
     with open(dst, "w") as f:
@@ -138,6 +167,7 @@ def main():
                 "benchmarks": runs,
                 "quantized_gate": qgate,
                 "snapshot_gate": sgate,
+                "dedup_gate": dgate,
                 "trajectory": traj,
             },
             f, indent=2, sort_keys=True,
@@ -169,6 +199,17 @@ def main():
             failures.append(
                 "PREDICT under a concurrent writer fell below %.2fx of the read-only baseline"
                 % SNAPSHOT_FLOOR)
+    if dgate is None:
+        failures.append("BenchmarkModelLoadDedup run missing from input")
+    else:
+        rate = dgate["dedup_hit_rate"]
+        print("bench_gate: dedup marginal variant cost %.3fx of a full model (ceiling %.2f), hit rate %s"
+              % (dgate["marginal_frac_of_model"], dgate["ceiling"],
+                 "%.2f" % rate if rate is not None else "n/a"))
+        if not dgate["pass"]:
+            failures.append(
+                "a fine-tuned variant cost more than %.0f%% of a full model's resident bytes"
+                % (DEDUP_CEILING * 100))
     if failures:
         sys.exit("bench_gate: FAIL — " + "; ".join(failures))
 
